@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment records the rows it regenerates (the paper's tables /
+figure series) through :func:`record`, which both prints them (visible
+with ``pytest -s``) and appends them to ``benchmarks/out/<exp>.txt`` so
+EXPERIMENTS.md can quote exact measured output.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Iterable
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def record(experiment_id: str, lines: Iterable[str]) -> None:
+    """Print and persist one experiment's output rows."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    rendered = list(lines)
+    banner = f"=== {experiment_id} ==="
+    print()
+    print(banner)
+    for line in rendered:
+        print(line)
+    path = os.path.join(OUT_DIR, f"{experiment_id}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join([banner, *rendered]) + "\n")
+
+
+def time_once(fn: Callable[[], object]) -> tuple[float, object]:
+    """One wall-clock measurement (for comparison tables; the headline
+    measurement of each experiment goes through pytest-benchmark)."""
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:9.2f} ms"

@@ -1,0 +1,71 @@
+"""E3 — Case 2 results: adding un-annotated tuples.
+
+Paper semantics checked alongside the timing: supports may only fall,
+annotation-to-annotation confidences are unchanged, no new rules can
+appear, and the maintained rule set equals a full re-mine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.rules import RuleKind
+from repro.synth.generator import value_token
+from benchmarks._harness import fmt_ms, record, time_once
+from benchmarks.conftest import fresh_case_manager
+
+
+def _unannotated_rows(count, seed):
+    rng = random.Random(seed)
+    return [tuple(value_token(column, rng.randrange(40))
+                  for column in range(6))
+            for _ in range(count)]
+
+
+@pytest.mark.parametrize("batch_size", [100, 500])
+def test_case2_incremental_insert(benchmark, case_workload, batch_size):
+    manager = fresh_case_manager(case_workload)
+    a2a_before = {
+        rule.key: rule.confidence
+        for rule in manager.rules_of_kind(RuleKind.ANNOTATION_TO_ANNOTATION)
+    }
+    rows = _unannotated_rows(batch_size, seed=batch_size)
+
+    seconds, report = time_once(lambda: manager.insert_unannotated(rows))
+    benchmark(lambda: None)
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["ms"] = round(seconds * 1000, 2)
+
+    # Paper: "there are never going to be new rules to discover".
+    assert report.rules_added == []
+    # Paper: A2A confidence unchanged for surviving rules.
+    for rule in manager.rules_of_kind(RuleKind.ANNOTATION_TO_ANNOTATION):
+        if rule.key in a2a_before:
+            assert rule.confidence == pytest.approx(a2a_before[rule.key])
+
+    verification = manager.verify_against_remine()
+    record(f"E3_case2_batch_{batch_size}", [
+        f"base {len(case_workload.relation)} tuples + {batch_size} "
+        f"un-annotated tuples",
+        f"incremental maintenance : {fmt_ms(seconds)} "
+        f"(0 new rules, {len(report.rules_dropped)} diluted away)",
+        f"rule sets identical to re-mine: {verification.equivalent}",
+    ])
+    assert verification.equivalent
+
+
+def test_case2_dilution_shape(benchmark, case_workload):
+    """Supports must be monotonically non-increasing under Case 2."""
+    manager = fresh_case_manager(case_workload)
+    supports_before = {rule.key: rule.support for rule in manager.rules}
+
+    benchmark.pedantic(
+        lambda: manager.insert_unannotated(_unannotated_rows(200, seed=3)),
+        rounds=1, iterations=1)
+
+    for rule in manager.rules:
+        if rule.key in supports_before:
+            assert rule.support <= supports_before[rule.key] + 1e-12
+    assert manager.verify_against_remine().equivalent

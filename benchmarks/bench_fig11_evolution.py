@@ -1,0 +1,128 @@
+"""E9 — Figure 11: effect of evolving data on support and confidence.
+
+The paper's Figure 11 is a table of which direction each statistic can
+move under each update case, per rule family.  This benchmark drives
+every case over the 2000-tuple workload while a timeline recorder
+observes every surviving rule, then checks the *empirically observed*
+direction sets against the paper's table:
+
+| case | D2A S | D2A C | A2A S | A2A C |
+|---|---|---|---|---|
+| add annotations (3)    | never ↓ | never ↓ | never ↓ | may ↓ (LHS) |
+| add annotated tuples (1) | any | any | any | any |
+| add un-annotated tuples (2) | never ↑ | never ↑ | never ↑ | flat |
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.rules import RuleKind
+from repro.core.timeline import Direction, TimelineRecorder
+from repro.core.events import (
+    AddAnnotatedTuples,
+    AddAnnotations,
+    AddUnannotatedTuples,
+)
+from repro.synth.generator import generate_annotation_batch, value_token
+from benchmarks._harness import record
+from benchmarks.conftest import fresh_case_manager
+
+
+def _annotated_rows(count, seed):
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(count):
+        values = tuple(value_token(column, rng.randrange(40))
+                       for column in range(6))
+        rows.append((values, [f"Annot_{rng.randint(1, 4)}"]))
+    return rows
+
+
+def _unannotated_rows(count, seed):
+    rng = random.Random(seed)
+    return [tuple(value_token(column, rng.randrange(40))
+                  for column in range(6))
+            for _ in range(count)]
+
+
+def test_fig11_direction_matrix(benchmark, case_workload):
+    manager = fresh_case_manager(case_workload)
+    recorder = TimelineRecorder(manager)
+
+    def run():
+        recorder.apply(AddAnnotations.build(
+            generate_annotation_batch(manager.relation, size=120,
+                                      seed=61)))
+        recorder.apply(AddAnnotatedTuples.build(_annotated_rows(80,
+                                                                seed=62)))
+        recorder.apply(AddUnannotatedTuples.build(_unannotated_rows(
+            80, seed=63)))
+        return recorder.direction_matrix()
+
+    matrix = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record("E9_fig11_evolution", [
+        "empirical direction matrix (paper Figure 11; + up, - down, "
+        "= unchanged):",
+        *recorder.render_matrix().splitlines(),
+    ])
+
+    def directions(event, kind, statistic):
+        return matrix.get((event, kind, statistic), set())
+
+    # Case 3: D2A statistics never decrease (paper: "guaranteed to
+    # remain valid because the support and confidence cannot decrease").
+    for statistic in ("support", "confidence"):
+        assert Direction.DOWN not in directions(
+            "add-annotations", RuleKind.DATA_TO_ANNOTATION, statistic)
+    # Case 3: A2A support never decreases; confidence may (LHS case).
+    assert Direction.DOWN not in directions(
+        "add-annotations", RuleKind.ANNOTATION_TO_ANNOTATION, "support")
+
+    # Case 2: no statistic of any rule increases; A2A confidence flat.
+    for kind in RuleKind:
+        assert Direction.UP not in directions(
+            "add-unannotated-tuples", kind, "support")
+    assert directions("add-unannotated-tuples",
+                      RuleKind.ANNOTATION_TO_ANNOTATION,
+                      "confidence") <= {Direction.FLAT}
+
+    # Throughout, the maintained state stayed exact.
+    assert manager.verify_against_remine().equivalent
+
+
+def test_fig11_case3_lhs_confidence_can_drop(benchmark, case_workload):
+    """The one decrease the paper calls out: a new annotation landing in
+    an A2A rule's LHS can push its confidence below β."""
+    manager = fresh_case_manager(case_workload)
+    recorder = TimelineRecorder(manager)
+    a2a_rules = manager.rules_of_kind(RuleKind.ANNOTATION_TO_ANNOTATION)
+    assert a2a_rules, "workload must produce A2A rules"
+    target = max(a2a_rules, key=lambda rule: rule.lhs_count)
+    lhs_annotation = manager.vocabulary.item(target.lhs[0]).token
+    rhs_annotation = manager.vocabulary.item(target.rhs).token
+    # Attach the LHS annotation to tuples lacking the RHS annotation.
+    rhs_tids = manager.index.tids(target.rhs)
+    lhs_tids = manager.index.tids(target.lhs[0])
+    victims = [tid for tid in manager.relation.tids()
+               if tid not in rhs_tids and tid not in lhs_tids][:120]
+
+    def run():
+        return recorder.apply(AddAnnotations.build(
+            [(tid, lhs_annotation) for tid in victims]))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    trajectory = recorder.trajectory(target.key)
+    before, after = trajectory.points[0], trajectory.points[-1]
+    dropped_below_beta = not trajectory.alive
+    record("E9_fig11_lhs_drop", [
+        f"rule {lhs_annotation} ==> {rhs_annotation}: confidence "
+        f"{before.confidence:.4f} -> "
+        f"{after.confidence:.4f}"
+        + (" (dropped below beta)" if dropped_below_beta else ""),
+        "(paper: 'the confidence needs to be recalculated because it is "
+        "possible it will decrease')",
+    ])
+    assert after.confidence < before.confidence
+    assert manager.verify_against_remine().equivalent

@@ -1,0 +1,119 @@
+"""Reproduction of *Discovering Correlations in Annotated Databases*.
+
+Public API re-exported here; see DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.errors import ReproError
+from repro.mining.itemsets import (
+    Item,
+    ItemKind,
+    ItemVocabulary,
+    TransactionDatabase,
+)
+from repro.mining.constraints import MiningTask
+from repro.relation.annotation import Annotation
+from repro.relation.relation import AnnotatedRelation
+from repro.relation.schema import Schema
+from repro.relation.tuples import AnchorScope, AnnotationAnchor
+from repro.core.rules import AssociationRule, RuleKind, RuleSet
+from repro.core.stats import Thresholds
+from repro.core.events import (
+    AddAnnotatedTuples,
+    AddAnnotations,
+    AddUnannotatedTuples,
+    RemoveAnnotations,
+    RemoveTuples,
+)
+from repro.core.manager import AnnotationRuleManager
+from repro.core.audit import AuditReport, audit
+from repro.core.explain import RuleEvidence, explain_rule, render_evidence
+from repro.core.multilevel import LeveledRule, MultiLevelMiner
+from repro.core.timeline import Direction, TimelineRecorder
+from repro.core import persistence
+from repro.baselines.remine import remine
+from repro.mining.closed import (
+    closed_itemsets,
+    compress_rules,
+    maximal_itemsets,
+)
+from repro.mining.interest import RuleCounts, evaluate as evaluate_rule
+from repro.relation import query
+from repro.generalization.engine import Generalizer
+from repro.generalization.hierarchy import ConceptHierarchy
+from repro.generalization.rules import (
+    GeneralizationRule,
+    GeneralizationRuleSet,
+    IdMatcher,
+    KeywordMatcher,
+)
+from repro.exploitation.recommender import (
+    MissingAnnotationRecommender,
+    Recommendation,
+)
+from repro.exploitation.insert_advisor import InsertAdvisor
+from repro.exploitation.curation import CurationSession
+from repro.exploitation.quality import QualityReport, score_recommendations
+from repro.exploitation.removal import (
+    RemovalSuggestion,
+    UnexplainedAnnotationFinder,
+)
+from repro.app.session import Session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddAnnotatedTuples",
+    "AddAnnotations",
+    "AddUnannotatedTuples",
+    "AnchorScope",
+    "Annotation",
+    "AnnotationAnchor",
+    "AnnotatedRelation",
+    "AnnotationRuleManager",
+    "AssociationRule",
+    "AuditReport",
+    "ConceptHierarchy",
+    "CurationSession",
+    "Direction",
+    "GeneralizationRule",
+    "GeneralizationRuleSet",
+    "Generalizer",
+    "IdMatcher",
+    "InsertAdvisor",
+    "Item",
+    "ItemKind",
+    "ItemVocabulary",
+    "KeywordMatcher",
+    "LeveledRule",
+    "MiningTask",
+    "MultiLevelMiner",
+    "MissingAnnotationRecommender",
+    "QualityReport",
+    "Recommendation",
+    "RuleCounts",
+    "RuleEvidence",
+    "RemovalSuggestion",
+    "RemoveAnnotations",
+    "RemoveTuples",
+    "ReproError",
+    "RuleKind",
+    "RuleSet",
+    "Schema",
+    "Session",
+    "Thresholds",
+    "TimelineRecorder",
+    "UnexplainedAnnotationFinder",
+    "TransactionDatabase",
+    "audit",
+    "closed_itemsets",
+    "compress_rules",
+    "evaluate_rule",
+    "explain_rule",
+    "maximal_itemsets",
+    "persistence",
+    "query",
+    "remine",
+    "render_evidence",
+    "score_recommendations",
+]

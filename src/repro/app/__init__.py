@@ -1,0 +1,1 @@
+"""The standalone menu application (paper Figure 5)."""

@@ -1,0 +1,176 @@
+"""Application session: the state behind the paper's menu.
+
+The paper's standalone application loads a dataset file, mines rules at
+user-entered support/confidence, applies update files incrementally,
+and writes rule files.  :class:`Session` is that lifecycle as an
+object, shared by the interactive CLI and by scripted/driven use in
+tests.  Invalid transitions (mining before loading a dataset, applying
+updates before mining) raise :class:`~repro.errors.SessionError` with
+actionable messages instead of crashing mid-menu.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.maintenance import MaintenanceReport
+from repro.core.manager import AnnotationRuleManager
+from repro.core.rules import AssociationRule, RuleKind
+from repro.core.stats import DEFAULT_MARGIN
+from repro.errors import SessionError
+from repro.exploitation.ranking import rank
+from repro.exploitation.recommender import (
+    MissingAnnotationRecommender,
+    Recommendation,
+)
+from repro.generalization.engine import Generalizer
+from repro.io import dataset_format, generalization_format, rules_format
+from repro.io import updates_format
+from repro.relation.relation import AnnotatedRelation
+
+
+class Session:
+    """Mutable application state: one dataset, one mined manager."""
+
+    def __init__(self) -> None:
+        self.relation: AnnotatedRelation | None = None
+        self.manager: AnnotationRuleManager | None = None
+        self.generalizer: Generalizer | None = None
+        self.dataset_path: str | None = None
+
+    # -- dataset -----------------------------------------------------------
+
+    def load_dataset(self, path: str | os.PathLike) -> int:
+        """Load a Figure 4 dataset file; returns the tuple count."""
+        self.relation = dataset_format.read_dataset(path)
+        self.dataset_path = os.fspath(path)
+        self.manager = None  # thresholds must be re-entered
+        self.generalizer = None
+        return len(self.relation)
+
+    def _require_relation(self) -> AnnotatedRelation:
+        if self.relation is None:
+            raise SessionError("no dataset loaded — load a dataset first")
+        return self.relation
+
+    def _require_manager(self) -> AnnotationRuleManager:
+        if self.manager is None:
+            raise SessionError(
+                "no rules mined yet — run a discovery option first")
+        return self.manager
+
+    # -- generalization (menu option 3) -------------------------------------
+
+    def load_generalizations(self, path: str | os.PathLike) -> int:
+        """Parse a Figure 9 file; takes effect on the next mining run."""
+        relation = self._require_relation()
+        rules, hierarchy = generalization_format.parse_generalization_rules(
+            path)
+        self.generalizer = Generalizer(relation.registry, rules, hierarchy)
+        self.manager = None  # the extended database changes the rules
+        return len(rules)
+
+    # -- mining (menu options 1 and 2) ----------------------------------------
+
+    def mine(self, min_support: float, min_confidence: float, *,
+             margin: float = DEFAULT_MARGIN,
+             max_length: int | None = None) -> MaintenanceReport:
+        """(Re)mine at the given thresholds; installs a fresh manager."""
+        relation = self._require_relation()
+        self.manager = AnnotationRuleManager(
+            relation,
+            min_support=min_support,
+            min_confidence=min_confidence,
+            margin=margin,
+            generalizer=self.generalizer,
+            max_length=max_length,
+        )
+        return self.manager.mine()
+
+    def rules_of_kind(self, kind: RuleKind) -> list[AssociationRule]:
+        manager = self._require_manager()
+        return sorted(manager.rules_of_kind(kind),
+                      key=lambda rule: (-rule.confidence, -rule.support,
+                                        rule.lhs, rule.rhs))
+
+    # -- updates (menu options 4, 5, 6) -------------------------------------------
+
+    def add_annotations_from_file(self, path: str | os.PathLike
+                                  ) -> MaintenanceReport:
+        """Menu option 4: a Figure 14 δ batch."""
+        manager = self._require_manager()
+        return manager.apply(updates_format.read_updates(path))
+
+    def add_annotated_tuples_from_file(self, path: str | os.PathLike
+                                       ) -> MaintenanceReport:
+        """Menu option 5: Case 1 — rows in the Figure 4 dataset format."""
+        manager = self._require_manager()
+        rows = list(dataset_format.iter_rows(_read_lines(path)))
+        if not rows:
+            raise SessionError(f"no tuples found in {os.fspath(path)!r}")
+        return manager.insert_annotated(rows)
+
+    def add_unannotated_tuples_from_file(self, path: str | os.PathLike
+                                         ) -> MaintenanceReport:
+        """Menu option 6: Case 2 — rows must carry no annotations."""
+        manager = self._require_manager()
+        rows = list(dataset_format.iter_rows(_read_lines(path)))
+        if not rows:
+            raise SessionError(f"no tuples found in {os.fspath(path)!r}")
+        annotated = [values for values, annotations in rows if annotations]
+        if annotated:
+            raise SessionError(
+                f"{len(annotated)} row(s) in {os.fspath(path)!r} carry "
+                f"annotations — use the annotated-tuples option instead")
+        return manager.insert_unannotated(
+            [values for values, _annotations in rows])
+
+    # -- exploitation (menu option 7) -----------------------------------------------
+
+    def recommendations(self, *, limit: int = 20,
+                        min_confidence: float | None = None
+                        ) -> list[Recommendation]:
+        manager = self._require_manager()
+        recommender = MissingAnnotationRecommender(
+            manager, min_confidence=min_confidence)
+        ranked = rank(recommender.scan())
+        return ranked[:limit] if limit else ranked
+
+    # -- output (menu option 8) ---------------------------------------------------------
+
+    def write_rules(self, path: str | os.PathLike, *,
+                    kind: RuleKind | None = None) -> int:
+        manager = self._require_manager()
+        rules = (manager.rules if kind is None
+                 else manager.rules_of_kind(kind))
+        return rules_format.write_rules(rules, manager.vocabulary, path)
+
+    # -- status (menu option 9) -----------------------------------------------------------
+
+    def status(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "dataset": self.dataset_path,
+            "tuples": len(self.relation) if self.relation else 0,
+            "annotations": (len(self.relation.registry)
+                            if self.relation else 0),
+            "generalizations": (self.generalizer is not None),
+            "mined": self.manager is not None,
+        }
+        if self.manager is not None:
+            out.update({
+                "rules": len(self.manager.rules),
+                "d2a_rules": len(self.manager.rules_of_kind(
+                    RuleKind.DATA_TO_ANNOTATION)),
+                "a2a_rules": len(self.manager.rules_of_kind(
+                    RuleKind.ANNOTATION_TO_ANNOTATION)),
+                "patterns": len(self.manager.table),
+                "candidates": len(self.manager.candidates),
+                "min_support": self.manager.thresholds.min_support,
+                "min_confidence": self.manager.thresholds.min_confidence,
+            })
+        return out
+
+
+def _read_lines(path: str | os.PathLike) -> list[str]:
+    with open(path, encoding="utf-8") as handle:
+        return list(handle)

@@ -1,0 +1,1 @@
+"""Full re-mining baseline used by every equivalence check."""

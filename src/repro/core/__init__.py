@@ -1,0 +1,1 @@
+"""The paper's primary contribution: rule discovery and incremental maintenance."""

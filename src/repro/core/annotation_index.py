@@ -1,0 +1,87 @@
+"""Vertical index and the annotation frequency table.
+
+Section 4.3 of the paper: "the system indexes the annotations such that
+given a query annotation, we can efficiently find all data tuples having
+this annotation" and "the system maintains a table containing the
+frequency of each annotation, and it is updated whenever a new
+annotation is added".  Both structures are views over one maintained
+item -> tidset map; keeping data items in the same map lets discovery
+count any candidate pattern by tidset intersection without a database
+scan.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import MaintenanceError
+from repro.mining.eclat import count_itemset, tids_of
+from repro.mining.itemsets import ItemVocabulary, Itemset, Transaction
+
+
+class VerticalIndex:
+    """Maintained item -> tidset map over the live transactions."""
+
+    def __init__(self, vocabulary: ItemVocabulary) -> None:
+        self._vocabulary = vocabulary
+        self._tids: dict[int, set[int]] = {}
+
+    # -- maintenance --------------------------------------------------------
+
+    def add_transaction(self, tid: int, items: Transaction) -> None:
+        for item in items:
+            self._tids.setdefault(item, set()).add(tid)
+
+    def extend_transaction(self, tid: int, new_items: Iterable[int]) -> None:
+        for item in new_items:
+            self._tids.setdefault(item, set()).add(tid)
+
+    def shrink_transaction(self, tid: int, removed_items: Iterable[int]) -> None:
+        for item in removed_items:
+            bucket = self._tids.get(item)
+            if bucket is None or tid not in bucket:
+                raise MaintenanceError(
+                    f"index does not record item {item} on tid {tid}")
+            bucket.discard(tid)
+
+    def remove_transaction(self, tid: int, items: Transaction) -> None:
+        self.shrink_transaction(tid, items)
+
+    # -- queries -------------------------------------------------------------
+
+    def tids(self, item: int) -> frozenset[int]:
+        return frozenset(self._tids.get(item, ()))
+
+    def frequency(self, item: int) -> int:
+        """The annotation frequency table entry for ``item``."""
+        return len(self._tids.get(item, ()))
+
+    def count(self, itemset: Itemset, *, db_size: int | None = None) -> int:
+        return count_itemset(self._tids, itemset, universe_size=db_size)
+
+    def tids_of_itemset(self, itemset: Itemset) -> set[int]:
+        return tids_of(self._tids, itemset)
+
+    def frequent_items(self, min_count: int, *,
+                       annotation_like_only: bool = False) -> list[int]:
+        keep = (self._vocabulary.annotation_like_ids()
+                if annotation_like_only else None)
+        return sorted(
+            item for item, tids in self._tids.items()
+            if len(tids) >= min_count and (keep is None or item in keep))
+
+    def items(self) -> list[int]:
+        return sorted(self._tids)
+
+    def as_mapping(self) -> Mapping[int, set[int]]:
+        """Read-only view handed to the vertical miners."""
+        return self._tids
+
+    def annotation_frequencies(self) -> dict[int, int]:
+        """The paper's annotation frequency table as a plain dict."""
+        keep = self._vocabulary.annotation_like_ids()
+        return {item: len(tids) for item, tids in self._tids.items()
+                if item in keep}
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._tids and bool(self._tids[item])

@@ -1,0 +1,128 @@
+"""Deep consistency audit of a manager's maintained state.
+
+Incremental maintenance is only as trustworthy as its redundant state
+is consistent: the relation, the transaction encoding, the vertical
+index and the pattern table all describe the same database.  The audit
+cross-checks every pair of them — the kind of check a production
+deployment runs after a crash recovery or a suspicious verification
+failure, and the soak tests run at checkpoints.
+
+The audit is read-only and independent of the incremental code paths:
+counts are recomputed from raw transactions, so a bug in the
+maintenance walks cannot hide itself here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.manager import AnnotationRuleManager
+from repro.core.derive import derive_rules
+from repro.relation.transactions import encode_tuple
+
+
+@dataclass
+class AuditReport:
+    """Findings of one audit pass; empty findings == consistent."""
+
+    findings: list[str] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def consistent(self) -> bool:
+        return not self.findings
+
+    def note(self, finding: str) -> None:
+        self.findings.append(finding)
+
+    def summary(self) -> str:
+        status = "consistent" if self.consistent else "INCONSISTENT"
+        head = f"audit: {status} ({self.checks_run} checks)"
+        if self.consistent:
+            return head
+        return "\n".join([head] + [f"  - {finding}"
+                                   for finding in self.findings[:10]])
+
+
+def audit(manager: AnnotationRuleManager, *,
+          max_pattern_checks: int | None = None) -> AuditReport:
+    """Run every consistency check; returns the findings.
+
+    ``max_pattern_checks`` caps the expensive table-recount phase (the
+    largest patterns are checked first, since maintenance bugs surface
+    soonest in high-order counts); ``None`` checks the whole table.
+    """
+    report = AuditReport()
+    relation = manager.relation
+    database = manager.database
+    index = manager.index
+
+    # 1. Database size agreement.
+    report.checks_run += 1
+    if manager.db_size != relation.live_count:
+        report.note(f"db_size {manager.db_size} != live tuples "
+                    f"{relation.live_count}")
+
+    # 2. Transactions mirror the relation (including tombstones).
+    for tid in range(relation.tid_range):
+        report.checks_run += 1
+        stored = database.transaction(tid)
+        if not relation.is_live(tid):
+            if stored:
+                report.note(f"tombstoned tid {tid} has a non-empty "
+                            f"transaction")
+            continue
+        expected = encode_tuple(relation, tid, manager.vocabulary)
+        if stored != expected:
+            report.note(f"transaction {tid} diverges from the relation: "
+                        f"stored {sorted(stored)}, "
+                        f"expected {sorted(expected)}")
+
+    # 3. Vertical index mirrors the transactions, both directions.
+    from_transactions: dict[int, set[int]] = {}
+    for tid, transaction in enumerate(database.transactions):
+        for item in transaction:
+            from_transactions.setdefault(item, set()).add(tid)
+    for item in index.items():
+        report.checks_run += 1
+        expected_tids = from_transactions.get(item, set())
+        if set(index.tids(item)) != expected_tids:
+            report.note(f"index for item {item} "
+                        f"({manager.vocabulary.item(item).token!r}) "
+                        f"diverges from the transactions")
+    for item, tids in from_transactions.items():
+        report.checks_run += 1
+        if set(index.tids(item)) != tids:
+            report.note(f"item {item} present in transactions but "
+                        f"missing/incomplete in the index")
+
+    # 4. Pattern table: exact counts, floor, closure, constraint.
+    floor = manager.thresholds.keep_count(manager.db_size)
+    entries = sorted(manager.table.entries(),
+                     key=lambda entry: -len(entry[0]))
+    if max_pattern_checks is not None:
+        entries = entries[:max_pattern_checks]
+    for itemset, stored_count in entries:
+        report.checks_run += 1
+        true_count = sum(
+            1 for tid, transaction in enumerate(database.transactions)
+            if relation.is_live(tid)
+            and all(item in transaction for item in itemset))
+        if stored_count != true_count:
+            report.note(f"pattern {itemset} stored count {stored_count} "
+                        f"!= true count {true_count}")
+        if stored_count < floor:
+            report.note(f"pattern {itemset} below the floor {floor}")
+        if not manager.constraint.admits(itemset):
+            report.note(f"pattern {itemset} violates the constraint")
+
+    # 5. Rules are exactly the derivation of the table.
+    report.checks_run += 1
+    derived, _near = derive_rules(manager.table, manager.thresholds,
+                                  manager.db_size)
+    if not derived.same_rules(manager.rules):
+        only_live, only_derived = manager.rules.diff_keys(derived)
+        report.note(f"rule set diverges from table derivation "
+                    f"({len(only_live)} stale, {len(only_derived)} missing)")
+
+    return report

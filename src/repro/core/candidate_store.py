@@ -1,0 +1,91 @@
+"""Near-miss candidate rule store.
+
+Section 4.3 (Case 3, Results): "By storing the existing rules and
+candidate rules (rules slightly below the minimum support and confidence
+requirements) and referencing those after updates, a substantial amount
+of time could be saved."  The store keeps rules inside the margin band
+— failing a user threshold but above ``margin *`` that threshold — with
+their exact counts, and records promotion/demotion traffic so the
+ablation benchmark (E8) can quantify its effect.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.core.rules import AssociationRule, RuleKey
+from repro.core.stats import Thresholds
+
+
+@dataclass
+class CandidateStoreStats:
+    """Traffic counters for observability and the E8 ablation."""
+
+    promotions: int = 0
+    demotions: int = 0
+    evictions: int = 0
+    refreshes: int = 0
+
+
+@dataclass
+class CandidateRuleStore:
+    """Keyed near-miss rules with exact counts."""
+
+    enabled: bool = True
+    _rules: dict[RuleKey, AssociationRule] = field(default_factory=dict)
+    stats: CandidateStoreStats = field(default_factory=CandidateStoreStats)
+
+    def refresh(self, near_misses: Iterable[AssociationRule],
+                promoted_keys: Iterable[RuleKey],
+                demoted: Iterable[AssociationRule]) -> None:
+        """Reconcile the store after a derivation pass.
+
+        ``near_misses`` is the full current near-miss set; ``promoted_keys``
+        are rules that left the band upward (now valid) and ``demoted``
+        rules that fell out of the valid set into the band.
+        """
+        if not self.enabled:
+            self._rules.clear()
+            return
+        previous = self._rules
+        self._rules = {}
+        for rule in near_misses:
+            self._rules[rule.key] = rule
+            if rule.key in previous:
+                self.stats.refreshes += 1
+        for key in promoted_keys:
+            if key in previous:
+                self.stats.promotions += 1
+        for rule in demoted:
+            if rule.key in self._rules:
+                self.stats.demotions += 1
+        self.stats.evictions += sum(1 for key in previous
+                                    if key not in self._rules)
+
+    def get(self, key: RuleKey) -> AssociationRule | None:
+        return self._rules.get(key)
+
+    def __iter__(self) -> Iterator[AssociationRule]:
+        return iter(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, key: RuleKey) -> bool:
+        return key in self._rules
+
+    def closest_to_valid(self, thresholds: Thresholds,
+                         limit: int = 10) -> list[AssociationRule]:
+        """Near-miss rules ranked by how close they are to promotion.
+
+        Exposed by the CLI so curators can see which correlations are
+        about to become rules as annotations accumulate.
+        """
+        def gap(rule: AssociationRule) -> float:
+            support_gap = max(0.0, thresholds.min_support - rule.support)
+            confidence_gap = max(0.0,
+                                 thresholds.min_confidence - rule.confidence)
+            return support_gap + confidence_gap
+
+        return sorted(self._rules.values(), key=gap)[:limit]

@@ -1,0 +1,72 @@
+"""Deriving annotation-RHS rules from the frequent-pattern table.
+
+Rule derivation is deliberately separated from counting: all the cost of
+mining and of incremental maintenance lives in keeping the pattern table
+exact, after which the rules of Definitions 4.2 / 4.3 are a cheap pure
+function of the table.  The same function therefore serves the initial
+mining pass, every incremental update, and the from-scratch baseline —
+guaranteeing that rule-level thresholds are applied identically
+everywhere (the paper's equivalence results hinge on this).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import MaintenanceError
+from repro.core.pattern_table import FrequentPatternTable
+from repro.core.rules import AssociationRule, RuleKind, RuleSet
+from repro.core.stats import Thresholds
+from repro.mining.itemsets import ItemVocabulary, Itemset
+
+
+def iter_rule_shapes(itemset: Itemset,
+                     vocabulary: ItemVocabulary
+                     ) -> Iterator[tuple[RuleKind, Itemset, int]]:
+    """The (kind, LHS, RHS) rule shapes an itemset can produce.
+
+    A single-annotation mixed pattern yields exactly one D2A shape (the
+    annotation is forced to the RHS).  An annotation-only pattern of
+    size k yields k A2A shapes, one per choice of RHS.
+    """
+    if len(itemset) < 2:
+        return
+    annotations = [item for item in itemset
+                   if vocabulary.is_annotation_like(item)]
+    if len(annotations) == 1:
+        rhs = annotations[0]
+        lhs = tuple(item for item in itemset if item != rhs)
+        yield (RuleKind.DATA_TO_ANNOTATION, lhs, rhs)
+    elif len(annotations) == len(itemset):
+        for rhs in itemset:
+            lhs = tuple(item for item in itemset if item != rhs)
+            yield (RuleKind.ANNOTATION_TO_ANNOTATION, lhs, rhs)
+
+
+def derive_rules(table: FrequentPatternTable,
+                 thresholds: Thresholds,
+                 db_size: int) -> tuple[RuleSet, list[AssociationRule]]:
+    """(valid rules, near-miss candidate rules) from the current table.
+
+    Every LHS count is read from the table — downward closure guarantees
+    it is present for any stored union pattern.
+    """
+    valid = RuleSet()
+    near_misses: list[AssociationRule] = []
+    vocabulary = table._vocabulary  # same package; table owns the vocab
+    for itemset, union_count in table.entries():
+        for kind, lhs, rhs in iter_rule_shapes(itemset, vocabulary):
+            lhs_count = table.count(lhs)
+            if lhs_count is None:
+                raise MaintenanceError(
+                    f"pattern table lost closure: {lhs} missing while "
+                    f"{itemset} is stored")
+            rule = AssociationRule(
+                kind=kind, lhs=lhs, rhs=rhs,
+                union_count=union_count, lhs_count=lhs_count,
+                db_size=db_size)
+            if thresholds.is_valid(rule):
+                valid.add(rule)
+            elif thresholds.is_near_miss(rule):
+                near_misses.append(rule)
+    return valid, near_misses

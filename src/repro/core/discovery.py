@@ -1,0 +1,108 @@
+"""Discovering new correlations after updates — the paper's Figure 13.
+
+After a δ batch of annotations, the only itemsets whose counts changed
+contain at least one added annotation (or generalization label), and the
+database size is unchanged — so every itemset that newly crosses the
+table floor contains a δ item.  :func:`discover_with_seeds` therefore
+runs one seeded vertical search per distinct δ item: the annotation
+frequency table gates the search ("the annotation must be a frequent
+annotation by itself"), and all counting happens inside the seed's
+tidset ("checking only the data tuples in the database having [the]
+annotation") — never a full database scan.
+
+:func:`complete_table` is the level-wise completion used after tuple
+deletion, where a *shrinking* database can promote patterns whose counts
+never changed; candidates are generated Apriori-style from the stored
+levels and counted by index intersection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.annotation_index import VerticalIndex
+from repro.core.pattern_table import FrequentPatternTable
+from repro.errors import MaintenanceError
+from repro.mining.apriori import generate_candidates
+from repro.mining.constraints import CandidateConstraint
+from repro.mining.eclat import mine_containing
+from repro.mining.itemsets import Itemset
+from repro.mining.tables import level_partition
+
+
+def discover_with_seeds(table: FrequentPatternTable,
+                        index: VerticalIndex,
+                        seeds: Iterable[int],
+                        *,
+                        min_count: int,
+                        constraint: CandidateConstraint,
+                        max_length: int | None = None,
+                        validate: bool = False) -> list[Itemset]:
+    """Add to ``table`` every admitted itemset containing a seed item
+    whose exact count is at least ``min_count``.
+
+    Returns the newly added itemsets.  With ``validate=True``, itemsets
+    the seeded search finds that are *already* stored must carry the
+    same count the table holds — a strong cross-check that the Figure-12
+    refresh and the Figure-13 search agree.
+    """
+    added: list[Itemset] = []
+    for seed in sorted(set(seeds)):
+        # Annotation frequency gate (Fig. 13 step 1): an infrequent
+        # annotation cannot head any frequent pattern.
+        if index.frequency(seed) < min_count:
+            continue
+        mined = mine_containing(index.as_mapping(), seed,
+                                min_count=min_count,
+                                constraint=constraint,
+                                max_length=max_length)
+        for itemset, count in mined.items():
+            stored = table.count(itemset)
+            if stored is None:
+                table.set_count(itemset, count)
+                added.append(itemset)
+            elif validate and stored != count:
+                raise MaintenanceError(
+                    f"maintenance drift on {itemset}: table says {stored}, "
+                    f"index says {count}")
+    return added
+
+
+def complete_table(table: FrequentPatternTable,
+                   index: VerticalIndex,
+                   *,
+                   floor: int,
+                   constraint: CandidateConstraint,
+                   max_length: int | None = None) -> list[Itemset]:
+    """Add every admitted itemset with count >= ``floor`` missing from
+    ``table`` (used when the database shrinks and thresholds loosen).
+
+    Level-wise: any missing frequent itemset has all its admitted
+    subsets frequent, so once level k-1 is complete, Apriori candidate
+    generation over the stored level k-1 reaches it.  Counting is a
+    tidset intersection per candidate — no database scan.
+    """
+    added: list[Itemset] = []
+    for item in index.items():
+        frequency = index.frequency(item)
+        if frequency >= floor and constraint.admits_item(item) \
+                and (item,) not in table:
+            table.set_count((item,), frequency)
+            added.append((item,))
+
+    levels = level_partition(table.counts)
+    length = 2
+    while levels.get(length - 1) and (max_length is None
+                                      or length <= max_length):
+        fresh: set[Itemset] = set()
+        for candidate in generate_candidates(levels[length - 1]):
+            if candidate in table or not constraint.admits(candidate):
+                continue
+            count = index.count(candidate)
+            if count >= floor:
+                table.set_count(candidate, count)
+                added.append(candidate)
+                fresh.add(candidate)
+        levels.setdefault(length, set()).update(fresh)
+        length += 1
+    return added

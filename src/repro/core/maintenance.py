@@ -1,0 +1,106 @@
+"""Updating existing correlations — the paper's Figure 12.
+
+The defining property of Case 3 maintenance is its access pattern: only
+the *newly annotated* tuples are read.  A pattern's count increases by
+exactly the number of δ tuples where the pattern (a) is contained in the
+tuple's post-update item set and (b) includes at least one of the items
+added by the batch — condition (b) is what certifies the pattern was not
+already satisfied before the update, because the added items were absent
+by construction.
+
+The same walk with ``delta=-1`` over the *pre-update* item set handles
+annotation removal (future-work extension), and with no required-items
+filter it handles whole-tuple deletion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.pattern_table import FrequentPatternTable
+from repro.core.rules import AssociationRule, RuleKey
+from repro.mining.itemsets import Itemset, Transaction
+from repro.mining.tables import increment_counts
+
+
+@dataclass(frozen=True, slots=True)
+class TupleDelta:
+    """One tuple touched by a δ batch.
+
+    ``after`` is the tuple's item set once the whole batch is applied;
+    ``changed_items`` the annotation/label items the batch added to (or,
+    for removals, removed from) this tuple.
+    """
+
+    tid: int
+    after: Transaction
+    changed_items: frozenset[int]
+
+
+@dataclass
+class MaintenanceReport:
+    """What one update event did — returned by ``manager.apply``."""
+
+    event: str
+    db_size: int
+    duration_seconds: float = 0.0
+    patterns_touched: int = 0
+    patterns_added: list[Itemset] = field(default_factory=list)
+    patterns_pruned: list[Itemset] = field(default_factory=list)
+    rules_added: list[AssociationRule] = field(default_factory=list)
+    rules_dropped: list[RuleKey] = field(default_factory=list)
+    rules_updated: int = 0
+    table_size: int = 0
+    candidate_count: int = 0
+    tuples_scanned: int = 0
+
+    def summary(self) -> str:
+        return (f"{self.event}: db={self.db_size} "
+                f"rules +{len(self.rules_added)}/-{len(self.rules_dropped)} "
+                f"(~{self.rules_updated} updated), "
+                f"patterns +{len(self.patterns_added)}"
+                f"/-{len(self.patterns_pruned)} "
+                f"({self.patterns_touched} refreshed), "
+                f"{self.duration_seconds * 1000:.2f} ms")
+
+
+def refresh_for_added_items(table: FrequentPatternTable,
+                            deltas: Sequence[TupleDelta]) -> int:
+    """Figure 12: bump counts of stored patterns newly satisfied by δ.
+
+    Touches only the δ tuples.  A stored pattern gains one occurrence
+    per δ tuple that contains it *and* where it includes a changed item
+    (so it cannot have been satisfied before the batch).
+    Returns the number of (pattern, tuple) increments performed.
+    """
+    touched = 0
+    for delta in deltas:
+        touched += increment_counts(table.counts, delta.after,
+                                    required_items=delta.changed_items)
+    return touched
+
+
+def decay_for_removed_items(table: FrequentPatternTable,
+                            deltas: Sequence[TupleDelta]) -> int:
+    """Inverse walk for annotation removal.
+
+    ``delta.after`` must hold the tuple's item set *before* the removal
+    (the last state in which the patterns were satisfied) and
+    ``changed_items`` the removed items.
+    """
+    touched = 0
+    for delta in deltas:
+        touched += increment_counts(table.counts, delta.after,
+                                    required_items=delta.changed_items,
+                                    delta=-1)
+    return touched
+
+
+def decay_for_deleted_tuples(table: FrequentPatternTable,
+                             old_transactions: Sequence[Transaction]) -> int:
+    """Remove a deleted tuple's contribution from every stored pattern."""
+    touched = 0
+    for transaction in old_transactions:
+        touched += increment_counts(table.counts, transaction, delta=-1)
+    return touched

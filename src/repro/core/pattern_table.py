@@ -1,0 +1,129 @@
+"""The maintained frequent-pattern table.
+
+Figure 13 of the paper reads frequent data patterns and frequent
+annotation patterns out of maintained state instead of re-mining them.
+This table is that state: every constraint-admitted itemset whose
+support is at least ``margin * min_support``, with its **exact** count.
+It is downward closed, which the subset walks and the level-wise
+completions rely on; :meth:`FrequentPatternTable.check_invariants`
+verifies closure in tests and in the manager's validation mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator
+
+from repro.errors import MaintenanceError
+from repro.mining.itemsets import ItemVocabulary, Itemset, Transaction
+from repro.mining.tables import check_downward_closure, iter_table_subsets
+
+
+class PatternClass(enum.Enum):
+    """Which rule family a table pattern serves."""
+
+    DATA_ONLY = "data-only"              # D2A confidence denominators
+    SINGLE_ANNOTATION = "one-annotation"  # D2A rule bodies (LHS ∪ {a})
+    ANNOTATION_ONLY = "annotation-only"   # A2A bodies and denominators
+    IRRELEVANT = "irrelevant"             # never stored (constraint)
+
+
+def classify(itemset: Itemset, vocabulary: ItemVocabulary) -> PatternClass:
+    annotations = vocabulary.count_annotation_like(itemset)
+    if annotations == 0:
+        return PatternClass.DATA_ONLY
+    if annotations == len(itemset):
+        return PatternClass.ANNOTATION_ONLY
+    if annotations == 1:
+        return PatternClass.SINGLE_ANNOTATION
+    return PatternClass.IRRELEVANT
+
+
+class FrequentPatternTable:
+    """Itemset -> exact count with classification and closure checking."""
+
+    def __init__(self, vocabulary: ItemVocabulary) -> None:
+        self._vocabulary = vocabulary
+        self.counts: dict[Itemset, int] = {}
+
+    # -- reading -------------------------------------------------------------
+
+    def count(self, itemset: Itemset) -> int | None:
+        return self.counts.get(itemset)
+
+    def __contains__(self, itemset: Itemset) -> bool:
+        return itemset in self.counts
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(self.counts)
+
+    def classify(self, itemset: Itemset) -> PatternClass:
+        return classify(itemset, self._vocabulary)
+
+    def entries(self) -> Iterator[tuple[Itemset, int]]:
+        return iter(self.counts.items())
+
+    def subsets_in(self, transaction: Transaction, *,
+                   required_items: frozenset[int] | None = None
+                   ) -> Iterator[Itemset]:
+        """Table patterns contained in ``transaction`` (closure walk)."""
+        return iter_table_subsets(self.counts, transaction,
+                                  required_items=required_items)
+
+    def frequent_subpatterns(self, transaction: Transaction,
+                             pattern_class: PatternClass) -> list[Itemset]:
+        """E.g. "the data value patterns that are already frequent" inside
+        a newly annotated tuple (paper Fig. 13, step 1)."""
+        return [itemset for itemset in self.subsets_in(transaction)
+                if self.classify(itemset) is pattern_class]
+
+    # -- mutation ------------------------------------------------------------
+
+    def replace(self, counts: dict[Itemset, int]) -> None:
+        """Install a freshly mined table (initial ``mine()``)."""
+        self.counts = dict(counts)
+
+    def set_count(self, itemset: Itemset, count: int) -> None:
+        if count < 0:
+            raise MaintenanceError(
+                f"negative count {count} for pattern {itemset}")
+        self.counts[itemset] = count
+
+    def prune_below(self, floor: int) -> list[Itemset]:
+        """Drop entries with count < floor; returns them (sorted).
+
+        The floor is the same for every level, and counts are monotone
+        under subsets, so pruning preserves downward closure.
+        """
+        doomed = sorted(itemset for itemset, count in self.counts.items()
+                        if count < floor)
+        for itemset in doomed:
+            del self.counts[itemset]
+        return doomed
+
+    # -- verification ----------------------------------------------------------
+
+    def check_invariants(self, *, floor: int | None = None) -> None:
+        """Raise MaintenanceError when closure or the floor is violated."""
+        problems = check_downward_closure(self.counts)
+        if floor is not None:
+            problems += [f"{itemset} count {count} below floor {floor}"
+                         for itemset, count in self.counts.items()
+                         if count < floor]
+        for itemset in self.counts:
+            if self.classify(itemset) is PatternClass.IRRELEVANT:
+                problems.append(f"{itemset} is constraint-irrelevant")
+        if problems:
+            raise MaintenanceError(
+                "pattern table invariants violated: " + "; ".join(problems[:5]))
+
+    def stats(self) -> dict[str, int]:
+        """Per-class entry counts (observability for reports and CLI)."""
+        out = {pattern_class.value: 0 for pattern_class in PatternClass}
+        for itemset in self.counts:
+            out[self.classify(itemset).value] += 1
+        out["total"] = len(self.counts)
+        return out

@@ -1,0 +1,183 @@
+"""Rule statistic trajectories across update events — paper Figure 11.
+
+The paper's Figure 11 tabulates the *effect of evolving data on support
+(S) and confidence (C)*: which direction each statistic can move, per
+update case and rule family.  This module makes that observable on a
+live manager: a :class:`TimelineRecorder` snapshots every rule after
+every event, yielding per-rule trajectories (birth, death, statistic
+series) and the empirical direction matrix the benchmark E9 compares
+against the paper's table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.events import UpdateEvent
+from repro.core.maintenance import MaintenanceReport
+from repro.core.manager import AnnotationRuleManager
+from repro.core.rules import RuleKey, RuleKind
+from repro.errors import MaintenanceError
+
+
+class Direction(enum.Enum):
+    """How a statistic moved over one event."""
+
+    UP = "up"
+    DOWN = "down"
+    FLAT = "flat"
+
+    @classmethod
+    def of(cls, before: float, after: float,
+           tolerance: float = 1e-12) -> "Direction":
+        if after > before + tolerance:
+            return cls.UP
+        if after < before - tolerance:
+            return cls.DOWN
+        return cls.FLAT
+
+
+@dataclass(frozen=True, slots=True)
+class TimelinePoint:
+    """One rule's statistics right after one event."""
+
+    event_index: int
+    event_name: str
+    support: float
+    confidence: float
+    union_count: int
+    lhs_count: int
+    db_size: int
+
+
+@dataclass
+class RuleTrajectory:
+    """Lifecycle of one rule key across the recorded events."""
+
+    key: RuleKey
+    points: list[TimelinePoint] = field(default_factory=list)
+    born_at: int | None = None
+    died_at: int | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.died_at is None
+
+    def statistic_series(self, statistic: str) -> list[float]:
+        if statistic not in ("support", "confidence"):
+            raise MaintenanceError(
+                f"unknown statistic {statistic!r}; use 'support' or "
+                f"'confidence'")
+        return [getattr(point, statistic) for point in self.points]
+
+
+class TimelineRecorder:
+    """Wraps a mined manager; snapshots rules around each event."""
+
+    def __init__(self, manager: AnnotationRuleManager) -> None:
+        if not manager.is_mined:
+            raise MaintenanceError(
+                "TimelineRecorder needs an already-mined manager")
+        self.manager = manager
+        self.trajectories: dict[RuleKey, RuleTrajectory] = {}
+        self.event_names: list[str] = []
+        self._snapshot(event_name="mine")
+
+    # -- recording -------------------------------------------------------------
+
+    def apply(self, event: UpdateEvent) -> MaintenanceReport:
+        """Apply an event through the manager and record the outcome."""
+        report = self.manager.apply(event)
+        self._snapshot(event_name=report.event)
+        return report
+
+    def _snapshot(self, event_name: str) -> None:
+        event_index = len(self.event_names)
+        self.event_names.append(event_name)
+        seen: set[RuleKey] = set()
+        for rule in self.manager.rules:
+            seen.add(rule.key)
+            trajectory = self.trajectories.get(rule.key)
+            if trajectory is None:
+                trajectory = RuleTrajectory(key=rule.key,
+                                            born_at=event_index)
+                self.trajectories[rule.key] = trajectory
+            elif not trajectory.alive:
+                # Re-promoted after a death: record the resurrection.
+                trajectory.died_at = None
+            trajectory.points.append(TimelinePoint(
+                event_index=event_index,
+                event_name=event_name,
+                support=rule.support,
+                confidence=rule.confidence,
+                union_count=rule.union_count,
+                lhs_count=rule.lhs_count,
+                db_size=rule.db_size,
+            ))
+        for key, trajectory in self.trajectories.items():
+            if key not in seen and trajectory.alive:
+                trajectory.died_at = event_index
+
+    # -- queries ----------------------------------------------------------------
+
+    def trajectory(self, key: RuleKey) -> RuleTrajectory:
+        try:
+            return self.trajectories[key]
+        except KeyError:
+            raise MaintenanceError(f"no trajectory for rule {key}") from None
+
+    def living_rules(self) -> list[RuleTrajectory]:
+        return [trajectory for trajectory in self.trajectories.values()
+                if trajectory.alive]
+
+    def dead_rules(self) -> list[RuleTrajectory]:
+        return [trajectory for trajectory in self.trajectories.values()
+                if not trajectory.alive]
+
+    # -- the Figure 11 matrix ------------------------------------------------------
+
+    def direction_matrix(self) -> dict[tuple[str, RuleKind, str],
+                                       set[Direction]]:
+        """Observed movement directions per (event, rule kind, statistic).
+
+        Keys are ``(event_name, kind, "support" | "confidence")``; the
+        value is the set of directions that statistic was observed to
+        take over that event type — the empirical form of the paper's
+        Figure 11 table.
+        """
+        matrix: dict[tuple[str, RuleKind, str], set[Direction]] = {}
+        for trajectory in self.trajectories.values():
+            kind = trajectory.key[0]
+            for previous, current in zip(trajectory.points,
+                                         trajectory.points[1:]):
+                if current.event_index != previous.event_index + 1:
+                    continue  # rule was absent in between
+                event_name = current.event_name
+                for statistic in ("support", "confidence"):
+                    direction = Direction.of(
+                        getattr(previous, statistic),
+                        getattr(current, statistic))
+                    matrix.setdefault((event_name, kind, statistic),
+                                      set()).add(direction)
+        return matrix
+
+    def render_matrix(self) -> str:
+        """Figure 11 as text: one row per (event, kind), S and C cells."""
+        matrix = self.direction_matrix()
+        rows = [f"{'event':<24} {'rule kind':<26} {'S':<12} {'C':<12}"]
+        keys = sorted({(event, kind) for event, kind, _ in matrix},
+                      key=lambda pair: (pair[0], pair[1].value))
+        for event_name, kind in keys:
+            def cell(statistic: str) -> str:
+                directions = matrix.get((event_name, kind, statistic),
+                                        set())
+                symbols = {Direction.UP: "+", Direction.DOWN: "-",
+                           Direction.FLAT: "="}
+                return "".join(symbols[direction]
+                               for direction in sorted(
+                                   directions, key=lambda d: d.value))
+
+            rows.append(f"{event_name:<24} {kind.value:<26} "
+                        f"{cell('support'):<12} {cell('confidence'):<12}")
+        return "\n".join(rows)

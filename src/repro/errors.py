@@ -1,0 +1,74 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an application boundary.  Subclasses are
+organized by subsystem (vocabulary, relation, mining, formats, app) and
+carry enough context in their messages to be actionable without a
+debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class VocabularyError(ReproError):
+    """An item was used with a vocabulary that does not know it."""
+
+
+class ItemKindError(ReproError):
+    """An item of the wrong kind was used (e.g. data value as a rule RHS)."""
+
+
+class SchemaError(ReproError):
+    """A tuple does not match the relation schema."""
+
+
+class UnknownTupleError(ReproError):
+    """A tuple id does not exist in the relation."""
+
+
+class UnknownAnnotationError(ReproError):
+    """An annotation id does not exist in the relation's registry."""
+
+
+class DuplicateAnnotationError(ReproError):
+    """An annotation id was registered twice with conflicting content."""
+
+
+class InvalidThresholdError(ReproError):
+    """A support/confidence threshold is outside ``(0, 1]``."""
+
+
+class MiningError(ReproError):
+    """A mining routine was invoked with inconsistent arguments."""
+
+
+class MaintenanceError(ReproError):
+    """Incremental maintenance detected an inconsistent internal state."""
+
+
+class FormatError(ReproError):
+    """A paper file format could not be parsed."""
+
+    def __init__(self, message: str, *, line_number: int | None = None,
+                 line: str | None = None) -> None:
+        location = "" if line_number is None else f" (line {line_number})"
+        shown = "" if line is None else f": {line!r}"
+        super().__init__(f"{message}{location}{shown}")
+        self.line_number = line_number
+        self.line = line
+
+
+class GeneralizationError(ReproError):
+    """A generalization rule or hierarchy is malformed."""
+
+
+class RecommendationError(ReproError):
+    """The exploitation layer was used inconsistently."""
+
+
+class SessionError(ReproError):
+    """The application session was driven through an invalid transition."""

@@ -1,0 +1,1 @@
+"""Annotation generalization and multi-level hierarchies (section 4.1)."""

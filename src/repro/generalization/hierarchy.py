@@ -1,0 +1,98 @@
+"""Multi-level concept hierarchies over generalization labels.
+
+Section 2.2 of the paper recalls Han & Fu's multi-level association
+rules: given a domain generalization hierarchy, "some rules may hold at
+the higher level(s) of the hierarchy which may not be true for the
+lower more-detailed levels".  The hierarchy here is a DAG of labels
+(networkx underneath); when the engine assigns a label it also assigns
+every ancestor, so one mining pass discovers rules at all levels
+simultaneously.  Per-level thresholds (coarser levels usually warrant
+higher support) are supported through :meth:`ConceptHierarchy.level_of`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+from repro.errors import GeneralizationError
+
+
+class ConceptHierarchy:
+    """A DAG of labels; edges point child -> parent (more general)."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    def add_label(self, label: str) -> None:
+        if not label:
+            raise GeneralizationError("hierarchy labels must be non-empty")
+        self._graph.add_node(label)
+
+    def add_edge(self, child: str, parent: str) -> None:
+        """Declare ``parent`` a generalization of ``child``."""
+        if child == parent:
+            raise GeneralizationError(
+                f"label {child!r} cannot generalize itself")
+        self._graph.add_edge(child, parent)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(child, parent)
+            raise GeneralizationError(
+                f"edge {child!r} -> {parent!r} would create a cycle")
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[str, str]]) -> "ConceptHierarchy":
+        hierarchy = cls()
+        for child, parent in edges:
+            hierarchy.add_edge(child, parent)
+        return hierarchy
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._graph
+
+    def labels(self) -> frozenset[str]:
+        return frozenset(self._graph.nodes)
+
+    def ancestors(self, label: str) -> frozenset[str]:
+        """Every more-general label reachable from ``label``."""
+        if label not in self._graph:
+            return frozenset()
+        return frozenset(nx.descendants(self._graph, label))
+
+    def closure(self, labels: Iterable[str]) -> frozenset[str]:
+        """The labels plus all their ancestors — what a tuple receives."""
+        out: set[str] = set()
+        for label in labels:
+            out.add(label)
+            out |= self.ancestors(label)
+        return frozenset(out)
+
+    def roots(self) -> frozenset[str]:
+        """Most general labels (no outgoing generalization edge)."""
+        return frozenset(node for node in self._graph
+                         if self._graph.out_degree(node) == 0)
+
+    def level_of(self, label: str) -> int:
+        """Distance to the farthest root (0 == most general).
+
+        Coarse levels get small numbers so that per-level minimum
+        supports can decrease with detail, as in Han & Fu.
+        """
+        if label not in self._graph:
+            raise GeneralizationError(f"label {label!r} not in hierarchy")
+        ancestors = self.ancestors(label)
+        if not ancestors:
+            return 0
+        return 1 + max(self.level_of(parent)
+                       for parent in self._graph.successors(label))
+
+    def support_for_level(self, base_support: float, label: str,
+                          decay: float = 0.5) -> float:
+        """Han & Fu style per-level threshold: deeper labels get lower
+        minimum support (``base * decay ** level``), floored at 1e-6."""
+        if not 0.0 < decay <= 1.0:
+            raise GeneralizationError(f"decay must be in (0, 1], got {decay}")
+        return max(1e-6, base_support * (decay ** self.level_of(label)))

@@ -1,0 +1,154 @@
+"""Generalization rules: raw annotations -> generalized labels.
+
+The paper's Figure 9 file maps annotations to labels two ways — by
+explicit annotation id ("every transaction that contains Annot_1 or
+Annot_5 will have the Annot_X label applied") and by concept keywords
+("annotations containing the words 'Invalid', 'wrong', or 'incorrect'
+can all be generalized to the category of Invalidation").  Matchers
+below cover both, plus regex and category matching as natural
+extensions of the keyword form.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import GeneralizationError
+from repro.generalization.text import tokenize
+from repro.relation.annotation import Annotation
+
+
+class Matcher(ABC):
+    """Decides whether a generalization rule applies to an annotation."""
+
+    @abstractmethod
+    def matches(self, annotation: Annotation) -> bool:
+        """True when the annotation generalizes under this matcher."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Round-trippable source form (Figure 9 grammar)."""
+
+
+@dataclass(frozen=True)
+class IdMatcher(Matcher):
+    """Matches annotations by exact id (``Annot_1 | Annot_5``)."""
+
+    annotation_ids: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.annotation_ids:
+            raise GeneralizationError("IdMatcher needs at least one id")
+
+    def matches(self, annotation: Annotation) -> bool:
+        return annotation.annotation_id in self.annotation_ids
+
+    def describe(self) -> str:
+        return " | ".join(sorted(self.annotation_ids))
+
+
+@dataclass(frozen=True)
+class KeywordMatcher(Matcher):
+    """Matches annotations whose text contains any of the keywords."""
+
+    keywords: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.keywords:
+            raise GeneralizationError("KeywordMatcher needs a keyword")
+        lowered = frozenset(keyword.lower() for keyword in self.keywords)
+        object.__setattr__(self, "keywords", lowered)
+
+    def matches(self, annotation: Annotation) -> bool:
+        tokens = set(tokenize(annotation.text))
+        return bool(tokens & self.keywords)
+
+    def describe(self) -> str:
+        quoted = " ".join(f'"{keyword}"' for keyword in sorted(self.keywords))
+        return f"text has {quoted}"
+
+
+@dataclass(frozen=True)
+class RegexMatcher(Matcher):
+    """Matches annotations whose text matches a regular expression."""
+
+    pattern: str
+
+    def __post_init__(self) -> None:
+        try:
+            re.compile(self.pattern)
+        except re.error as exc:
+            raise GeneralizationError(
+                f"bad generalization regex {self.pattern!r}: {exc}") from exc
+
+    def matches(self, annotation: Annotation) -> bool:
+        return re.search(self.pattern, annotation.text,
+                         flags=re.IGNORECASE) is not None
+
+    def describe(self) -> str:
+        return f'text ~ "{self.pattern}"'
+
+
+@dataclass(frozen=True)
+class CategoryMatcher(Matcher):
+    """Matches annotations carrying a given category tag."""
+
+    category: str
+
+    def __post_init__(self) -> None:
+        if not self.category:
+            raise GeneralizationError("CategoryMatcher needs a category")
+
+    def matches(self, annotation: Annotation) -> bool:
+        return annotation.category == self.category
+
+    def describe(self) -> str:
+        return f"category = {self.category}"
+
+
+@dataclass(frozen=True)
+class GeneralizationRule:
+    """``label <= matcher`` — one line of the Figure 9 file."""
+
+    label: str
+    matcher: Matcher
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise GeneralizationError("a generalization rule needs a label")
+
+    def applies_to(self, annotation: Annotation) -> bool:
+        return self.matcher.matches(annotation)
+
+    def describe(self) -> str:
+        return f"{self.label} <= {self.matcher.describe()}"
+
+
+class GeneralizationRuleSet:
+    """Ordered collection of generalization rules.
+
+    A label is applied to a tuple at most once no matter how many of its
+    annotations map to it — the paper's explicit at-most-once guarantee.
+    """
+
+    def __init__(self, rules: Iterable[GeneralizationRule] = ()) -> None:
+        self._rules: list[GeneralizationRule] = list(rules)
+
+    def add(self, rule: GeneralizationRule) -> None:
+        self._rules.append(rule)
+
+    def labels_for_annotation(self, annotation: Annotation) -> frozenset[str]:
+        return frozenset(rule.label for rule in self._rules
+                         if rule.applies_to(annotation))
+
+    def labels(self) -> frozenset[str]:
+        return frozenset(rule.label for rule in self._rules)
+
+    def __iter__(self) -> Iterator[GeneralizationRule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)

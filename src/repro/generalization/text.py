@@ -1,0 +1,28 @@
+"""Text normalization for keyword-based generalization matching.
+
+Annotations "can take multiple formats" (paper section 4.1): the same
+conceptual annotation may carry different free text per record.  Keyword
+matchers compare case-folded word tokens, so "This value is INVALID!"
+and "invalid measurement" both generalize to the same label.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD = re.compile(r"[a-z0-9]+(?:[''][a-z0-9]+)?")
+
+
+def normalize(text: str) -> str:
+    """Case-fold and collapse whitespace."""
+    return " ".join(text.lower().split())
+
+
+def tokenize(text: str) -> tuple[str, ...]:
+    """Lowercase word tokens of ``text`` (punctuation stripped)."""
+    return tuple(_WORD.findall(text.lower()))
+
+
+def contains_word(text: str, word: str) -> bool:
+    """True when ``word`` occurs as a whole token inside ``text``."""
+    return word.lower() in tokenize(text)

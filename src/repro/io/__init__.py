@@ -1,0 +1,1 @@
+"""Readers/writers for the paper's file formats (Figures 4, 7, 9, 14)."""

@@ -1,0 +1,98 @@
+"""The dataset file format of the paper's Figure 4.
+
+One tuple per line: whitespace-separated opaque tokens, where data
+values are plain ids and annotations are recognized by a configurable
+prefix (``Annot_`` in the paper)::
+
+    28 85 17 Annot_4 Annot_5
+    28 85 3
+    41 12 17 Annot_1
+
+Data values keep their order (they are positional attributes);
+annotations are a set.  Blank lines and ``#`` comments are skipped.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable, Iterator
+
+from repro.errors import FormatError
+from repro.relation.relation import AnnotatedRelation
+
+DEFAULT_ANNOTATION_PREFIX = "Annot_"
+
+#: ``(data_values, annotation_ids)`` as parsed from one dataset line.
+ParsedRow = tuple[tuple[str, ...], tuple[str, ...]]
+
+
+def parse_line(line: str, *,
+               annotation_prefix: str = DEFAULT_ANNOTATION_PREFIX,
+               line_number: int | None = None) -> ParsedRow:
+    """Split one dataset line into data values and annotation ids."""
+    tokens = line.split()
+    values = tuple(token for token in tokens
+                   if not token.startswith(annotation_prefix))
+    annotations = tuple(token for token in tokens
+                        if token.startswith(annotation_prefix))
+    if not values:
+        raise FormatError("dataset line has no data values",
+                          line_number=line_number, line=line)
+    return values, annotations
+
+
+def iter_rows(lines: Iterable[str], *,
+              annotation_prefix: str = DEFAULT_ANNOTATION_PREFIX
+              ) -> Iterator[ParsedRow]:
+    """Parse an iterable of dataset lines, skipping blanks and comments."""
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield parse_line(line, annotation_prefix=annotation_prefix,
+                         line_number=line_number)
+
+
+def read_dataset(source: str | os.PathLike | io.TextIOBase |
+                 Iterable[str], *,
+                 annotation_prefix: str = DEFAULT_ANNOTATION_PREFIX,
+                 relation: AnnotatedRelation | None = None
+                 ) -> AnnotatedRelation:
+    """Load a Figure 4 dataset file into an annotated relation.
+
+    ``source`` may be a path, an open text stream, or an iterable of
+    lines.  Rows may have varying arity (the format is schema-less).
+    """
+    relation = relation if relation is not None else AnnotatedRelation()
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, encoding="utf-8") as handle:
+            for values, annotations in iter_rows(
+                    handle, annotation_prefix=annotation_prefix):
+                relation.insert(values, annotations)
+        return relation
+    for values, annotations in iter_rows(
+            source, annotation_prefix=annotation_prefix):
+        relation.insert(values, annotations)
+    return relation
+
+
+def format_row(values: Iterable[str], annotations: Iterable[str]) -> str:
+    """One dataset line: values in order, then sorted annotations."""
+    parts = [str(value) for value in values]
+    parts += sorted(str(annotation) for annotation in annotations)
+    return " ".join(parts)
+
+
+def write_dataset(relation: AnnotatedRelation,
+                  destination: str | os.PathLike | io.TextIOBase) -> int:
+    """Write all live tuples; returns the number of lines written."""
+    lines = [format_row(row.values, row.annotation_ids)
+             for row in relation]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(destination, (str, os.PathLike)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)
+    return len(lines)

@@ -1,0 +1,100 @@
+"""The association-rules output file of the paper's Figure 7.
+
+One rule per line, LHS tokens, an arrow, the RHS annotation, then
+confidence and support (the paper's example reads "the presence of IDs
+28 and 85 indicate the presence of Annot_1 with a confidence of 0.9659
+and a support value of 0.4194")::
+
+    28 85 ==> Annot_1, 0.9659, 0.4194
+
+Writing is lossy by design (floats are rounded to four digits, exactly
+as the paper's output shows); :func:`parse_rules` reads the textual
+form back for round-trip and diffing tools.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.core.rules import AssociationRule, RuleSet
+from repro.errors import FormatError
+from repro.mining.itemsets import ItemVocabulary
+
+_RULE_LINE = re.compile(
+    r"^(?P<lhs>.+?)\s*==>\s*(?P<rhs>\S+)\s*,\s*"
+    r"(?P<confidence>[0-9.]+)\s*,\s*(?P<support>[0-9.]+)\s*$")
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedRule:
+    """The textual form of one output rule."""
+
+    lhs_tokens: tuple[str, ...]
+    rhs_token: str
+    confidence: float
+    support: float
+
+
+def format_rule(rule: AssociationRule, vocabulary: ItemVocabulary) -> str:
+    """Figure 7 line for one rule."""
+    return rule.render(vocabulary)
+
+
+def write_rules(rules: RuleSet | Iterable[AssociationRule],
+                vocabulary: ItemVocabulary,
+                destination: str | os.PathLike | io.TextIOBase) -> int:
+    """Write rules in deterministic order; returns lines written."""
+    if isinstance(rules, RuleSet):
+        ordered = rules.sorted_rules()
+    else:
+        ordered = sorted(rules, key=lambda rule: (rule.kind.value,
+                                                  rule.lhs, rule.rhs))
+    lines = [format_rule(rule, vocabulary) for rule in ordered]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(destination, (str, os.PathLike)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)
+    return len(lines)
+
+
+def parse_rule_line(line: str, *,
+                    line_number: int | None = None) -> ParsedRule:
+    match = _RULE_LINE.match(line.strip())
+    if match is None:
+        raise FormatError("unparseable rule line",
+                          line_number=line_number, line=line)
+    lhs_tokens = tuple(sorted(match.group("lhs").split()))
+    try:
+        confidence = float(match.group("confidence"))
+        support = float(match.group("support"))
+    except ValueError as exc:  # pragma: no cover - regex keeps digits only
+        raise FormatError(f"bad rule statistics: {exc}",
+                          line_number=line_number, line=line) from exc
+    for name, value in (("confidence", confidence), ("support", support)):
+        if not 0.0 <= value <= 1.0:
+            raise FormatError(f"{name} {value} outside [0, 1]",
+                              line_number=line_number, line=line)
+    return ParsedRule(lhs_tokens=lhs_tokens,
+                      rhs_token=match.group("rhs"),
+                      confidence=confidence,
+                      support=support)
+
+
+def parse_rules(source: str | os.PathLike | io.TextIOBase | Iterable[str]
+                ) -> Iterator[ParsedRule]:
+    """Parse a Figure 7 rules file (path, stream, or lines)."""
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, encoding="utf-8") as handle:
+            yield from parse_rules(handle)
+        return
+    for line_number, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield parse_rule_line(line, line_number=line_number)

@@ -1,0 +1,80 @@
+"""The annotation-update batch file of the paper's Figure 14.
+
+One ``tid: annotation`` pair per line — "the number to the left of the
+colon represents which record is to be modified, and the annotation to
+the right of the colon is the new annotation being added"::
+
+    150: Annot_3
+    7: Annot_1
+
+The same format serves the removal extension (``read_removals``).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable, Iterator
+
+from repro.core.events import AddAnnotations, RemoveAnnotations
+from repro.errors import FormatError
+
+
+def _iter_pairs(source: Iterable[str]) -> Iterator[tuple[int, str]]:
+    for line_number, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tid_text, colon, annotation_id = line.partition(":")
+        annotation_id = annotation_id.strip()
+        if not colon or not annotation_id:
+            raise FormatError("update lines are 'tid: annotation'",
+                              line_number=line_number, line=line)
+        try:
+            tid = int(tid_text.strip())
+        except ValueError:
+            raise FormatError(f"bad tuple id {tid_text.strip()!r}",
+                              line_number=line_number, line=line) from None
+        if tid < 0:
+            raise FormatError(f"tuple id must be >= 0, got {tid}",
+                              line_number=line_number, line=line)
+        if " " in annotation_id:
+            raise FormatError("annotation ids cannot contain spaces",
+                              line_number=line_number, line=line)
+        yield tid, annotation_id
+
+
+def read_pairs(source: str | os.PathLike | io.TextIOBase | Iterable[str]
+               ) -> list[tuple[int, str]]:
+    """All ``(tid, annotation_id)`` pairs from a Figure 14 file."""
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, encoding="utf-8") as handle:
+            return list(_iter_pairs(handle))
+    return list(_iter_pairs(source))
+
+
+def read_updates(source: str | os.PathLike | io.TextIOBase | Iterable[str]
+                 ) -> AddAnnotations:
+    """Parse a Figure 14 file into a Case 3 δ batch event."""
+    return AddAnnotations.build(read_pairs(source))
+
+
+def read_removals(source: str | os.PathLike | io.TextIOBase | Iterable[str]
+                  ) -> RemoveAnnotations:
+    """Parse the same format into the removal extension's event."""
+    return RemoveAnnotations.build(read_pairs(source))
+
+
+def write_updates(event: AddAnnotations | RemoveAnnotations,
+                  destination: str | os.PathLike | io.TextIOBase) -> int:
+    """Write an annotation batch back in the Figure 14 format."""
+    pairs = (event.additions if isinstance(event, AddAnnotations)
+             else event.removals)
+    lines = [f"{tid}: {annotation_id}" for tid, annotation_id in pairs]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(destination, (str, os.PathLike)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)
+    return len(lines)

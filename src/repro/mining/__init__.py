@@ -1,0 +1,1 @@
+"""Frequent-itemset mining substrate (Apriori, Eclat, FP-growth, FUP)."""

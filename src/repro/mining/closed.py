@@ -1,0 +1,94 @@
+"""Closed and maximal itemset filters, and rule compression.
+
+Low support thresholds make the paper's Apriori "take magnitudes
+longer" partly because of combinatorial redundancy: if ``{x, y}`` and
+``{x, y, a}`` occur in exactly the same tuples, every subset-rule the
+pair generates is implied by the triple.  These classic filters
+post-process an itemset-count table:
+
+* an itemset is **closed** when no strict superset has the same count;
+* it is **maximal** when no strict superset is frequent at all.
+
+``compress_rules`` uses closure to drop rules whose LHS can be extended
+without changing either statistic — the standard minimal-generator
+presentation, exposed in the CLI so curators read fewer, stronger rules.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.rules import AssociationRule, RuleSet
+from repro.mining.itemsets import Itemset
+from repro.mining.tables import level_partition
+
+
+def closed_itemsets(table: Mapping[Itemset, int]) -> dict[Itemset, int]:
+    """The closed subsets of a (downward-closed) itemset-count table.
+
+    An entry survives when every stored immediate superset has a
+    strictly smaller count.  On a closed table that is equivalent to
+    checking all supersets, because counts are monotone.
+    """
+    levels = level_partition(table)
+    out: dict[Itemset, int] = {}
+    for itemset, count in table.items():
+        supersets = levels.get(len(itemset) + 1, ())
+        itemset_set = set(itemset)
+        is_closed = True
+        for superset in supersets:
+            if itemset_set < set(superset) and table[superset] == count:
+                is_closed = False
+                break
+        if is_closed:
+            out[itemset] = count
+    return out
+
+
+def maximal_itemsets(table: Mapping[Itemset, int]) -> dict[Itemset, int]:
+    """Entries with no frequent strict superset in the table."""
+    levels = level_partition(table)
+    out: dict[Itemset, int] = {}
+    for itemset, count in table.items():
+        supersets = levels.get(len(itemset) + 1, ())
+        itemset_set = set(itemset)
+        if not any(itemset_set < set(superset) for superset in supersets):
+            out[itemset] = count
+    return out
+
+
+def compression_ratio(table: Mapping[Itemset, int]) -> float:
+    """|closed| / |all| — how much redundancy closure removes."""
+    if not table:
+        return 1.0
+    return len(closed_itemsets(table)) / len(table)
+
+
+def compress_rules(rules: RuleSet | Iterable[AssociationRule]
+                   ) -> list[AssociationRule]:
+    """Keep one representative per (RHS, statistics) equivalence class.
+
+    Two rules with the same kind, RHS, confidence-counts and
+    union-counts where one LHS contains the other say the same thing;
+    the shorter LHS (the minimal generator) is kept.  Deterministic:
+    ties break on the canonical LHS ordering.
+    """
+    rules = list(rules)
+    by_class: dict[tuple, list[AssociationRule]] = {}
+    for rule in rules:
+        key = (rule.kind, rule.rhs, rule.union_count, rule.lhs_count)
+        by_class.setdefault(key, []).append(rule)
+
+    kept: list[AssociationRule] = []
+    for bucket in by_class.values():
+        bucket.sort(key=lambda rule: (len(rule.lhs), rule.lhs))
+        representatives: list[AssociationRule] = []
+        for rule in bucket:
+            lhs_set = set(rule.lhs)
+            if any(set(shorter.lhs) <= lhs_set
+                   for shorter in representatives):
+                continue  # implied by an already-kept shorter LHS
+            representatives.append(rule)
+        kept.extend(representatives)
+    kept.sort(key=lambda rule: (rule.kind.value, rule.lhs, rule.rhs))
+    return kept

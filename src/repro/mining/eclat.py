@@ -1,0 +1,146 @@
+"""Vertical (tidset) mining, including the seeded search of Figure 13.
+
+The incremental discovery algorithm of the paper computes the support of
+candidate rules "by checking only the data tuples in the database having
+[the] annotation" — i.e. by walking an inverted index from annotation to
+tuple ids.  :func:`mine_containing` is exactly that operation: it
+enumerates every frequent itemset that *contains a given seed item*,
+intersecting tidsets so that only transactions holding the seed are ever
+touched.  :func:`mine_frequent_itemsets_vertical` is the unrestricted
+Eclat counterpart used for cross-checking the horizontal miners.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.mining.constraints import CandidateConstraint, UnrestrictedConstraint
+from repro.mining.itemsets import Itemset, Transaction
+
+
+def build_vertical_index(transactions: Sequence[Transaction]
+                         ) -> dict[int, set[int]]:
+    """Item id -> set of tids containing it."""
+    index: dict[int, set[int]] = {}
+    for tid, transaction in enumerate(transactions):
+        for item in transaction:
+            index.setdefault(item, set()).add(tid)
+    return index
+
+
+def _dfs(prefix: Itemset,
+         prefix_tids: frozenset[int],
+         extensions: list[tuple[int, frozenset[int]]],
+         min_count: int,
+         constraint: CandidateConstraint,
+         max_length: int | None,
+         out: dict[Itemset, int]) -> None:
+    for position, (item, item_tids) in enumerate(extensions):
+        tids = prefix_tids & item_tids
+        if len(tids) < min_count:
+            continue
+        itemset = tuple(sorted(prefix + (item,)))
+        if not constraint.admits(itemset):
+            # Violations are monotone under supersets: prune the branch.
+            continue
+        out[itemset] = len(tids)
+        if max_length is not None and len(itemset) >= max_length:
+            continue
+        _dfs(itemset, tids, extensions[position + 1:], min_count,
+             constraint, max_length, out)
+
+
+def mine_frequent_itemsets_vertical(transactions: Sequence[Transaction],
+                                    *,
+                                    min_count: int,
+                                    constraint: CandidateConstraint | None = None,
+                                    max_length: int | None = None
+                                    ) -> dict[Itemset, int]:
+    """Eclat over a horizontal database; same contract as the Apriori miner."""
+    constraint = constraint if constraint is not None else UnrestrictedConstraint()
+    projected = [constraint.project(transaction)
+                 for transaction in transactions]
+    index = build_vertical_index(projected)
+    out: dict[Itemset, int] = {}
+    extensions = sorted(
+        (item, frozenset(tids))
+        for item, tids in index.items()
+        if len(tids) >= min_count and constraint.admits_item(item)
+    )
+    for position, (item, tids) in enumerate(extensions):
+        out[(item,)] = len(tids)
+        _dfs((item,), tids, extensions[position + 1:], min_count,
+             constraint, max_length, out)
+    return out
+
+
+def mine_containing(index: Mapping[int, set[int] | frozenset[int]],
+                    seed_item: int,
+                    *,
+                    min_count: int,
+                    constraint: CandidateConstraint | None = None,
+                    candidate_items: Iterable[int] | None = None,
+                    max_length: int | None = None) -> dict[Itemset, int]:
+    """All frequent itemsets that contain ``seed_item``.
+
+    Counts are global (an itemset containing the seed can only occur in
+    transactions that hold the seed), yet the search touches only the
+    seed's tidset — the access pattern the paper's Figure 13 prescribes.
+
+    ``candidate_items`` optionally restricts which other items may join
+    the seed (e.g. only items actually co-occurring with it).
+    """
+    constraint = constraint if constraint is not None else UnrestrictedConstraint()
+    seed_tids = frozenset(index.get(seed_item, frozenset()))
+    if len(seed_tids) < min_count or not constraint.admits_item(seed_item):
+        return {}
+
+    if candidate_items is None:
+        candidate_items = index.keys()
+    extensions = []
+    for item in sorted(set(candidate_items) - {seed_item}):
+        item_tids = seed_tids & index.get(item, frozenset())
+        if len(item_tids) >= min_count:
+            extensions.append((item, frozenset(item_tids)))
+
+    out: dict[Itemset, int] = {(seed_item,): len(seed_tids)}
+    _dfs((seed_item,), seed_tids, extensions, min_count, constraint,
+         max_length, out)
+    return out
+
+
+def count_itemset(index: Mapping[int, set[int] | frozenset[int]],
+                  itemset: Itemset,
+                  *,
+                  universe_size: int | None = None) -> int:
+    """Exact count of ``itemset`` by tidset intersection.
+
+    The empty itemset counts every transaction, hence ``universe_size``
+    is required for it.
+    """
+    if not itemset:
+        if universe_size is None:
+            raise ValueError("universe_size required to count the empty itemset")
+        return universe_size
+    # Intersect starting from the rarest item to keep sets small.
+    tidsets = sorted((index.get(item, frozenset()) for item in itemset),
+                     key=len)
+    result = set(tidsets[0])
+    for tids in tidsets[1:]:
+        result &= tids
+        if not result:
+            return 0
+    return len(result)
+
+
+def tids_of(index: Mapping[int, set[int] | frozenset[int]],
+            itemset: Itemset) -> set[int]:
+    """Tids of transactions containing every item of ``itemset``."""
+    if not itemset:
+        raise ValueError("tids_of requires a non-empty itemset")
+    tidsets = sorted((index.get(item, frozenset()) for item in itemset),
+                     key=len)
+    result = set(tidsets[0])
+    for tids in tidsets[1:]:
+        result &= tids
+    return result

@@ -1,0 +1,148 @@
+"""FP-growth backend, used to cross-validate the Apriori miner.
+
+The paper relies on Apriori; FP-growth is provided as an alternative
+"state-of-the-art technique" (section 4) so the test suite can assert
+that every backend produces identical itemset tables.  Constraints are
+honoured by projecting transactions up front and post-filtering emitted
+patterns — counts are unaffected because a pattern's count never depends
+on other patterns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.mining.constraints import CandidateConstraint, UnrestrictedConstraint
+from repro.mining.itemsets import Itemset, Transaction
+
+
+class _FPNode:
+    __slots__ = ("item", "count", "parent", "children")
+
+    def __init__(self, item: int | None, parent: "_FPNode | None") -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[int, _FPNode] = {}
+
+
+class _FPTree:
+    """Prefix tree over frequency-ordered transactions with header links."""
+
+    def __init__(self) -> None:
+        self.root = _FPNode(None, None)
+        self.header: dict[int, list[_FPNode]] = {}
+
+    def insert(self, items: Sequence[int], count: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _FPNode(item, node)
+                node.children[item] = child
+                self.header.setdefault(item, []).append(child)
+            child.count += count
+            node = child
+
+    def prefix_paths(self, item: int) -> list[tuple[list[int], int]]:
+        """Conditional pattern base for ``item``."""
+        paths = []
+        for node in self.header.get(item, ()):
+            path: list[int] = []
+            parent = node.parent
+            while parent is not None and parent.item is not None:
+                path.append(parent.item)
+                parent = parent.parent
+            if path:
+                path.reverse()
+            paths.append((path, node.count))
+        return paths
+
+    def is_single_path(self) -> list[tuple[int, int]] | None:
+        """If the tree is one chain, return its (item, count) list."""
+        chain: list[tuple[int, int]] = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            node = next(iter(node.children.values()))
+            chain.append((node.item, node.count))
+        return chain
+
+
+def _build_tree(weighted_transactions: list[tuple[Sequence[int], int]],
+                min_count: int) -> tuple[_FPTree, dict[int, int]]:
+    item_counts: Counter[int] = Counter()
+    for items, count in weighted_transactions:
+        for item in items:
+            item_counts[item] += count
+    frequent = {item: count for item, count in item_counts.items()
+                if count >= min_count}
+    order = {item: (-count, item) for item, count in frequent.items()}
+    tree = _FPTree()
+    for items, count in weighted_transactions:
+        kept = sorted((item for item in items if item in frequent),
+                      key=order.__getitem__)
+        if kept:
+            tree.insert(kept, count)
+    return tree, frequent
+
+
+def _mine_tree(tree: _FPTree,
+               frequent: dict[int, int],
+               suffix: Itemset,
+               min_count: int,
+               max_length: int | None,
+               out: dict[Itemset, int]) -> None:
+    chain = tree.is_single_path()
+    if chain is not None:
+        _emit_chain_combinations(chain, suffix, max_length, out)
+        return
+    for item, count in sorted(frequent.items(), key=lambda pair: pair[1]):
+        pattern = tuple(sorted(suffix + (item,)))
+        out[pattern] = count
+        if max_length is not None and len(pattern) >= max_length:
+            continue
+        conditional = tree.prefix_paths(item)
+        subtree, sub_frequent = _build_tree(conditional, min_count)
+        if sub_frequent:
+            _mine_tree(subtree, sub_frequent, pattern, min_count,
+                       max_length, out)
+
+
+def _emit_chain_combinations(chain: list[tuple[int, int]],
+                             suffix: Itemset,
+                             max_length: int | None,
+                             out: dict[Itemset, int]) -> None:
+    """All combinations along a single path, counted by the deepest node."""
+
+    def recurse(start: int, picked: tuple[int, ...], count: int) -> None:
+        if picked:
+            pattern = tuple(sorted(suffix + picked))
+            out[pattern] = count
+        if max_length is not None and len(suffix) + len(picked) >= max_length:
+            return
+        for position in range(start, len(chain)):
+            item, item_count = chain[position]
+            recurse(position + 1, picked + (item,), min(count, item_count)
+                    if picked else item_count)
+
+    recurse(0, (), 0)
+
+
+def mine_frequent_itemsets_fp(transactions: Sequence[Transaction],
+                              *,
+                              min_count: int,
+                              constraint: CandidateConstraint | None = None,
+                              max_length: int | None = None
+                              ) -> dict[Itemset, int]:
+    """FP-growth; same table contract as the Apriori and Eclat miners."""
+    constraint = constraint if constraint is not None else UnrestrictedConstraint()
+    projected = [(tuple(constraint.project(transaction)), 1)
+                 for transaction in transactions]
+    tree, frequent = _build_tree(projected, min_count)
+    out: dict[Itemset, int] = {}
+    _mine_tree(tree, frequent, (), min_count, max_length, out)
+    return {pattern: count for pattern, count in out.items()
+            if constraint.admits(pattern)}

@@ -1,0 +1,121 @@
+"""Hash tree for candidate support counting.
+
+The paper's Apriori "uses breadth-first search and a hash tree structure
+to count candidate item sets" (its Figure 3).  This module implements the
+classic structure from Agrawal & Srikant [2]: interior nodes hash the
+item at the current depth into a fixed fanout of children; leaves hold a
+small bucket of candidates.  Counting a transaction walks every branch
+the transaction can reach and checks only the candidates in reached
+leaves, instead of enumerating all ``C(|t|, k)`` sub-patterns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import MiningError
+from repro.mining.itemsets import Itemset, Transaction
+
+
+class _Node:
+    __slots__ = ("children", "bucket")
+
+    def __init__(self) -> None:
+        self.children: dict[int, _Node] | None = None
+        self.bucket: list[int] | None = []  # candidate indexes
+
+
+class HashTree:
+    """Counts occurrences of fixed-length candidates inside transactions."""
+
+    def __init__(self, candidates: Sequence[Itemset], *,
+                 fanout: int = 8, max_leaf_size: int = 16) -> None:
+        if fanout < 2:
+            raise MiningError(f"hash tree fanout must be >= 2, got {fanout}")
+        if max_leaf_size < 1:
+            raise MiningError(
+                f"hash tree leaf size must be >= 1, got {max_leaf_size}")
+        lengths = {len(candidate) for candidate in candidates}
+        if len(lengths) > 1:
+            raise MiningError(
+                f"hash tree candidates must share one length, got {sorted(lengths)}")
+        self._candidates: list[Itemset] = list(candidates)
+        self._length = lengths.pop() if lengths else 0
+        if self._length == 0 and self._candidates:
+            raise MiningError("hash tree candidates must be non-empty itemsets")
+        self._fanout = fanout
+        self._max_leaf_size = max_leaf_size
+        self.counts: list[int] = [0] * len(self._candidates)
+        self._root = _Node()
+        for index in range(len(self._candidates)):
+            self._insert(index)
+
+    # -- construction ------------------------------------------------------
+
+    def _insert(self, index: int) -> None:
+        node = self._root
+        depth = 0
+        while node.children is not None:
+            item = self._candidates[index][depth]
+            node = node.children.setdefault(item % self._fanout, _Node())
+            depth += 1
+        assert node.bucket is not None
+        node.bucket.append(index)
+        if len(node.bucket) > self._max_leaf_size and depth < self._length:
+            self._split(node, depth)
+
+    def _split(self, node: _Node, depth: int) -> None:
+        bucket, node.bucket = node.bucket, None
+        node.children = {}
+        assert bucket is not None
+        for index in bucket:
+            item = self._candidates[index][depth]
+            child = node.children.setdefault(item % self._fanout, _Node())
+            assert child.bucket is not None
+            child.bucket.append(index)
+        for child in node.children.values():
+            assert child.bucket is not None
+            if len(child.bucket) > self._max_leaf_size and depth + 1 < self._length:
+                self._split(child, depth + 1)
+
+    # -- counting ----------------------------------------------------------
+
+    def count_transaction(self, transaction: Transaction) -> None:
+        """Add 1 to every candidate contained in ``transaction``."""
+        if self._length == 0 or len(transaction) < self._length:
+            return
+        items = sorted(transaction)
+        self._walk(self._root, items, 0, transaction)
+
+    def _walk(self, node: _Node, items: list[int], start: int,
+              transaction: Transaction) -> None:
+        if node.bucket is not None:
+            for index in node.bucket:
+                candidate = self._candidates[index]
+                if all(item in transaction for item in candidate):
+                    self.counts[index] += 1
+            return
+        assert node.children is not None
+        # Remaining depth bounds how few items we may leave unconsumed.
+        seen_buckets: set[int] = set()
+        for position in range(start, len(items)):
+            bucket_key = items[position] % self._fanout
+            if bucket_key in seen_buckets:
+                continue
+            seen_buckets.add(bucket_key)
+            child = node.children.get(bucket_key)
+            if child is not None:
+                self._walk(child, items, position + 1, transaction)
+
+    def count_all(self, transactions: Iterable[Transaction]) -> dict[Itemset, int]:
+        """Count every transaction and return the candidate -> count map."""
+        for transaction in transactions:
+            self.count_transaction(transaction)
+        return self.result()
+
+    def result(self) -> dict[Itemset, int]:
+        return {candidate: count
+                for candidate, count in zip(self._candidates, self.counts)}
+
+    def __len__(self) -> int:
+        return len(self._candidates)

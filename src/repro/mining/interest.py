@@ -1,0 +1,134 @@
+"""Rule interestingness measures beyond support and confidence.
+
+The paper ranks and filters rules purely by the two classic statistics.
+Curators triaging recommendation queues usually want more
+discriminating measures; this module implements the standard set over
+the exact counts every :class:`~repro.core.rules.AssociationRule`
+carries, plus the RHS count, which the caller supplies from the
+annotation frequency table (a rule alone cannot know how often its RHS
+occurs *without* its LHS).
+
+All measures are pure functions of four integers: ``n`` (database
+size), ``n_lhs``, ``n_rhs``, and ``n_both``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.rules import AssociationRule
+from repro.errors import MiningError
+
+
+@dataclass(frozen=True, slots=True)
+class RuleCounts:
+    """The contingency counts every measure is computed from."""
+
+    n: int
+    n_lhs: int
+    n_rhs: int
+    n_both: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise MiningError(f"n must be >= 0, got {self.n}")
+        if not 0 <= self.n_both <= min(self.n_lhs, self.n_rhs):
+            raise MiningError(
+                f"n_both={self.n_both} must be within "
+                f"[0, min(n_lhs={self.n_lhs}, n_rhs={self.n_rhs})]")
+        if max(self.n_lhs, self.n_rhs) > self.n:
+            raise MiningError("marginals cannot exceed n")
+
+    @classmethod
+    def from_rule(cls, rule: AssociationRule, rhs_count: int
+                  ) -> "RuleCounts":
+        return cls(n=rule.db_size, n_lhs=rule.lhs_count,
+                   n_rhs=rhs_count, n_both=rule.union_count)
+
+    # -- base probabilities --------------------------------------------------
+
+    @property
+    def p_lhs(self) -> float:
+        return self.n_lhs / self.n if self.n else 0.0
+
+    @property
+    def p_rhs(self) -> float:
+        return self.n_rhs / self.n if self.n else 0.0
+
+    @property
+    def p_both(self) -> float:
+        return self.n_both / self.n if self.n else 0.0
+
+    @property
+    def confidence(self) -> float:
+        return self.n_both / self.n_lhs if self.n_lhs else 0.0
+
+
+def lift(counts: RuleCounts) -> float:
+    """P(LHS ∧ RHS) / (P(LHS)·P(RHS)); 1.0 == independence."""
+    denominator = counts.p_lhs * counts.p_rhs
+    return counts.p_both / denominator if denominator else 0.0
+
+
+def leverage(counts: RuleCounts) -> float:
+    """P(LHS ∧ RHS) − P(LHS)·P(RHS); 0.0 == independence."""
+    return counts.p_both - counts.p_lhs * counts.p_rhs
+
+
+def conviction(counts: RuleCounts) -> float:
+    """P(LHS)·P(¬RHS) / P(LHS ∧ ¬RHS); ∞ for exceptionless rules."""
+    violations = counts.confidence
+    if violations >= 1.0:
+        return math.inf
+    return (1.0 - counts.p_rhs) / (1.0 - violations) \
+        if (1.0 - violations) else math.inf
+
+
+def jaccard(counts: RuleCounts) -> float:
+    """|LHS ∧ RHS| / |LHS ∨ RHS| — co-occurrence overlap."""
+    union = counts.n_lhs + counts.n_rhs - counts.n_both
+    return counts.n_both / union if union else 0.0
+
+
+def kulczynski(counts: RuleCounts) -> float:
+    """Mean of the two conditional probabilities (null-invariant)."""
+    forward = counts.n_both / counts.n_lhs if counts.n_lhs else 0.0
+    backward = counts.n_both / counts.n_rhs if counts.n_rhs else 0.0
+    return (forward + backward) / 2.0
+
+
+def imbalance_ratio(counts: RuleCounts) -> float:
+    """|P(LHS) − P(RHS)| / P(LHS ∨ RHS) — skew of the two sides."""
+    union = counts.n_lhs + counts.n_rhs - counts.n_both
+    if union == 0:
+        return 0.0
+    return abs(counts.n_lhs - counts.n_rhs) / union
+
+
+#: Name -> function registry for the ranking layer and the CLI.
+MEASURES = {
+    "lift": lift,
+    "leverage": leverage,
+    "conviction": conviction,
+    "jaccard": jaccard,
+    "kulczynski": kulczynski,
+    "imbalance": imbalance_ratio,
+}
+
+
+def evaluate(rule: AssociationRule, rhs_count: int,
+             measures: tuple[str, ...] = ("lift", "leverage", "conviction")
+             ) -> dict[str, float]:
+    """Named measures for one rule (``rhs_count`` from the frequency
+    table)."""
+    counts = RuleCounts.from_rule(rule, rhs_count)
+    out: dict[str, float] = {}
+    for name in measures:
+        try:
+            out[name] = MEASURES[name](counts)
+        except KeyError:
+            raise MiningError(
+                f"unknown interestingness measure {name!r}; "
+                f"choose from {sorted(MEASURES)}") from None
+    return out

@@ -1,0 +1,98 @@
+"""Helpers for itemset-count tables.
+
+A *table* is a plain ``dict`` mapping canonical itemsets to exact integer
+counts.  Tables produced by the miners in this package are *downward
+closed* under the active candidate constraint: every admitted subset of a
+stored itemset is stored too (with a count at least as large).  That
+closure is what makes the subset walks below complete, and it is checked
+by :func:`check_downward_closure` in tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Set
+
+from repro.mining.itemsets import Itemset, Transaction
+
+
+def iter_table_subsets(table: Mapping[Itemset, int] | Set,
+                       transaction: Transaction,
+                       *,
+                       required_items: frozenset[int] | None = None
+                       ) -> Iterator[Itemset]:
+    """Yield every table itemset contained in ``transaction``.
+
+    Relies on downward closure: an itemset can only be in the table when
+    its prefix (all but the largest item) is too, so a depth-first walk
+    that extends only itemsets already found is exhaustive.
+
+    When ``required_items`` is given, only itemsets containing at least
+    one of those items are yielded (used to touch only patterns affected
+    by a batch of newly added annotations) — the walk itself still visits
+    unrequired prefixes, as required supersets may extend them.
+    """
+    items = sorted(transaction)
+
+    def walk(prefix: Itemset, start: int, satisfied: bool) -> Iterator[Itemset]:
+        if satisfied:
+            yield prefix
+        for position in range(start, len(items)):
+            item = items[position]
+            candidate = prefix + (item,)
+            if candidate in table:
+                hit = satisfied or required_items is None \
+                    or item in required_items
+                yield from walk(candidate, position + 1, hit)
+
+    for position, item in enumerate(items):
+        if (item,) in table:
+            satisfied = required_items is None or item in required_items
+            yield from walk((item,), position + 1, satisfied)
+
+
+def increment_counts(table: dict[Itemset, int],
+                     transaction: Transaction,
+                     *,
+                     required_items: frozenset[int] | None = None,
+                     delta: int = 1) -> int:
+    """Add ``delta`` to every table itemset contained in ``transaction``.
+
+    Returns the number of table entries touched.
+    """
+    touched = 0
+    for itemset in iter_table_subsets(table, transaction,
+                                      required_items=required_items):
+        table[itemset] += delta
+        touched += 1
+    return touched
+
+
+def level_partition(table: Mapping[Itemset, int]) -> dict[int, set[Itemset]]:
+    """Group table itemsets by length (level)."""
+    levels: dict[int, set[Itemset]] = {}
+    for itemset in table:
+        levels.setdefault(len(itemset), set()).add(itemset)
+    return levels
+
+
+def check_downward_closure(table: Mapping[Itemset, int],
+                           admits=lambda itemset: True) -> list[str]:
+    """Return closure violations (empty list == closed); test helper.
+
+    Checks both containment (admitted subsets present) and monotonicity
+    (subset counts are no smaller than superset counts).
+    """
+    problems: list[str] = []
+    for itemset, count in table.items():
+        if len(itemset) == 1:
+            continue
+        for drop in range(len(itemset)):
+            subset = itemset[:drop] + itemset[drop + 1:]
+            if not admits(subset):
+                continue
+            if subset not in table:
+                problems.append(f"{subset} missing but {itemset} present")
+            elif table[subset] < count:
+                problems.append(
+                    f"count({subset})={table[subset]} < count({itemset})={count}")
+    return problems

@@ -1,0 +1,1 @@
+"""Annotated relational storage substrate (Definition 4.1)."""

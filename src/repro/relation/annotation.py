@@ -1,0 +1,107 @@
+"""Annotation value objects and the per-database annotation registry.
+
+An annotation in the paper is an opaque id (``Annot_4``) optionally
+carrying free text ("this value is invalid"), a category, an author and a
+timestamp — the metadata kinds listed in the paper's introduction
+(versioning timestamps, related articles, corrections, exchanged user
+knowledge).  Only the id participates in mining; the text is consumed by
+the generalization engine (section 4.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import DuplicateAnnotationError, UnknownAnnotationError
+
+
+@dataclass(frozen=True, slots=True)
+class Annotation:
+    """An immutable annotation record."""
+
+    annotation_id: str
+    text: str = ""
+    category: str = ""
+    author: str = ""
+    created: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.annotation_id or not isinstance(self.annotation_id, str):
+            raise UnknownAnnotationError(
+                f"annotation id must be a non-empty string, "
+                f"got {self.annotation_id!r}")
+
+    def with_text(self, text: str) -> "Annotation":
+        return Annotation(self.annotation_id, text, self.category,
+                          self.author, self.created)
+
+
+class AnnotationRegistry:
+    """Id -> :class:`Annotation` map with conflict detection.
+
+    Dataset files mention annotations by bare id; richer records may be
+    registered later.  Registering the *same* content twice is a no-op;
+    registering *conflicting* content for one id raises, because silently
+    replacing curator-entered metadata would corrupt provenance.
+    """
+
+    def __init__(self) -> None:
+        self._by_id: dict[str, Annotation] = {}
+
+    def register(self, annotation: Annotation) -> Annotation:
+        existing = self._by_id.get(annotation.annotation_id)
+        if existing is None:
+            self._by_id[annotation.annotation_id] = annotation
+            return annotation
+        if existing == annotation:
+            return existing
+        if existing == Annotation(annotation.annotation_id):
+            # A bare id seen in a dataset file, now enriched.
+            self._by_id[annotation.annotation_id] = annotation
+            return annotation
+        if annotation == Annotation(annotation.annotation_id):
+            return existing
+        raise DuplicateAnnotationError(
+            f"annotation {annotation.annotation_id!r} already registered "
+            f"with different content")
+
+    def ensure(self, annotation_id: str) -> Annotation:
+        """Register a bare annotation for ``annotation_id`` if unseen."""
+        existing = self._by_id.get(annotation_id)
+        if existing is not None:
+            return existing
+        return self.register(Annotation(annotation_id))
+
+    def get(self, annotation_id: str) -> Annotation:
+        try:
+            return self._by_id[annotation_id]
+        except KeyError:
+            raise UnknownAnnotationError(
+                f"unknown annotation id {annotation_id!r}") from None
+
+    def __contains__(self, annotation_id: str) -> bool:
+        return annotation_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Annotation]:
+        return iter(self._by_id.values())
+
+
+@dataclass(frozen=True, slots=True)
+class AnnotationStats:
+    """Simple registry statistics used by the CLI's status display."""
+
+    total: int
+    with_text: int
+    categories: tuple[str, ...] = field(default=())
+
+
+def registry_stats(registry: AnnotationRegistry) -> AnnotationStats:
+    categories = sorted({annotation.category for annotation in registry
+                         if annotation.category})
+    with_text = sum(1 for annotation in registry if annotation.text)
+    return AnnotationStats(total=len(registry), with_text=with_text,
+                           categories=tuple(categories))

@@ -1,0 +1,232 @@
+"""The annotated relation: Definition 4.1 as a storage engine.
+
+``R = { r = <x1 … xn, a1, a2, …> }`` — tuples of data values with a
+variable number of attached annotations.  The relation is tid-addressed
+and append-only for data (updates arrive as the paper's three cases:
+annotated tuples, un-annotated tuples, new annotations on existing
+tuples), plus the future-work extensions (annotation detachment, tuple
+deletion) implemented behind the same API.
+
+Deletion uses tombstones so tids remain stable; every consumer that
+cares about database size must use :attr:`AnnotatedRelation.live_count`,
+never the tid range.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError, UnknownTupleError
+from repro.relation.annotation import Annotation, AnnotationRegistry
+from repro.relation.schema import Schema, opaque_token
+from repro.relation.triggers import TriggerRegistry
+from repro.relation.tuples import AnchorScope, AnnotatedTuple, AnnotationAnchor
+
+
+class AnnotatedRelation:
+    """In-memory annotated relation with trigger support."""
+
+    def __init__(self, schema: Schema | None = None, *,
+                 name: str = "R") -> None:
+        self.name = name
+        self.schema = schema
+        self.registry = AnnotationRegistry()
+        self.triggers = TriggerRegistry()
+        self._tuples: list[AnnotatedTuple] = []
+        self._column_annotations: dict[int, set[str]] = {}
+        self._live = 0
+        #: Monotone counter bumped by every mutation; the incremental
+        #: manager records it to detect out-of-band modifications.
+        self.version = 0
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of live tuples (the |DB| of support computations)."""
+        return self._live
+
+    @property
+    def live_count(self) -> int:
+        return self._live
+
+    @property
+    def tid_range(self) -> int:
+        """Upper bound on tids (includes tombstoned tuples)."""
+        return len(self._tuples)
+
+    def tuple(self, tid: int) -> AnnotatedTuple:
+        row = self._row(tid)
+        if not row.alive:
+            raise UnknownTupleError(f"tuple {tid} has been deleted")
+        return row
+
+    def _row(self, tid: int) -> AnnotatedTuple:
+        if not isinstance(tid, int) or not 0 <= tid < len(self._tuples):
+            raise UnknownTupleError(f"unknown tuple id {tid!r}")
+        return self._tuples[tid]
+
+    def __iter__(self) -> Iterator[AnnotatedTuple]:
+        return (row for row in self._tuples if row.alive)
+
+    def tids(self) -> Iterator[int]:
+        return (row.tid for row in self._tuples if row.alive)
+
+    def is_live(self, tid: int) -> bool:
+        return 0 <= tid < len(self._tuples) and self._tuples[tid].alive
+
+    def data_tokens(self, tid: int) -> tuple[str, ...]:
+        """The item tokens of a tuple's data values."""
+        row = self.tuple(tid)
+        if self.schema is None:
+            return tuple(opaque_token(value) for value in row.values)
+        return tuple(self.schema.data_token(position, value)
+                     for position, value in enumerate(row.values))
+
+    def column_annotations(self, column: int) -> frozenset[str]:
+        """Annotations anchored to a whole column (relation-level)."""
+        return frozenset(self._column_annotations.get(column, ()))
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, values: Sequence[str],
+               annotations: Iterable[str] = ()) -> int:
+        """Append a tuple; returns its tid.  Fires ``on_insert``."""
+        self.triggers.guard()
+        if self.schema is not None:
+            row_values = self.schema.validate_row(values)
+        else:
+            if not values:
+                raise SchemaError("a tuple needs at least one data value")
+            row_values = tuple(str(value) for value in values)
+        tid = len(self._tuples)
+        row = AnnotatedTuple(tid=tid, values=row_values)
+        for annotation_id in annotations:
+            self.registry.ensure(annotation_id)
+            row.attach(annotation_id)
+        self._tuples.append(row)
+        self._live += 1
+        self.version += 1
+        self.triggers.fire_insert(tid, row_values, row.annotation_ids)
+        return tid
+
+    def insert_many(self, rows: Iterable[tuple[Sequence[str], Iterable[str]]]
+                    ) -> list[int]:
+        """Insert ``(values, annotations)`` pairs; returns their tids."""
+        return [self.insert(values, annotations)
+                for values, annotations in rows]
+
+    def annotate(self, tid: int, annotation: str | Annotation,
+                 anchor: AnnotationAnchor | None = None) -> bool:
+        """Attach an annotation to a live tuple; False if already present.
+
+        Fires ``on_annotate`` only when the attachment is new, so
+        downstream maintenance counts each (tuple, annotation) pair once.
+        """
+        self.triggers.guard()
+        row = self.tuple(tid)
+        if isinstance(annotation, Annotation):
+            self.registry.register(annotation)
+            annotation_id = annotation.annotation_id
+        else:
+            self.registry.ensure(annotation)
+            annotation_id = annotation
+        anchor = anchor or AnnotationAnchor.row()
+        if anchor.scope is AnchorScope.COLUMN:
+            raise SchemaError(
+                "column anchors attach to the relation; use annotate_column")
+        if anchor.column is not None and (
+                not 0 <= anchor.column < len(row.values)):
+            raise SchemaError(
+                f"cell anchor column {anchor.column} outside tuple arity "
+                f"{len(row.values)}")
+        attached = row.attach(annotation_id, anchor)
+        if attached:
+            self.version += 1
+            self.triggers.fire_annotate(tid, annotation_id)
+        return attached
+
+    def annotate_column(self, column: int,
+                        annotation: str | Annotation) -> bool:
+        """Attach an annotation to a whole column (relation-level)."""
+        self.triggers.guard()
+        arity = self.schema.arity if self.schema is not None else None
+        if column < 0 or (arity is not None and column >= arity):
+            raise SchemaError(f"column {column} outside schema")
+        if isinstance(annotation, Annotation):
+            self.registry.register(annotation)
+            annotation_id = annotation.annotation_id
+        else:
+            self.registry.ensure(annotation)
+            annotation_id = annotation
+        bucket = self._column_annotations.setdefault(column, set())
+        if annotation_id in bucket:
+            return False
+        bucket.add(annotation_id)
+        self.version += 1
+        return True
+
+    def detach(self, tid: int, annotation_id: str) -> bool:
+        """Remove an annotation from a tuple (future-work extension)."""
+        self.triggers.guard()
+        row = self.tuple(tid)
+        detached = row.detach(annotation_id)
+        if detached:
+            self.version += 1
+            self.triggers.fire_detach(tid, annotation_id)
+        return detached
+
+    def delete(self, tid: int) -> None:
+        """Tombstone a tuple (future-work extension)."""
+        self.triggers.guard()
+        row = self.tuple(tid)
+        row.alive = False
+        self._live -= 1
+        self.version += 1
+        self.triggers.fire_delete(tid)
+
+    # -- labels (generalization, section 4.1) ------------------------------
+
+    def set_labels(self, tid: int, labels: Iterable[str]) -> None:
+        """Replace the generalization labels of a tuple (no-op safe)."""
+        row = self.tuple(tid)
+        new_labels = set(labels)
+        if new_labels != row.labels:
+            row.labels = new_labels
+            self.version += 1
+
+    def add_labels(self, tid: int, labels: Iterable[str]) -> frozenset[str]:
+        """Add labels to a tuple; returns those that were actually new."""
+        row = self.tuple(tid)
+        new = frozenset(labels) - row.labels
+        if new:
+            row.labels |= new
+            self.version += 1
+        return new
+
+    # -- copying -------------------------------------------------------------
+
+    def copy(self) -> "AnnotatedRelation":
+        """Deep copy of data, annotations and labels (not triggers).
+
+        Used by the re-mine baseline so that verification never mutates
+        the relation an incremental manager is tracking.
+        """
+        clone = AnnotatedRelation(self.schema, name=self.name)
+        for annotation in self.registry:
+            clone.registry.register(annotation)
+        for row in self._tuples:
+            copied = AnnotatedTuple(
+                tid=row.tid,
+                values=row.values,
+                annotations=dict(row.annotations),
+                labels=set(row.labels),
+                alive=row.alive,
+            )
+            clone._tuples.append(copied)
+        clone._live = self._live
+        clone._column_annotations = {
+            column: set(ids)
+            for column, ids in self._column_annotations.items()
+        }
+        clone.version = 0
+        return clone

@@ -1,0 +1,103 @@
+"""Relation schemas.
+
+The paper's reference dataset uses opaque value ids with no attribute
+names ("knowledge of the true values was never necessary"), so schemas
+are optional throughout the library: an :class:`AnnotatedRelation` built
+without a schema treats each value as an opaque token.  When a schema is
+present, data items are qualified as ``attribute=value`` so that equal
+values in different columns stay distinct items.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A named, positioned column."""
+
+    name: str
+    position: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.position < 0:
+            raise SchemaError(
+                f"attribute position must be >= 0, got {self.position}")
+
+
+class Schema:
+    """An ordered list of uniquely named attributes."""
+
+    def __init__(self, names: Sequence[str]) -> None:
+        if not names:
+            raise SchemaError("a schema needs at least one attribute")
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in {list(names)!r}")
+        self._attributes = tuple(Attribute(name, position)
+                                 for position, name in enumerate(names))
+        self._by_name = {attribute.name: attribute
+                         for attribute in self._attributes}
+
+    @classmethod
+    def positional(cls, arity: int, prefix: str = "attr") -> "Schema":
+        """A schema of ``arity`` generated names (``attr0``, ``attr1``…)."""
+        if arity < 1:
+            raise SchemaError(f"arity must be >= 1, got {arity}")
+        return cls([f"{prefix}{position}" for position in range(arity)])
+
+    @property
+    def arity(self) -> int:
+        return len(self._attributes)
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def validate_row(self, values: Sequence[str]) -> tuple[str, ...]:
+        """Check arity and coerce a row to a tuple of strings."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"row has {len(values)} values, schema expects {self.arity}")
+        return tuple(str(value) for value in values)
+
+    def data_token(self, position: int, value: str) -> str:
+        """The item token for ``value`` in column ``position``."""
+        if not 0 <= position < self.arity:
+            raise SchemaError(
+                f"position {position} outside schema of arity {self.arity}")
+        return f"{self._attributes[position].name}={value}"
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return self.arity
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        names = ", ".join(attribute.name for attribute in self._attributes)
+        return f"Schema([{names}])"
+
+
+def opaque_token(value: str) -> str:
+    """The item token for a value in a schema-less relation."""
+    return str(value)

@@ -1,0 +1,70 @@
+"""Encoding annotated relations as transaction databases.
+
+Mining sees each live tuple as the set of its data-value items, raw
+annotation items and generalization-label items.  The encoding keeps
+transaction index == tid (tombstoned tuples encode as empty sets), which
+is what lets the incremental maintenance algorithms speak about "newly
+annotated tuples" by tid.
+
+Column-anchored annotations are *not* folded into row transactions by
+default: a column annotation holds for the attribute, not for any
+specific row, and folding it in would make it co-occur with everything
+(support 1.0) and drown real correlations.  Callers who do want that
+behaviour opt in via ``include_column_annotations=True``.
+"""
+
+from __future__ import annotations
+
+from repro.mining.itemsets import ItemVocabulary, Transaction, TransactionDatabase
+from repro.relation.relation import AnnotatedRelation
+
+
+def encode_tuple(relation: AnnotatedRelation, tid: int,
+                 vocabulary: ItemVocabulary, *,
+                 include_labels: bool = True,
+                 include_column_annotations: bool = False) -> Transaction:
+    """The transaction (set of interned item ids) for one live tuple."""
+    row = relation.tuple(tid)
+    ids = [vocabulary.intern_data(token)
+           for token in relation.data_tokens(tid)]
+    ids += [vocabulary.intern_annotation(annotation_id)
+            for annotation_id in row.annotation_ids]
+    if include_labels:
+        ids += [vocabulary.intern_label(label) for label in row.labels]
+    if include_column_annotations:
+        for column in range(len(row.values)):
+            ids += [vocabulary.intern_annotation(annotation_id)
+                    for annotation_id in relation.column_annotations(column)]
+    return frozenset(ids)
+
+
+def encode_relation(relation: AnnotatedRelation,
+                    vocabulary: ItemVocabulary | None = None, *,
+                    include_labels: bool = True,
+                    include_column_annotations: bool = False
+                    ) -> TransactionDatabase:
+    """Encode every tuple of ``relation``; transaction index == tid.
+
+    Tombstoned tuples become empty transactions so that tid alignment is
+    preserved; they contribute to no pattern count, and |DB| for support
+    purposes must be taken from ``relation.live_count``.
+    """
+    database = TransactionDatabase(vocabulary)
+    for tid in range(relation.tid_range):
+        if relation.is_live(tid):
+            database.add(encode_tuple(
+                relation, tid, database.vocabulary,
+                include_labels=include_labels,
+                include_column_annotations=include_column_annotations))
+        else:
+            database.add(frozenset())
+    return database
+
+
+def annotation_item_ids(relation: AnnotatedRelation,
+                        vocabulary: ItemVocabulary,
+                        tid: int) -> frozenset[int]:
+    """Interned ids of the raw annotations currently on a tuple."""
+    row = relation.tuple(tid)
+    return frozenset(vocabulary.intern_annotation(annotation_id)
+                     for annotation_id in row.annotation_ids)

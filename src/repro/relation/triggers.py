@@ -1,0 +1,71 @@
+"""Trigger registry for annotated relations.
+
+Section 5 of the paper uses database triggers so that "when a patch of
+new tuples is added to the database, the system automatically compares
+these tuples to the association rules".  The standalone reproduction
+fires the equivalent callbacks from the relation's mutation methods.
+
+Trigger callbacks must not mutate the relation re-entrantly; the
+registry guards against that because a trigger inserting tuples would
+fire further triggers and make maintenance ordering undefined.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: ``(tid, values, annotation_ids)`` for a freshly inserted tuple.
+InsertCallback = Callable[[int, tuple[str, ...], frozenset[str]], None]
+#: ``(tid, annotation_id)`` for a freshly attached annotation.
+AnnotateCallback = Callable[[int, str], None]
+#: ``(tid, annotation_id)`` for a detached annotation.
+DetachCallback = Callable[[int, str], None]
+#: ``(tid,)`` for a deleted tuple.
+DeleteCallback = Callable[[int], None]
+
+
+class TriggerReentrancyError(ReproError):
+    """A trigger callback attempted to mutate the relation."""
+
+
+@dataclass
+class TriggerRegistry:
+    """Named lists of callbacks fired after relation mutations."""
+
+    on_insert: list[InsertCallback] = field(default_factory=list)
+    on_annotate: list[AnnotateCallback] = field(default_factory=list)
+    on_detach: list[DetachCallback] = field(default_factory=list)
+    on_delete: list[DeleteCallback] = field(default_factory=list)
+    _firing: bool = field(default=False, repr=False)
+
+    def guard(self) -> None:
+        """Raise when called from inside a trigger callback."""
+        if self._firing:
+            raise TriggerReentrancyError(
+                "relation mutation attempted from inside a trigger callback")
+
+    def fire_insert(self, tid: int, values: tuple[str, ...],
+                    annotation_ids: frozenset[str]) -> None:
+        self._fire(self.on_insert, tid, values, annotation_ids)
+
+    def fire_annotate(self, tid: int, annotation_id: str) -> None:
+        self._fire(self.on_annotate, tid, annotation_id)
+
+    def fire_detach(self, tid: int, annotation_id: str) -> None:
+        self._fire(self.on_detach, tid, annotation_id)
+
+    def fire_delete(self, tid: int) -> None:
+        self._fire(self.on_delete, tid)
+
+    def _fire(self, callbacks: Sequence[Callable], *args) -> None:
+        if not callbacks:
+            return
+        self._firing = True
+        try:
+            for callback in list(callbacks):
+                callback(*args)
+        finally:
+            self._firing = False

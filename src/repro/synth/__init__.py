@@ -1,0 +1,1 @@
+"""Synthetic planted-rule workload generation."""

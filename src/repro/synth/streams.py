@@ -1,0 +1,170 @@
+"""Random update-event streams for soak testing the incremental engine.
+
+A stream interleaves all five event types (the paper's three cases plus
+the removal extensions) with configurable weights, targeting a live
+relation — the "database in production" the paper's incremental
+maintenance is built for.  Streams are seeded and therefore exactly
+replayable, which the soak tests and the E8 ablations rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.core.events import (
+    AddAnnotatedTuples,
+    AddAnnotations,
+    AddUnannotatedTuples,
+    RemoveAnnotations,
+    RemoveTuples,
+    UpdateEvent,
+)
+from repro.errors import MiningError
+from repro.relation.relation import AnnotatedRelation
+from repro.synth.generator import value_token
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Mix and sizing of a random event stream."""
+
+    #: Relative weights of the five event types.
+    weight_add_annotations: float = 4.0
+    weight_insert_annotated: float = 2.0
+    weight_insert_unannotated: float = 2.0
+    weight_remove_annotations: float = 1.0
+    weight_remove_tuples: float = 0.5
+    #: Rows/pairs per event.
+    batch_size: int = 10
+    #: Data shape for inserted tuples.
+    n_columns: int = 4
+    values_per_column: int = 12
+    annotation_pool_size: int = 6
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        weights = (self.weight_add_annotations,
+                   self.weight_insert_annotated,
+                   self.weight_insert_unannotated,
+                   self.weight_remove_annotations,
+                   self.weight_remove_tuples)
+        if any(weight < 0 for weight in weights) or not any(weights):
+            raise MiningError("stream weights must be >= 0, not all zero")
+        if self.batch_size < 1:
+            raise MiningError("batch_size must be >= 1")
+
+
+@dataclass
+class EventStream:
+    """Seeded generator of update events against a live relation.
+
+    The stream inspects the relation *at draw time* so events always
+    reference live tuples — apply each event before drawing the next.
+    """
+
+    relation: AnnotatedRelation
+    config: StreamConfig = field(default_factory=StreamConfig)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.config.seed)
+        self._annotation_pool = [f"Annot_s{index}" for index
+                                 in range(self.config.annotation_pool_size)]
+
+    # -- drawing -------------------------------------------------------------
+
+    def draw(self) -> UpdateEvent:
+        """One event valid against the relation's current state."""
+        kinds = ["add_annotations", "insert_annotated",
+                 "insert_unannotated", "remove_annotations",
+                 "remove_tuples"]
+        weights = [self.config.weight_add_annotations,
+                   self.config.weight_insert_annotated,
+                   self.config.weight_insert_unannotated,
+                   self.config.weight_remove_annotations,
+                   self.config.weight_remove_tuples]
+        # Removals need live targets; inserts always work.
+        live = list(self.relation.tids())
+        for attempt in range(20):
+            kind = self._rng.choices(kinds, weights=weights)[0]
+            event = self._build(kind, live)
+            if event is not None:
+                return event
+        # Degenerate state (e.g. nearly empty relation): insert.
+        return self._insert_unannotated()
+
+    def take(self, count: int, apply=None) -> Iterator[UpdateEvent]:
+        """Yield ``count`` events; ``apply(event)`` runs between draws
+        so each event sees the effect of the previous one."""
+        for _ in range(count):
+            event = self.draw()
+            if apply is not None:
+                apply(event)
+            yield event
+
+    # -- builders ---------------------------------------------------------------
+
+    def _build(self, kind: str, live: list[int]) -> UpdateEvent | None:
+        if kind == "insert_annotated":
+            return self._insert_annotated()
+        if kind == "insert_unannotated":
+            return self._insert_unannotated()
+        if kind == "add_annotations":
+            return self._add_annotations(live)
+        if kind == "remove_annotations":
+            return self._remove_annotations(live)
+        if kind == "remove_tuples":
+            return self._remove_tuples(live)
+        raise MiningError(f"unknown stream event kind {kind!r}")
+
+    def _random_values(self) -> tuple[str, ...]:
+        return tuple(
+            value_token(column,
+                        self._rng.randrange(self.config.values_per_column))
+            for column in range(self.config.n_columns))
+
+    def _insert_annotated(self) -> AddAnnotatedTuples:
+        rows = []
+        for _ in range(self.config.batch_size):
+            annotations = self._rng.sample(
+                self._annotation_pool,
+                self._rng.randint(1, min(3, len(self._annotation_pool))))
+            rows.append((self._random_values(), annotations))
+        return AddAnnotatedTuples.build(rows)
+
+    def _insert_unannotated(self) -> AddUnannotatedTuples:
+        return AddUnannotatedTuples.build(
+            [self._random_values() for _ in range(self.config.batch_size)])
+
+    def _add_annotations(self, live: list[int]) -> AddAnnotations | None:
+        if not live:
+            return None
+        pairs = []
+        for _ in range(self.config.batch_size):
+            tid = self._rng.choice(live)
+            annotation_id = self._rng.choice(self._annotation_pool)
+            if not self.relation.tuple(tid).has_annotation(annotation_id):
+                pairs.append((tid, annotation_id))
+        return AddAnnotations.build(pairs) if pairs else None
+
+    def _remove_annotations(self, live: list[int]
+                            ) -> RemoveAnnotations | None:
+        annotated = [tid for tid in live
+                     if self.relation.tuple(tid).is_annotated]
+        if not annotated:
+            return None
+        pairs = []
+        for _ in range(min(self.config.batch_size, len(annotated))):
+            tid = self._rng.choice(annotated)
+            annotation_id = self._rng.choice(
+                sorted(self.relation.tuple(tid).annotation_ids))
+            pairs.append((tid, annotation_id))
+        return RemoveAnnotations.build(pairs)
+
+    def _remove_tuples(self, live: list[int]) -> RemoveTuples | None:
+        # Never drain the relation below a handful of tuples.
+        if len(live) <= self.config.batch_size + 5:
+            return None
+        victims = self._rng.sample(live, min(3, len(live)))
+        return RemoveTuples.build(victims)

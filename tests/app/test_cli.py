@@ -1,0 +1,183 @@
+"""End-to-end tests for the menu CLI (paper Figure 5 flow)."""
+
+import pytest
+
+from repro.app.cli import CommandLoop, main
+from tests.app.test_session import (  # reuse the fixture corpus
+    ANNOTATED_TUPLES,
+    DATASET,
+    GENERALIZATIONS,
+    UNANNOTATED_TUPLES,
+    UPDATES,
+)
+
+
+@pytest.fixture
+def files(tmp_path):
+    paths = {}
+    for name, content in [
+        ("data.txt", DATASET),
+        ("gen.txt", GENERALIZATIONS),
+        ("updates.txt", UPDATES),
+        ("annotated.txt", ANNOTATED_TUPLES),
+        ("unannotated.txt", UNANNOTATED_TUPLES),
+    ]:
+        path = tmp_path / name
+        path.write_text(content)
+        paths[name] = str(path)
+    return paths
+
+
+def run_cli(files, answers):
+    """Drive the loop with scripted answers; returns printed lines."""
+    answers = iter(answers)
+    output = []
+    loop = CommandLoop(lambda prompt: next(answers, "0"),
+                       output.append)
+    code = loop.run(files["data.txt"])
+    return code, output
+
+
+class TestMenuFlow:
+    def test_mine_d2a_and_exit(self, files):
+        code, output = run_cli(files, ["1", "0.25", "0.6", "0"])
+        text = "\n".join(str(line) for line in output)
+        assert code == 0
+        assert "Loaded 8 tuples" in text
+        assert "data-to-annotation rule(s)" in text
+        assert "==>" in text
+
+    def test_mine_a2a(self, files):
+        code, output = run_cli(files, ["2", "0.25", "0.6", "0"])
+        text = "\n".join(str(line) for line in output)
+        assert "annotation-to-annotation rule(s)" in text
+
+    def test_full_update_cycle(self, files, tmp_path):
+        rules_out = str(tmp_path / "rules_out.txt")
+        code, output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "4", files["updates.txt"],
+            "5", files["annotated.txt"],
+            "6", files["unannotated.txt"],
+            "8", rules_out,
+            "9",
+            "0",
+        ])
+        text = "\n".join(str(line) for line in output)
+        assert code == 0
+        assert "add-annotations" in text
+        assert "add-annotated-tuples" in text
+        assert "add-unannotated-tuples" in text
+        assert "Wrote" in text
+        assert "mined: True" in text
+
+    def test_generalizations_option(self, files):
+        code, output = run_cli(files, [
+            "3", files["gen.txt"],
+            "1", "0.25", "0.6",
+            "0",
+        ])
+        text = "\n".join(str(line) for line in output)
+        assert "generalization rule(s)" in text
+
+    def test_recommendations_option(self, files):
+        code, output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "7", "5",
+            "0",
+        ])
+        text = "\n".join(str(line) for line in output)
+        assert "recommendation" in text.lower()
+
+    def test_errors_are_reported_not_fatal(self, files):
+        code, output = run_cli(files, [
+            "4", "does/not/exist.txt",   # update before mining
+            "1", "not-a-number", "0.6",  # bad threshold
+            "42",                         # unknown option
+            "0",
+        ])
+        text = "\n".join(str(line) for line in output)
+        assert code == 0
+        assert "Error:" in text
+        assert "Unknown option" in text
+
+    def test_exhausted_script_exits_cleanly(self, files):
+        code, _ = run_cli(files, ["1", "0.25", "0.6"])
+        assert code == 0
+
+
+class TestExtendedMenu:
+    def test_compressed_rules_option(self, files):
+        code, output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "10",
+            "0",
+        ])
+        text = "\n".join(str(line) for line in output)
+        assert "data-to-annotation" in text
+
+    def test_candidates_option(self, files):
+        code, output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "11",
+            "0",
+        ])
+        text = "\n".join(str(line) for line in output)
+        assert "candidate rules" in text or "margin band" in text
+
+    def test_options_10_to_12_require_mining(self, files):
+        code, output = run_cli(files, ["10", "11", "12", "0"])
+        text = "\n".join(str(line) for line in output)
+        assert text.count("Error: no rules mined yet") == 3
+
+    def test_explain_rule_option(self, files):
+        code, output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "14", "1",
+            "0",
+        ])
+        text = "\n".join(str(line) for line in output)
+        assert "lift" in text
+        assert "supports tid=" in text
+
+    def test_explain_rule_bad_number(self, files):
+        code, output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "14", "999",
+            "0",
+        ])
+        text = "\n".join(str(line) for line in output)
+        assert "out of range" in text
+
+    def test_save_and_load_snapshot(self, files, tmp_path):
+        state = str(tmp_path / "state.json")
+        code, output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "12", state,
+            "13", state,
+            "9",
+            "0",
+        ])
+        text = "\n".join(str(line) for line in output)
+        assert code == 0
+        assert "Saved session state" in text
+        assert "Restored 8 tuples" in text
+        assert "mined: True" in text
+
+
+class TestMainEntryPoint:
+    def test_main_with_commands_file(self, files, tmp_path, capsys):
+        script = tmp_path / "ops.txt"
+        script.write_text("1\n0.25\n0.6\n0\n")
+        code = main([files["data.txt"], "--commands", str(script)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "==>" in captured.out
+
+    def test_main_missing_dataset_fails_gracefully(self, tmp_path, capsys):
+        script = tmp_path / "ops.txt"
+        script.write_text("0\n")
+        code = main(["/no/such/dataset.txt", "--commands", str(script)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "fatal:" in captured.err

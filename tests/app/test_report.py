@@ -1,0 +1,68 @@
+"""Unit tests for the application text reports."""
+
+from repro.app.report import (
+    candidates_report,
+    history_report,
+    maintenance_report_line,
+    rules_report,
+    table_report,
+)
+from repro.core.maintenance import MaintenanceReport
+
+
+class TestRulesReport:
+    def test_groups_by_kind(self, mined_manager):
+        text = rules_report(mined_manager)
+        assert "data-to-annotation" in text
+        assert "annotation-to-annotation" in text
+        assert "==>" in text
+
+    def test_limit(self, mined_manager):
+        text = rules_report(mined_manager, limit=1)
+        assert text.count("==>") <= 2  # one per kind
+
+    def test_compressed_not_longer(self, mined_manager):
+        full = rules_report(mined_manager)
+        compressed = rules_report(mined_manager, compress=True)
+        assert compressed.count("==>") <= full.count("==>")
+
+
+class TestCandidatesReport:
+    def test_mentions_band_and_gaps(self, mined_manager):
+        text = candidates_report(mined_manager)
+        if len(mined_manager.candidates):
+            assert "margin band" in text
+            assert "needs +" in text
+        else:
+            assert "no candidate rules" in text
+
+    def test_empty_store(self, mined_manager):
+        mined_manager.candidates.refresh([], promoted_keys=[], demoted=[])
+        assert "no candidate rules" in candidates_report(mined_manager)
+
+
+class TestTableReport:
+    def test_counts_and_frequencies(self, mined_manager):
+        text = table_report(mined_manager)
+        assert "pattern table:" in text
+        assert f"database size: {mined_manager.db_size}" in text
+        assert "most frequent annotations:" in text
+
+
+class TestHistory:
+    def test_line_format(self):
+        report = MaintenanceReport(event="add-annotations", db_size=42)
+        line = maintenance_report_line(report)
+        assert "add-annotations" in line
+        assert "db=42" in line
+
+    def test_empty_history(self):
+        assert "no maintenance activity" in history_report([])
+
+    def test_block_has_header_and_rows(self):
+        reports = [MaintenanceReport(event="mine", db_size=10),
+                   MaintenanceReport(event="add-annotations", db_size=10)]
+        text = history_report(reports)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "event" in lines[0]

@@ -1,0 +1,166 @@
+"""Unit tests for the application session."""
+
+import pytest
+
+from repro.app.session import Session
+from repro.core.rules import RuleKind
+from repro.errors import SessionError
+
+DATASET = """\
+1 2 Annot_1
+1 3 Annot_1 Annot_2
+1 2 Annot_1
+4 2
+1 3 Annot_1 Annot_2
+4 3 Annot_2
+1 5 Annot_1
+4 5
+"""
+
+GENERALIZATIONS = """\
+Concept_X <= Annot_1 | Annot_2
+"""
+
+UPDATES = "3: Annot_1\n7: Annot_2\n"
+
+ANNOTATED_TUPLES = "1 2 Annot_1\n9 9 Annot_3\n"
+
+UNANNOTATED_TUPLES = "6 7\n8 9\n"
+
+
+@pytest.fixture
+def files(tmp_path):
+    paths = {}
+    for name, content in [
+        ("data.txt", DATASET),
+        ("gen.txt", GENERALIZATIONS),
+        ("updates.txt", UPDATES),
+        ("annotated.txt", ANNOTATED_TUPLES),
+        ("unannotated.txt", UNANNOTATED_TUPLES),
+    ]:
+        path = tmp_path / name
+        path.write_text(content)
+        paths[name] = path
+    return paths
+
+
+@pytest.fixture
+def session(files):
+    session = Session()
+    session.load_dataset(files["data.txt"])
+    return session
+
+
+class TestTransitions:
+    def test_mine_before_load_rejected(self):
+        with pytest.raises(SessionError):
+            Session().mine(0.3, 0.7)
+
+    def test_updates_before_mine_rejected(self, session, files):
+        with pytest.raises(SessionError):
+            session.add_annotations_from_file(files["updates.txt"])
+
+    def test_load_resets_manager(self, session, files):
+        session.mine(0.3, 0.7)
+        session.load_dataset(files["data.txt"])
+        with pytest.raises(SessionError):
+            session.write_rules("unused.txt")
+
+
+class TestMining:
+    def test_load_and_mine(self, session):
+        report = session.mine(0.25, 0.6)
+        assert report.event == "mine"
+        assert session.rules_of_kind(RuleKind.DATA_TO_ANNOTATION)
+        assert session.rules_of_kind(RuleKind.ANNOTATION_TO_ANNOTATION)
+
+    def test_rules_sorted_by_confidence(self, session):
+        session.mine(0.25, 0.6)
+        rules = session.rules_of_kind(RuleKind.DATA_TO_ANNOTATION)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_remine_with_new_thresholds(self, session):
+        session.mine(0.25, 0.6)
+        loose = len(session.manager.rules)
+        session.mine(0.5, 0.9)
+        strict = len(session.manager.rules)
+        assert strict <= loose
+
+
+class TestUpdates:
+    def test_annotation_updates(self, session, files):
+        session.mine(0.25, 0.6)
+        report = session.add_annotations_from_file(files["updates.txt"])
+        assert report.event == "add-annotations"
+        assert session.manager.relation.tuple(3).has_annotation("Annot_1")
+
+    def test_annotated_tuples(self, session, files):
+        session.mine(0.25, 0.6)
+        report = session.add_annotated_tuples_from_file(
+            files["annotated.txt"])
+        assert report.event == "add-annotated-tuples"
+        assert session.manager.db_size == 10
+
+    def test_unannotated_tuples(self, session, files):
+        session.mine(0.25, 0.6)
+        report = session.add_unannotated_tuples_from_file(
+            files["unannotated.txt"])
+        assert report.event == "add-unannotated-tuples"
+
+    def test_annotated_rows_in_unannotated_file_rejected(self, session,
+                                                         files):
+        session.mine(0.25, 0.6)
+        with pytest.raises(SessionError):
+            session.add_unannotated_tuples_from_file(files["annotated.txt"])
+
+    def test_empty_update_file_rejected(self, session, tmp_path):
+        session.mine(0.25, 0.6)
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# nothing\n")
+        with pytest.raises(SessionError):
+            session.add_annotated_tuples_from_file(empty)
+
+
+class TestGeneralization:
+    def test_load_generalizations_resets_mining(self, session, files):
+        session.mine(0.25, 0.6)
+        count = session.load_generalizations(files["gen.txt"])
+        assert count == 1
+        with pytest.raises(SessionError):
+            session.write_rules("unused.txt")
+        session.mine(0.25, 0.6)
+        tokens = {
+            session.manager.vocabulary.item(rule.rhs).token
+            for rule in session.manager.rules
+        }
+        assert "Concept_X" in tokens
+
+
+class TestOutputs:
+    def test_write_rules(self, session, tmp_path):
+        session.mine(0.25, 0.6)
+        out = tmp_path / "rules.txt"
+        written = session.write_rules(out)
+        assert written == len(session.manager.rules)
+        assert out.read_text().count("==>") == written
+
+    def test_write_rules_by_kind(self, session, tmp_path):
+        session.mine(0.25, 0.6)
+        out = tmp_path / "d2a.txt"
+        written = session.write_rules(out, kind=RuleKind.DATA_TO_ANNOTATION)
+        assert written == len(session.rules_of_kind(
+            RuleKind.DATA_TO_ANNOTATION))
+
+    def test_recommendations(self, session):
+        session.mine(0.25, 0.6)
+        recommendations = session.recommendations(limit=5)
+        assert len(recommendations) <= 5
+
+    def test_status_progression(self, session):
+        status = session.status()
+        assert status["mined"] is False and status["tuples"] == 8
+        session.mine(0.25, 0.6)
+        status = session.status()
+        assert status["mined"] is True
+        assert status["rules"] == status["d2a_rules"] + status["a2a_rules"]

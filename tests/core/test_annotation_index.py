@@ -1,0 +1,78 @@
+"""Unit tests for the vertical index / annotation frequency table."""
+
+import pytest
+
+from repro.core.annotation_index import VerticalIndex
+from repro.errors import MaintenanceError
+from repro.mining.itemsets import ItemVocabulary
+
+
+@pytest.fixture
+def setup():
+    vocabulary = ItemVocabulary()
+    data_x = vocabulary.intern_data("x")
+    data_y = vocabulary.intern_data("y")
+    annotation_a = vocabulary.intern_annotation("A")
+    index = VerticalIndex(vocabulary)
+    index.add_transaction(0, frozenset({data_x, annotation_a}))
+    index.add_transaction(1, frozenset({data_x, data_y}))
+    index.add_transaction(2, frozenset({data_y, annotation_a}))
+    return vocabulary, index, data_x, data_y, annotation_a
+
+
+class TestMaintenance:
+    def test_add_and_query(self, setup):
+        _, index, data_x, data_y, annotation_a = setup
+        assert index.tids(data_x) == {0, 1}
+        assert index.frequency(annotation_a) == 2
+
+    def test_extend(self, setup):
+        _, index, data_x, _, annotation_a = setup
+        index.extend_transaction(1, [annotation_a])
+        assert index.tids(annotation_a) == {0, 1, 2}
+
+    def test_shrink(self, setup):
+        _, index, _, _, annotation_a = setup
+        index.shrink_transaction(0, [annotation_a])
+        assert index.tids(annotation_a) == {2}
+
+    def test_shrink_missing_raises(self, setup):
+        _, index, _, _, annotation_a = setup
+        with pytest.raises(MaintenanceError):
+            index.shrink_transaction(1, [annotation_a])
+
+    def test_remove_transaction(self, setup):
+        _, index, data_x, _, annotation_a = setup
+        index.remove_transaction(0, frozenset({data_x, annotation_a}))
+        assert index.tids(data_x) == {1}
+        assert index.frequency(annotation_a) == 1
+
+
+class TestQueries:
+    def test_count_itemset(self, setup):
+        _, index, data_x, data_y, annotation_a = setup
+        assert index.count((data_x, annotation_a)) == 1
+        assert index.count((data_x, data_y)) == 1
+        assert index.count((), db_size=3) == 3
+
+    def test_tids_of_itemset(self, setup):
+        _, index, data_x, _, annotation_a = setup
+        assert index.tids_of_itemset((data_x, annotation_a)) == {0}
+
+    def test_frequent_items(self, setup):
+        _, index, data_x, data_y, annotation_a = setup
+        assert index.frequent_items(2) == sorted(
+            [data_x, data_y, annotation_a])
+        assert index.frequent_items(
+            2, annotation_like_only=True) == [annotation_a]
+
+    def test_annotation_frequencies(self, setup):
+        vocabulary, index, _, _, annotation_a = setup
+        assert index.annotation_frequencies() == {annotation_a: 2}
+
+    def test_contains(self, setup):
+        _, index, data_x, _, annotation_a = setup
+        assert data_x in index
+        index.shrink_transaction(0, [annotation_a])
+        index.shrink_transaction(2, [annotation_a])
+        assert annotation_a not in index

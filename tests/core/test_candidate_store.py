@@ -1,0 +1,71 @@
+"""Unit tests for the near-miss candidate rule store."""
+
+from repro.core.candidate_store import CandidateRuleStore
+from repro.core.rules import AssociationRule, RuleKind
+from repro.core.stats import Thresholds
+
+
+def rule(lhs=(0,), rhs=1, union=3, lhs_count=4, db=10):
+    return AssociationRule(kind=RuleKind.DATA_TO_ANNOTATION,
+                           lhs=tuple(lhs), rhs=rhs, union_count=union,
+                           lhs_count=lhs_count, db_size=db)
+
+
+class TestRefresh:
+    def test_near_misses_stored(self):
+        store = CandidateRuleStore()
+        near = rule()
+        store.refresh([near], promoted_keys=[], demoted=[])
+        assert store.get(near.key) is near
+        assert len(store) == 1 and near.key in store
+
+    def test_promotion_counted(self):
+        store = CandidateRuleStore()
+        candidate = rule()
+        store.refresh([candidate], promoted_keys=[], demoted=[])
+        store.refresh([], promoted_keys=[candidate.key], demoted=[])
+        assert store.stats.promotions == 1
+        assert len(store) == 0
+
+    def test_demotion_counted(self):
+        store = CandidateRuleStore()
+        demoted = rule()
+        store.refresh([demoted], promoted_keys=[], demoted=[demoted])
+        assert store.stats.demotions == 1
+
+    def test_eviction_counted(self):
+        store = CandidateRuleStore()
+        gone = rule()
+        store.refresh([gone], promoted_keys=[], demoted=[])
+        store.refresh([], promoted_keys=[], demoted=[])
+        assert store.stats.evictions == 1
+
+    def test_refresh_counted(self):
+        store = CandidateRuleStore()
+        kept = rule()
+        store.refresh([kept], promoted_keys=[], demoted=[])
+        store.refresh([kept.with_counts(union_count=2)],
+                      promoted_keys=[], demoted=[])
+        assert store.stats.refreshes == 1
+
+    def test_disabled_store_keeps_nothing(self):
+        store = CandidateRuleStore(enabled=False)
+        store.refresh([rule()], promoted_keys=[], demoted=[])
+        assert len(store) == 0
+
+
+class TestClosestToValid:
+    def test_ranking_by_gap(self):
+        thresholds = Thresholds(0.4, 0.8, margin=0.5)
+        close = rule(lhs=(0,), union=3, lhs_count=4, db=10)   # sup .3 conf .75
+        far = rule(lhs=(2,), union=2, lhs_count=4, db=10)     # sup .2 conf .50
+        store = CandidateRuleStore()
+        store.refresh([far, close], promoted_keys=[], demoted=[])
+        ranked = store.closest_to_valid(thresholds)
+        assert ranked[0].key == close.key
+
+    def test_limit(self):
+        store = CandidateRuleStore()
+        rules = [rule(lhs=(item,)) for item in range(2, 7)]
+        store.refresh(rules, promoted_keys=[], demoted=[])
+        assert len(store.closest_to_valid(Thresholds(0.4, 0.8), limit=2)) == 2

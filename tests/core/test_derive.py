@@ -1,0 +1,94 @@
+"""Unit tests for rule derivation from the pattern table."""
+
+import pytest
+
+from repro.core.derive import derive_rules, iter_rule_shapes
+from repro.core.pattern_table import FrequentPatternTable
+from repro.core.rules import RuleKind
+from repro.core.stats import Thresholds
+from repro.errors import MaintenanceError
+from repro.mining.itemsets import ItemVocabulary
+
+
+@pytest.fixture
+def vocabulary():
+    vocab = ItemVocabulary()
+    vocab.intern_data("x")        # 0
+    vocab.intern_data("y")        # 1
+    vocab.intern_annotation("A")  # 2
+    vocab.intern_annotation("B")  # 3
+    return vocab
+
+
+class TestRuleShapes:
+    def test_singleton_produces_nothing(self, vocabulary):
+        assert list(iter_rule_shapes((2,), vocabulary)) == []
+
+    def test_data_only_produces_nothing(self, vocabulary):
+        assert list(iter_rule_shapes((0, 1), vocabulary)) == []
+
+    def test_single_annotation_mixed_is_one_d2a(self, vocabulary):
+        shapes = list(iter_rule_shapes((0, 1, 2), vocabulary))
+        assert shapes == [(RuleKind.DATA_TO_ANNOTATION, (0, 1), 2)]
+
+    def test_annotation_only_pair_is_two_a2a(self, vocabulary):
+        shapes = set(iter_rule_shapes((2, 3), vocabulary))
+        assert shapes == {
+            (RuleKind.ANNOTATION_TO_ANNOTATION, (2,), 3),
+            (RuleKind.ANNOTATION_TO_ANNOTATION, (3,), 2),
+        }
+
+    def test_irrelevant_mixed_produces_nothing(self, vocabulary):
+        assert list(iter_rule_shapes((0, 2, 3), vocabulary)) == []
+
+
+class TestDeriveRules:
+    def make_table(self, vocabulary, counts):
+        table = FrequentPatternTable(vocabulary)
+        table.replace(counts)
+        return table
+
+    def test_d2a_rule_derivation(self, vocabulary):
+        table = self.make_table(vocabulary, {
+            (0,): 5, (2,): 5, (0, 2): 4,
+        })
+        rules, near = derive_rules(table, Thresholds(0.3, 0.7), db_size=10)
+        assert len(rules) == 1
+        rule = next(iter(rules))
+        assert rule.kind is RuleKind.DATA_TO_ANNOTATION
+        assert rule.union_count == 4 and rule.lhs_count == 5
+        assert rule.support == pytest.approx(0.4)
+        assert rule.confidence == pytest.approx(0.8)
+        assert near == []
+
+    def test_a2a_rules_both_directions(self, vocabulary):
+        table = self.make_table(vocabulary, {
+            (2,): 6, (3,): 4, (2, 3): 4,
+        })
+        rules, _ = derive_rules(table, Thresholds(0.3, 0.9), db_size=10)
+        keys = {rule.key for rule in rules}
+        # B -> A has confidence 1.0; A -> B only 0.67 and is excluded.
+        assert (RuleKind.ANNOTATION_TO_ANNOTATION, (3,), 2) in keys
+        assert (RuleKind.ANNOTATION_TO_ANNOTATION, (2,), 3) not in keys
+
+    def test_near_misses_collected(self, vocabulary):
+        table = self.make_table(vocabulary, {
+            (0,): 6, (2,): 4, (0, 2): 3,
+        })
+        thresholds = Thresholds(0.4, 0.8, margin=0.5)
+        rules, near = derive_rules(table, thresholds, db_size=10)
+        assert len(rules) == 0
+        assert len(near) == 1
+        assert near[0].support == pytest.approx(0.3)
+
+    def test_lost_closure_raises(self, vocabulary):
+        table = self.make_table(vocabulary, {(0, 2): 4, (2,): 4})
+        with pytest.raises(MaintenanceError):
+            derive_rules(table, Thresholds(0.3, 0.7), db_size=10)
+
+    def test_sub_margin_patterns_produce_nothing(self, vocabulary):
+        # Union pattern below both thresholds and the margin band.
+        table = self.make_table(vocabulary, {(0,): 9, (2,): 1, (0, 2): 1})
+        rules, near = derive_rules(table, Thresholds(0.4, 0.8, margin=0.75),
+                                   db_size=10)
+        assert len(rules) == 0 and near == []

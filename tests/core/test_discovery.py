@@ -1,0 +1,118 @@
+"""Unit tests for Figure 13 seeded discovery and level-wise completion."""
+
+import pytest
+
+from repro.core.annotation_index import VerticalIndex
+from repro.core.discovery import complete_table, discover_with_seeds
+from repro.core.pattern_table import FrequentPatternTable
+from repro.errors import MaintenanceError
+from repro.mining.constraints import (
+    CombinedRelevanceConstraint,
+    UnrestrictedConstraint,
+)
+from repro.mining.itemsets import ItemVocabulary
+
+
+def build_state(transactions):
+    """Vocabulary, index and empty table over explicit transactions."""
+    vocabulary = ItemVocabulary()
+    # Interning scheme for readability: "d0".."dN" data, "a0".. annotations.
+    ids = {}
+
+    def intern(token):
+        if token not in ids:
+            if token.startswith("d"):
+                ids[token] = vocabulary.intern_data(token)
+            else:
+                ids[token] = vocabulary.intern_annotation(token)
+        return ids[token]
+
+    index = VerticalIndex(vocabulary)
+    encoded = []
+    for tid, tokens in enumerate(transactions):
+        transaction = frozenset(intern(token) for token in tokens)
+        index.add_transaction(tid, transaction)
+        encoded.append(transaction)
+    table = FrequentPatternTable(vocabulary)
+    return vocabulary, index, table, ids, encoded
+
+
+class TestDiscoverWithSeeds:
+    def test_adds_all_itemsets_containing_seed(self):
+        vocabulary, index, table, ids, _ = build_state([
+            ("d0", "a0"), ("d0", "a0"), ("d0",), ("d1", "a0")])
+        added = discover_with_seeds(
+            table, index, [ids["a0"]], min_count=2,
+            constraint=CombinedRelevanceConstraint(vocabulary))
+        assert set(added) == {(ids["a0"],),
+                              tuple(sorted((ids["d0"], ids["a0"])))}
+        assert table.count((ids["a0"],)) == 3
+
+    def test_infrequent_seed_gated(self):
+        vocabulary, index, table, ids, _ = build_state([
+            ("d0", "a0"), ("d0",), ("d0",)])
+        added = discover_with_seeds(
+            table, index, [ids["a0"]], min_count=2,
+            constraint=UnrestrictedConstraint())
+        assert added == []
+        assert len(table) == 0
+
+    def test_existing_entries_not_duplicated(self):
+        vocabulary, index, table, ids, _ = build_state([
+            ("d0", "a0"), ("d0", "a0")])
+        table.set_count((ids["a0"],), 2)
+        added = discover_with_seeds(
+            table, index, [ids["a0"]], min_count=2,
+            constraint=UnrestrictedConstraint())
+        assert (ids["a0"],) not in added
+
+    def test_validation_detects_drift(self):
+        vocabulary, index, table, ids, _ = build_state([
+            ("d0", "a0"), ("d0", "a0")])
+        table.set_count((ids["a0"],), 99)  # wrong on purpose
+        with pytest.raises(MaintenanceError):
+            discover_with_seeds(table, index, [ids["a0"]], min_count=2,
+                                constraint=UnrestrictedConstraint(),
+                                validate=True)
+
+    def test_max_length_respected(self):
+        vocabulary, index, table, ids, _ = build_state([
+            ("d0", "d1", "a0")] * 3)
+        added = discover_with_seeds(
+            table, index, [ids["a0"]], min_count=2,
+            constraint=UnrestrictedConstraint(), max_length=2)
+        assert all(len(itemset) <= 2 for itemset in added)
+
+
+class TestCompleteTable:
+    def test_completion_reaches_missing_itemsets(self):
+        vocabulary, index, table, ids, _ = build_state([
+            ("d0", "d1"), ("d0", "d1"), ("d0",)])
+        added = complete_table(table, index, floor=2,
+                               constraint=UnrestrictedConstraint())
+        assert set(added) == {(ids["d0"],), (ids["d1"],),
+                              tuple(sorted((ids["d0"], ids["d1"])))}
+
+    def test_completion_is_incremental(self):
+        vocabulary, index, table, ids, _ = build_state([
+            ("d0", "d1"), ("d0", "d1"), ("d0",)])
+        table.set_count((ids["d0"],), 3)
+        added = complete_table(table, index, floor=2,
+                               constraint=UnrestrictedConstraint())
+        assert (ids["d0"],) not in added
+        assert tuple(sorted((ids["d0"], ids["d1"]))) in added
+
+    def test_constraint_respected(self):
+        vocabulary, index, table, ids, _ = build_state([
+            ("d0", "a0", "a1")] * 3)
+        constraint = CombinedRelevanceConstraint(vocabulary)
+        complete_table(table, index, floor=2, constraint=constraint)
+        for itemset in table:
+            assert constraint.admits(itemset)
+
+    def test_floor_respected(self):
+        vocabulary, index, table, ids, _ = build_state([
+            ("d0",), ("d0",), ("d1",)])
+        complete_table(table, index, floor=2,
+                       constraint=UnrestrictedConstraint())
+        assert (ids["d1"],) not in table

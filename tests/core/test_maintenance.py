@@ -1,0 +1,92 @@
+"""Unit tests for the Figure 12 refresh and decay walks."""
+
+import pytest
+
+from repro.core.maintenance import (
+    MaintenanceReport,
+    TupleDelta,
+    decay_for_deleted_tuples,
+    decay_for_removed_items,
+    refresh_for_added_items,
+)
+from repro.core.pattern_table import FrequentPatternTable
+from repro.mining.itemsets import ItemVocabulary
+
+
+@pytest.fixture
+def setup():
+    vocabulary = ItemVocabulary()
+    data_x = vocabulary.intern_data("x")        # 0
+    annotation_a = vocabulary.intern_annotation("A")  # 1
+    annotation_b = vocabulary.intern_annotation("B")  # 2
+    table = FrequentPatternTable(vocabulary)
+    table.replace({
+        (data_x,): 5,
+        (annotation_a,): 3,
+        (data_x, annotation_a): 2,
+        (annotation_a, annotation_b): 1,
+        (annotation_b,): 2,
+    })
+    return table, data_x, annotation_a, annotation_b
+
+
+class TestRefresh:
+    def test_only_patterns_with_new_items_bumped(self, setup):
+        table, data_x, annotation_a, annotation_b = setup
+        # Tuple already had x; batch adds annotation A.
+        delta = TupleDelta(tid=7,
+                           after=frozenset({data_x, annotation_a}),
+                           changed_items=frozenset({annotation_a}))
+        touched = refresh_for_added_items(table, [delta])
+        assert touched == 2
+        assert table.count((data_x,)) == 5          # unchanged: no new item
+        assert table.count((annotation_a,)) == 4
+        assert table.count((data_x, annotation_a)) == 3
+
+    def test_pattern_with_two_new_items_bumped_once(self, setup):
+        table, data_x, annotation_a, annotation_b = setup
+        delta = TupleDelta(
+            tid=7,
+            after=frozenset({data_x, annotation_a, annotation_b}),
+            changed_items=frozenset({annotation_a, annotation_b}))
+        refresh_for_added_items(table, [delta])
+        assert table.count((annotation_a, annotation_b)) == 2
+
+    def test_unrelated_patterns_untouched(self, setup):
+        table, data_x, annotation_a, annotation_b = setup
+        delta = TupleDelta(tid=7,
+                           after=frozenset({annotation_b}),
+                           changed_items=frozenset({annotation_b}))
+        refresh_for_added_items(table, [delta])
+        assert table.count((data_x, annotation_a)) == 2
+
+
+class TestDecay:
+    def test_removed_items_decrement(self, setup):
+        table, data_x, annotation_a, _ = setup
+        delta = TupleDelta(tid=7,
+                           after=frozenset({data_x, annotation_a}),
+                           changed_items=frozenset({annotation_a}))
+        decay_for_removed_items(table, [delta])
+        assert table.count((annotation_a,)) == 2
+        assert table.count((data_x, annotation_a)) == 1
+        assert table.count((data_x,)) == 5
+
+    def test_deleted_tuple_decrements_everything(self, setup):
+        table, data_x, annotation_a, _ = setup
+        decay_for_deleted_tuples(
+            table, [frozenset({data_x, annotation_a})])
+        assert table.count((data_x,)) == 4
+        assert table.count((annotation_a,)) == 2
+        assert table.count((data_x, annotation_a)) == 1
+
+
+class TestReport:
+    def test_summary_mentions_key_numbers(self):
+        report = MaintenanceReport(event="add-annotations", db_size=100)
+        report.rules_updated = 3
+        report.patterns_touched = 7
+        text = report.summary()
+        assert "add-annotations" in text
+        assert "db=100" in text
+        assert "3 updated" in text

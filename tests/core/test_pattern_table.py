@@ -1,0 +1,107 @@
+"""Unit tests for the frequent-pattern table."""
+
+import pytest
+
+from repro.core.pattern_table import (
+    FrequentPatternTable,
+    PatternClass,
+    classify,
+)
+from repro.errors import MaintenanceError
+from repro.mining.itemsets import ItemVocabulary
+
+
+@pytest.fixture
+def vocabulary():
+    vocab = ItemVocabulary()
+    vocab.intern_data("x")        # 0
+    vocab.intern_data("y")        # 1
+    vocab.intern_annotation("A")  # 2
+    vocab.intern_annotation("B")  # 3
+    vocab.intern_label("L")       # 4
+    return vocab
+
+
+class TestClassify:
+    def test_partition(self, vocabulary):
+        assert classify((0, 1), vocabulary) is PatternClass.DATA_ONLY
+        assert classify((0, 2), vocabulary) is PatternClass.SINGLE_ANNOTATION
+        assert classify((2, 3, 4), vocabulary) is PatternClass.ANNOTATION_ONLY
+        assert classify((0, 2, 3), vocabulary) is PatternClass.IRRELEVANT
+
+    def test_single_annotation_alone_is_annotation_only(self, vocabulary):
+        assert classify((2,), vocabulary) is PatternClass.ANNOTATION_ONLY
+
+
+class TestTable:
+    def test_set_and_count(self, vocabulary):
+        table = FrequentPatternTable(vocabulary)
+        table.set_count((0,), 5)
+        assert table.count((0,)) == 5
+        assert table.count((1,)) is None
+        assert (0,) in table and len(table) == 1
+
+    def test_negative_count_rejected(self, vocabulary):
+        table = FrequentPatternTable(vocabulary)
+        with pytest.raises(MaintenanceError):
+            table.set_count((0,), -1)
+
+    def test_replace(self, vocabulary):
+        table = FrequentPatternTable(vocabulary)
+        table.replace({(0,): 3, (0, 2): 2})
+        assert set(table) == {(0,), (0, 2)}
+
+    def test_subsets_in(self, vocabulary):
+        table = FrequentPatternTable(vocabulary)
+        table.replace({(0,): 3, (2,): 2, (0, 2): 2})
+        found = set(table.subsets_in(frozenset({0, 2})))
+        assert found == {(0,), (2,), (0, 2)}
+
+    def test_frequent_subpatterns_by_class(self, vocabulary):
+        table = FrequentPatternTable(vocabulary)
+        table.replace({(0,): 3, (1,): 3, (0, 1): 2, (2,): 2, (0, 2): 2})
+        data_patterns = table.frequent_subpatterns(
+            frozenset({0, 1, 2}), PatternClass.DATA_ONLY)
+        assert set(data_patterns) == {(0,), (1,), (0, 1)}
+
+    def test_prune_below(self, vocabulary):
+        table = FrequentPatternTable(vocabulary)
+        table.replace({(0,): 5, (1,): 2, (0, 1): 2})
+        pruned = table.prune_below(3)
+        assert pruned == [(0, 1), (1,)]  # sorted tuple order
+        assert set(table) == {(0,)}
+
+
+class TestInvariants:
+    def test_closed_table_passes(self, vocabulary):
+        table = FrequentPatternTable(vocabulary)
+        table.replace({(0,): 3, (2,): 3, (0, 2): 2})
+        table.check_invariants(floor=2)
+
+    def test_missing_subset_fails(self, vocabulary):
+        table = FrequentPatternTable(vocabulary)
+        table.replace({(0, 2): 2, (0,): 2})
+        with pytest.raises(MaintenanceError):
+            table.check_invariants()
+
+    def test_floor_violation_fails(self, vocabulary):
+        table = FrequentPatternTable(vocabulary)
+        table.replace({(0,): 1})
+        with pytest.raises(MaintenanceError):
+            table.check_invariants(floor=2)
+
+    def test_irrelevant_pattern_fails(self, vocabulary):
+        table = FrequentPatternTable(vocabulary)
+        table.replace({(0,): 3, (2,): 3, (3,): 3, (0, 2): 3, (0, 3): 3,
+                       (2, 3): 3, (0, 2, 3): 3})
+        with pytest.raises(MaintenanceError):
+            table.check_invariants()
+
+    def test_stats(self, vocabulary):
+        table = FrequentPatternTable(vocabulary)
+        table.replace({(0,): 3, (0, 1): 2, (2,): 3, (0, 2): 2, (2, 3): 2})
+        stats = table.stats()
+        assert stats["total"] == 5
+        assert stats[PatternClass.DATA_ONLY.value] == 2
+        assert stats[PatternClass.SINGLE_ANNOTATION.value] == 1
+        assert stats[PatternClass.ANNOTATION_ONLY.value] == 2

@@ -1,0 +1,103 @@
+"""Unit tests for manager snapshots (save/load)."""
+
+import json
+
+import pytest
+
+from repro.core.manager import AnnotationRuleManager
+from repro.core.persistence import load, restore, save, snapshot
+from repro.errors import FormatError, MaintenanceError
+from repro.relation.annotation import Annotation
+from repro.relation.schema import Schema
+from repro.relation.relation import AnnotatedRelation
+from tests.conftest import make_relation
+
+
+def mined_manager(relation=None):
+    manager = AnnotationRuleManager(
+        relation if relation is not None else make_relation(),
+        min_support=0.25, min_confidence=0.6)
+    manager.mine()
+    return manager
+
+
+class TestSnapshot:
+    def test_unmined_rejected(self):
+        manager = AnnotationRuleManager(make_relation(), min_support=0.3,
+                                        min_confidence=0.6)
+        with pytest.raises(MaintenanceError):
+            snapshot(manager)
+
+    def test_snapshot_is_json_serializable(self):
+        document = snapshot(mined_manager())
+        json.dumps(document)  # must not raise
+
+    def test_snapshot_records_thresholds_and_tuples(self):
+        manager = mined_manager()
+        document = snapshot(manager)
+        assert document["thresholds"]["min_support"] == 0.25
+        assert len(document["tuples"]) == manager.relation.tid_range
+        assert document["pattern_table"]
+
+
+class TestRestore:
+    def test_round_trip_preserves_rules(self):
+        manager = mined_manager()
+        manager.add_annotations([(3, "A")])
+        restored = restore(snapshot(manager))
+        assert restored.signature() == manager.signature()
+
+    def test_round_trip_preserves_tombstones(self):
+        manager = mined_manager()
+        manager.remove_tuples([0])
+        restored = restore(snapshot(manager))
+        assert restored.db_size == manager.db_size
+        assert not restored.relation.is_live(0)
+        assert restored.signature() == manager.signature()
+
+    def test_restored_manager_accepts_updates(self):
+        restored = restore(snapshot(mined_manager()))
+        restored.add_annotations([(3, "A")])
+        assert restored.verify_against_remine().equivalent
+
+    def test_schema_preserved(self):
+        relation = AnnotatedRelation(Schema(["g", "t"]))
+        relation.insert(("a", "b"), ("Annot_1",))
+        relation.insert(("a", "c"), ("Annot_1",))
+        restored = restore(snapshot(mined_manager(relation)))
+        assert restored.relation.schema == Schema(["g", "t"])
+
+    def test_annotation_metadata_preserved(self):
+        relation = make_relation()
+        relation.registry.register(
+            Annotation("Rich", text="details", category="flag"))
+        restored = restore(snapshot(mined_manager(relation)))
+        assert restored.relation.registry.get("Rich").text == "details"
+
+    def test_wrong_version_rejected(self):
+        document = snapshot(mined_manager())
+        document["format_version"] = 99
+        with pytest.raises(FormatError):
+            restore(document)
+
+    def test_corrupted_table_detected(self):
+        document = snapshot(mined_manager())
+        document["pattern_table"][0]["count"] += 1
+        with pytest.raises(FormatError):
+            restore(document)
+
+    def test_unknown_item_detected(self):
+        document = snapshot(mined_manager())
+        document["pattern_table"][0]["items"] = [["data", "ghost"]]
+        with pytest.raises(FormatError):
+            restore(document)
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        manager = mined_manager()
+        path = tmp_path / "state.json"
+        save(manager, path)
+        restored = load(path)
+        assert restored.signature() == manager.signature()
+        assert restored.thresholds == manager.thresholds

@@ -1,0 +1,83 @@
+"""Unit tests for thresholds and the near-miss margin."""
+
+import pytest
+
+from repro.core.rules import AssociationRule, RuleKind
+from repro.core.stats import Thresholds
+from repro.errors import InvalidThresholdError
+
+
+def rule(union, lhs_count, db):
+    return AssociationRule(kind=RuleKind.DATA_TO_ANNOTATION, lhs=(0,),
+                           rhs=1, union_count=union, lhs_count=lhs_count,
+                           db_size=db)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5, float("nan")])
+    def test_bad_support(self, bad):
+        with pytest.raises(InvalidThresholdError):
+            Thresholds(bad, 0.5)
+
+    @pytest.mark.parametrize("bad", [0.0, 2.0])
+    def test_bad_confidence(self, bad):
+        with pytest.raises(InvalidThresholdError):
+            Thresholds(0.5, bad)
+
+    def test_bad_margin(self):
+        with pytest.raises(InvalidThresholdError):
+            Thresholds(0.5, 0.5, margin=0.0)
+
+
+class TestCounts:
+    def test_support_count(self):
+        thresholds = Thresholds(0.4, 0.8)
+        assert thresholds.support_count(10) == 4
+        assert thresholds.support_count(11) == 5  # ceil(4.4)
+
+    def test_keep_count_is_margined(self):
+        thresholds = Thresholds(0.4, 0.8, margin=0.5)
+        assert thresholds.keep_support == pytest.approx(0.2)
+        assert thresholds.keep_count(10) == 2
+
+    def test_keep_count_floor_of_one(self):
+        assert Thresholds(0.1, 0.5).keep_count(0) == 1
+
+
+class TestRuleClassification:
+    def test_valid_rule(self):
+        thresholds = Thresholds(0.4, 0.8)
+        assert thresholds.is_valid(rule(4, 5, 10))
+
+    def test_exact_boundaries_are_valid(self):
+        thresholds = Thresholds(0.4, 0.8)
+        assert thresholds.is_valid(rule(4, 5, 10))   # support == 0.4
+        assert thresholds.is_valid(rule(8, 10, 20))  # confidence == 0.8
+
+    def test_low_support_invalid(self):
+        thresholds = Thresholds(0.4, 0.8)
+        assert not thresholds.is_valid(rule(3, 3, 10))
+
+    def test_low_confidence_invalid(self):
+        thresholds = Thresholds(0.4, 0.8)
+        assert not thresholds.is_valid(rule(4, 6, 10))
+
+    def test_near_miss_band(self):
+        thresholds = Thresholds(0.4, 0.8, margin=0.75)
+        # support 0.3 is inside [0.3, 0.4), confidence fine.
+        candidate = rule(3, 3, 10)
+        assert thresholds.is_near_miss(candidate)
+        assert not thresholds.is_valid(candidate)
+
+    def test_below_band_is_not_near_miss(self):
+        thresholds = Thresholds(0.4, 0.8, margin=0.75)
+        assert not thresholds.is_near_miss(rule(2, 2, 10))  # support 0.2
+
+    def test_valid_rule_is_not_near_miss(self):
+        thresholds = Thresholds(0.4, 0.8)
+        assert not thresholds.is_near_miss(rule(5, 5, 10))
+
+    def test_with_margin(self):
+        thresholds = Thresholds(0.4, 0.8).with_margin(0.9)
+        assert thresholds.margin == 0.9
+        assert thresholds.min_support == 0.4

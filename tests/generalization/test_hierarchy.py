@@ -1,0 +1,80 @@
+"""Unit tests for the multi-level concept hierarchy."""
+
+import pytest
+
+from repro.errors import GeneralizationError
+from repro.generalization.hierarchy import ConceptHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    h = ConceptHierarchy.from_edges([
+        ("Invalidation", "QualityIssue"),
+        ("Correction", "QualityIssue"),
+        ("QualityIssue", "Metadata"),
+        ("Versioning", "Metadata"),
+    ])
+    return h
+
+
+class TestConstruction:
+    def test_self_edge_rejected(self):
+        with pytest.raises(GeneralizationError):
+            ConceptHierarchy().add_edge("A", "A")
+
+    def test_cycle_rejected_and_rolled_back(self):
+        hierarchy = ConceptHierarchy.from_edges([("A", "B"), ("B", "C")])
+        with pytest.raises(GeneralizationError):
+            hierarchy.add_edge("C", "A")
+        # The offending edge must not have been kept.
+        assert "A" not in hierarchy.ancestors("C")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(GeneralizationError):
+            ConceptHierarchy().add_label("")
+
+
+class TestQueries:
+    def test_ancestors_transitive(self, hierarchy):
+        assert hierarchy.ancestors("Invalidation") \
+            == {"QualityIssue", "Metadata"}
+        assert hierarchy.ancestors("Metadata") == frozenset()
+
+    def test_unknown_label_has_no_ancestors(self, hierarchy):
+        assert hierarchy.ancestors("Nope") == frozenset()
+
+    def test_closure(self, hierarchy):
+        closure = hierarchy.closure({"Invalidation", "Versioning"})
+        assert closure == {"Invalidation", "QualityIssue", "Metadata",
+                           "Versioning"}
+
+    def test_roots(self, hierarchy):
+        assert hierarchy.roots() == {"Metadata"}
+
+    def test_levels(self, hierarchy):
+        assert hierarchy.level_of("Metadata") == 0
+        assert hierarchy.level_of("QualityIssue") == 1
+        assert hierarchy.level_of("Invalidation") == 2
+        with pytest.raises(GeneralizationError):
+            hierarchy.level_of("Nope")
+
+    def test_contains_and_labels(self, hierarchy):
+        assert "Correction" in hierarchy
+        assert "Metadata" in hierarchy.labels()
+
+
+class TestPerLevelSupport:
+    def test_decay(self, hierarchy):
+        assert hierarchy.support_for_level(0.4, "Metadata") \
+            == pytest.approx(0.4)
+        assert hierarchy.support_for_level(0.4, "QualityIssue") \
+            == pytest.approx(0.2)
+        assert hierarchy.support_for_level(0.4, "Invalidation") \
+            == pytest.approx(0.1)
+
+    def test_bad_decay_rejected(self, hierarchy):
+        with pytest.raises(GeneralizationError):
+            hierarchy.support_for_level(0.4, "Metadata", decay=0.0)
+
+    def test_floor(self, hierarchy):
+        assert hierarchy.support_for_level(1e-7, "Invalidation") >= 1e-6

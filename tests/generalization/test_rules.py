@@ -1,0 +1,109 @@
+"""Unit tests for generalization rules and matchers."""
+
+import pytest
+
+from repro.errors import GeneralizationError
+from repro.generalization.rules import (
+    CategoryMatcher,
+    GeneralizationRule,
+    GeneralizationRuleSet,
+    IdMatcher,
+    KeywordMatcher,
+    RegexMatcher,
+)
+from repro.relation.annotation import Annotation
+
+
+class TestIdMatcher:
+    def test_matches_by_id(self):
+        matcher = IdMatcher(frozenset({"Annot_1", "Annot_5"}))
+        assert matcher.matches(Annotation("Annot_1"))
+        assert not matcher.matches(Annotation("Annot_2"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeneralizationError):
+            IdMatcher(frozenset())
+
+    def test_describe_round_trippable(self):
+        matcher = IdMatcher(frozenset({"Annot_5", "Annot_1"}))
+        assert matcher.describe() == "Annot_1 | Annot_5"
+
+
+class TestKeywordMatcher:
+    def test_matches_any_keyword(self):
+        matcher = KeywordMatcher(frozenset({"invalid", "wrong"}))
+        assert matcher.matches(Annotation("x", text="This looks WRONG"))
+        assert matcher.matches(Annotation("x", text="invalid!"))
+        assert not matcher.matches(Annotation("x", text="fine"))
+
+    def test_whole_words_only(self):
+        matcher = KeywordMatcher(frozenset({"invalid"}))
+        assert not matcher.matches(Annotation("x", text="invalidated"))
+
+    def test_keywords_lowercased(self):
+        matcher = KeywordMatcher(frozenset({"WRONG"}))
+        assert matcher.matches(Annotation("x", text="wrong"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeneralizationError):
+            KeywordMatcher(frozenset())
+
+    def test_describe(self):
+        matcher = KeywordMatcher(frozenset({"b", "a"}))
+        assert matcher.describe() == 'text has "a" "b"'
+
+
+class TestRegexMatcher:
+    def test_matches(self):
+        matcher = RegexMatcher(r"v[0-9]+")
+        assert matcher.matches(Annotation("x", text="updated in V17"))
+        assert not matcher.matches(Annotation("x", text="no version"))
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(GeneralizationError):
+            RegexMatcher("([unclosed")
+
+    def test_describe(self):
+        assert RegexMatcher("a+").describe() == 'text ~ "a+"'
+
+
+class TestCategoryMatcher:
+    def test_matches(self):
+        matcher = CategoryMatcher("provenance")
+        assert matcher.matches(Annotation("x", category="provenance"))
+        assert not matcher.matches(Annotation("x", category="quality"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeneralizationError):
+            CategoryMatcher("")
+
+
+class TestGeneralizationRule:
+    def test_applies_and_describe(self):
+        rule = GeneralizationRule("Invalidation",
+                                  KeywordMatcher(frozenset({"invalid"})))
+        assert rule.applies_to(Annotation("x", text="invalid"))
+        assert rule.describe() == 'Invalidation <= text has "invalid"'
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(GeneralizationError):
+            GeneralizationRule("", IdMatcher(frozenset({"A"})))
+
+
+class TestRuleSet:
+    def test_labels_for_annotation_union(self):
+        rules = GeneralizationRuleSet([
+            GeneralizationRule("L1", IdMatcher(frozenset({"A"}))),
+            GeneralizationRule("L2", KeywordMatcher(frozenset({"bad"}))),
+            GeneralizationRule("L3", IdMatcher(frozenset({"B"}))),
+        ])
+        labels = rules.labels_for_annotation(Annotation("A", text="bad data"))
+        assert labels == {"L1", "L2"}
+
+    def test_labels(self):
+        rules = GeneralizationRuleSet([
+            GeneralizationRule("L1", IdMatcher(frozenset({"A"}))),
+            GeneralizationRule("L1", IdMatcher(frozenset({"B"}))),
+        ])
+        assert rules.labels() == {"L1"}
+        assert len(rules) == 2

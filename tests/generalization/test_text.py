@@ -1,0 +1,29 @@
+"""Unit tests for text normalization."""
+
+from repro.generalization.text import contains_word, normalize, tokenize
+
+
+class TestNormalize:
+    def test_case_folding_and_whitespace(self):
+        assert normalize("  This   VALUE\tis wrong ") == "this value is wrong"
+
+
+class TestTokenize:
+    def test_punctuation_stripped(self):
+        assert tokenize("INVALID!! (see ticket #42)") \
+            == ("invalid", "see", "ticket", "42")
+
+    def test_apostrophes_kept_inside_words(self):
+        assert tokenize("value isn't right") == ("value", "isn't", "right")
+
+    def test_empty(self):
+        assert tokenize("") == ()
+
+
+class TestContainsWord:
+    def test_whole_word_only(self):
+        assert contains_word("this is invalid", "invalid")
+        assert not contains_word("invalidated entry", "invalid")
+
+    def test_case_insensitive(self):
+        assert contains_word("WRONG value", "wrong")

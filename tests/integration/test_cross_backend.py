@@ -1,0 +1,51 @@
+"""Cross-backend agreement: Apriori == Eclat == FP-growth on workloads."""
+
+import pytest
+
+from repro._util import min_count_for
+from repro.mining.apriori import mine_frequent_itemsets
+from repro.mining.constraints import (
+    CombinedRelevanceConstraint,
+    constraint_for_task,
+    MiningTask,
+)
+from repro.mining.eclat import mine_frequent_itemsets_vertical
+from repro.mining.fpgrowth import mine_frequent_itemsets_fp
+from repro.relation.transactions import encode_relation
+from repro.synth import workloads
+
+
+@pytest.fixture(scope="module")
+def encoded():
+    workload = workloads.dev_scale()
+    database = encode_relation(workload.relation)
+    return database
+
+
+@pytest.mark.parametrize("task", [
+    MiningTask.UNRESTRICTED,
+    MiningTask.DATA_TO_ANNOTATION,
+    MiningTask.ANNOTATION_TO_ANNOTATION,
+    MiningTask.COMBINED,
+])
+def test_three_backends_agree(encoded, task):
+    constraint = constraint_for_task(task, encoded.vocabulary)
+    min_count = min_count_for(0.2, len(encoded))
+    apriori_table = mine_frequent_itemsets(
+        encoded.transactions, min_count=min_count, constraint=constraint)
+    eclat_table = mine_frequent_itemsets_vertical(
+        encoded.transactions, min_count=min_count, constraint=constraint)
+    fp_table = mine_frequent_itemsets_fp(
+        encoded.transactions, min_count=min_count, constraint=constraint)
+    assert apriori_table == eclat_table
+    assert apriori_table == fp_table
+
+
+def test_hash_tree_and_scan_counters_agree(encoded):
+    constraint = CombinedRelevanceConstraint(encoded.vocabulary)
+    min_count = min_count_for(0.25, len(encoded))
+    tree = mine_frequent_itemsets(encoded.transactions, min_count=min_count,
+                                  constraint=constraint, counter="hashtree")
+    scan = mine_frequent_itemsets(encoded.transactions, min_count=min_count,
+                                  constraint=constraint, counter="scan")
+    assert tree == scan

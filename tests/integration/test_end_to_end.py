@@ -1,0 +1,158 @@
+"""Integration tests: full pipelines over synthetic workloads."""
+
+import pytest
+
+from repro.core.manager import AnnotationRuleManager
+from repro.core.rules import RuleKind
+from repro.exploitation.curation import CurationSession
+from repro.exploitation.insert_advisor import InsertAdvisor
+from repro.exploitation.ranking import rank
+from repro.exploitation.recommender import MissingAnnotationRecommender
+from repro.generalization.engine import Generalizer
+from repro.generalization.rules import (
+    GeneralizationRule,
+    GeneralizationRuleSet,
+    IdMatcher,
+)
+from repro.synth import workloads
+from repro.synth.generator import generate_annotation_batch, hide_annotations
+from tests.conftest import assert_equivalent_to_remine
+
+
+class TestWorkloadLifecycle:
+    """Mine -> update -> verify, over a realistic synthetic workload."""
+
+    @pytest.fixture
+    def manager(self):
+        workload = workloads.dev_scale()
+        manager = AnnotationRuleManager(
+            workload.relation,
+            min_support=workload.min_support,
+            min_confidence=workload.min_confidence,
+            validate=True)
+        manager.mine()
+        return manager
+
+    def test_mixed_event_sequence_stays_equivalent(self, manager):
+        relation = manager.relation
+        manager.add_annotations(
+            generate_annotation_batch(relation, size=25, seed=1))
+        manager.insert_annotated([
+            (("c0v0", "c1v0", "c2v0", "c3v0"), ("Annot_1",))] * 5)
+        manager.insert_unannotated([("c0v5", "c1v5", "c2v5", "c3v5")] * 5)
+        manager.remove_annotations([(0, annotation)
+                                    for annotation in sorted(
+                                        relation.tuple(0).annotation_ids)]
+                                   or [(0, "Annot_1")])
+        manager.remove_tuples([1, 2])
+        manager.add_annotations(
+            generate_annotation_batch(relation, size=25, seed=2))
+        assert_equivalent_to_remine(manager)
+
+    def test_many_small_batches_equal_one_large(self):
+        first = workloads.dev_scale()
+        second = workloads.dev_scale()
+        small = AnnotationRuleManager(
+            first.relation, min_support=0.3, min_confidence=0.7)
+        small.mine()
+        large = AnnotationRuleManager(
+            second.relation, min_support=0.3, min_confidence=0.7)
+        large.mine()
+        batch = generate_annotation_batch(first.relation, size=40, seed=7)
+        for pair in batch:
+            small.add_annotations([pair])
+        large.add_annotations(batch)
+        assert small.signature() == large.signature()
+
+    def test_candidate_store_promotion_happens(self, manager):
+        # Push near-misses over the line with a targeted batch and check
+        # the store records promotions.
+        relation = manager.relation
+        before = manager.candidates.stats.promotions
+        for seed in range(3, 10):
+            manager.add_annotations(
+                generate_annotation_batch(relation, size=30, seed=seed))
+        # Promotions are workload-dependent; the loop above adds enough
+        # annotations that at least one near-miss should have crossed.
+        assert manager.candidates.stats.promotions >= before
+        assert_equivalent_to_remine(manager)
+
+
+class TestGeneralizationPipeline:
+    def test_sparse_concept_only_visible_generalized(self):
+        workload = workloads.sparse_annotations(n_tuples=600)
+        relation = workload.relation
+        raw = AnnotationRuleManager(
+            relation, min_support=workload.min_support,
+            min_confidence=workload.min_confidence)
+        raw.mine()
+        raw_rule_count = len(raw.rules)
+
+        variants = frozenset(
+            annotation.annotation_id for annotation in relation.registry
+            if annotation.annotation_id.startswith("Annot_inv"))
+        generalizer = Generalizer(
+            relation.registry,
+            GeneralizationRuleSet(
+                [GeneralizationRule("Invalidation", IdMatcher(variants))]))
+        generalized = AnnotationRuleManager(
+            relation.copy(), min_support=workload.min_support,
+            min_confidence=workload.min_confidence,
+            generalizer=generalizer)
+        generalized.mine()
+        label_rules = [
+            rule for rule in generalized.rules
+            if generalized.vocabulary.item(rule.rhs).token == "Invalidation"
+        ]
+        assert label_rules, "label-level rule should surface"
+        assert len(generalized.rules) > raw_rule_count
+
+
+class TestExploitationPipeline:
+    def test_hidden_annotations_recovered(self):
+        workload = workloads.dev_scale(n_tuples=600)
+        relation = workload.relation
+        hidden = set(hide_annotations(relation, fraction=0.15, seed=3))
+        manager = AnnotationRuleManager(relation, min_support=0.25,
+                                        min_confidence=0.6)
+        manager.mine()
+        recommendations = rank(
+            MissingAnnotationRecommender(manager).scan())
+        predicted = {(recommendation.tid, recommendation.annotation_id)
+                     for recommendation in recommendations}
+        recovered = predicted & hidden
+        # The planted structure is strong; a healthy fraction of the
+        # hidden attachments must be recommended back.
+        assert len(recovered) >= len(hidden) * 0.3
+
+    def test_curation_commit_then_advisor(self):
+        workload = workloads.dev_scale(n_tuples=400)
+        manager = AnnotationRuleManager(workload.relation,
+                                        min_support=0.25,
+                                        min_confidence=0.6)
+        manager.mine()
+        advisor = InsertAdvisor(manager).install()
+        session = CurationSession(manager)
+        recommendations = MissingAnnotationRecommender(manager).scan()
+        session.accept_all(recommendations[:20], min_confidence=0.8)
+        session.commit()
+        manager.insert_unannotated([("c0v0", "c1v0", "c2v0", "c3v0")])
+        drained = advisor.drain()
+        assert isinstance(drained, list)
+        assert_equivalent_to_remine(manager)
+
+
+class TestRuleKindsSeparation:
+    def test_d2a_lhs_is_data_a2a_lhs_is_annotations(self):
+        workload = workloads.dense_correlations(n_tuples=600)
+        manager = AnnotationRuleManager(
+            workload.relation, min_support=0.2, min_confidence=0.6)
+        manager.mine()
+        for rule in manager.rules_of_kind(RuleKind.DATA_TO_ANNOTATION):
+            assert all(not manager.vocabulary.is_annotation_like(item)
+                       for item in rule.lhs)
+            assert manager.vocabulary.is_annotation_like(rule.rhs)
+        for rule in manager.rules_of_kind(
+                RuleKind.ANNOTATION_TO_ANNOTATION):
+            assert all(manager.vocabulary.is_annotation_like(item)
+                       for item in rule.lhs)

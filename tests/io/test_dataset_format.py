@@ -1,0 +1,118 @@
+"""Unit tests for the Figure 4 dataset format."""
+
+import io
+
+import pytest
+
+from repro.errors import FormatError
+from repro.io.dataset_format import (
+    format_row,
+    iter_rows,
+    parse_line,
+    read_dataset,
+    write_dataset,
+)
+from tests.conftest import make_relation
+
+
+class TestParseLine:
+    def test_values_and_annotations_split(self):
+        values, annotations = parse_line("28 85 17 Annot_4 Annot_5")
+        assert values == ("28", "85", "17")
+        assert annotations == ("Annot_4", "Annot_5")
+
+    def test_no_annotations(self):
+        values, annotations = parse_line("1 2 3")
+        assert values == ("1", "2", "3")
+        assert annotations == ()
+
+    def test_custom_prefix(self):
+        values, annotations = parse_line("1 a:x", annotation_prefix="a:")
+        assert values == ("1",)
+        assert annotations == ("a:x",)
+
+    def test_annotations_only_rejected(self):
+        with pytest.raises(FormatError):
+            parse_line("Annot_1 Annot_2")
+
+
+class TestIterRows:
+    def test_blank_lines_and_comments_skipped(self):
+        rows = list(iter_rows(["# header", "", "1 2 Annot_1", "   "]))
+        assert rows == [(("1", "2"), ("Annot_1",))]
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(FormatError) as exc:
+            list(iter_rows(["1 2", "Annot_only"]))
+        assert exc.value.line_number == 2
+
+
+class TestReadDataset:
+    def test_from_lines(self):
+        relation = read_dataset(["1 2 Annot_1", "3 4"])
+        assert len(relation) == 2
+        assert relation.tuple(0).annotation_ids == {"Annot_1"}
+
+    def test_from_stream(self):
+        relation = read_dataset(io.StringIO("1 2\n3 4 Annot_9\n"))
+        assert len(relation) == 2
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("5 6 Annot_2\n")
+        relation = read_dataset(path)
+        assert len(relation) == 1
+        assert relation.tuple(0).values == ("5", "6")
+
+    def test_into_existing_relation(self):
+        relation = make_relation()
+        before = len(relation)
+        read_dataset(["7 8"], relation=relation)
+        assert len(relation) == before + 1
+
+
+def make_paper_relation():
+    """Reference rows with paper-style ``Annot_`` ids, so that the
+    prefix-based reader classifies tokens the same way after a write."""
+    return make_relation([
+        (("1", "2"), ("Annot_1",)),
+        (("1", "3"), ("Annot_1", "Annot_2")),
+        (("4", "2"), ()),
+        (("4", "3"), ("Annot_2",)),
+    ])
+
+
+class TestWriteAndRoundTrip:
+    def test_format_row_sorts_annotations(self):
+        assert format_row(("1", "2"), ("Annot_5", "Annot_1")) \
+            == "1 2 Annot_1 Annot_5"
+
+    def test_round_trip(self):
+        relation = make_paper_relation()
+        buffer = io.StringIO()
+        written = write_dataset(relation, buffer)
+        assert written == len(relation)
+        reread = read_dataset(io.StringIO(buffer.getvalue()))
+        assert len(reread) == len(relation)
+        for tid in range(len(relation)):
+            assert reread.tuple(tid).values == relation.tuple(tid).values
+            assert reread.tuple(tid).annotation_ids \
+                == relation.tuple(tid).annotation_ids
+
+    def test_round_trip_via_path(self, tmp_path):
+        relation = make_paper_relation()
+        path = tmp_path / "out.txt"
+        write_dataset(relation, path)
+        assert len(read_dataset(path)) == len(relation)
+
+    def test_tombstones_excluded(self):
+        relation = make_paper_relation()
+        relation.delete(0)
+        buffer = io.StringIO()
+        assert write_dataset(relation, buffer) == len(relation)
+
+    def test_empty_relation(self):
+        from repro.relation.relation import AnnotatedRelation
+        buffer = io.StringIO()
+        assert write_dataset(AnnotatedRelation(), buffer) == 0
+        assert buffer.getvalue() == ""

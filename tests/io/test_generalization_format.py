@@ -1,0 +1,103 @@
+"""Unit tests for the Figure 9 generalization-rules format."""
+
+import io
+
+import pytest
+
+from repro.errors import FormatError
+from repro.generalization.rules import (
+    CategoryMatcher,
+    IdMatcher,
+    KeywordMatcher,
+    RegexMatcher,
+)
+from repro.io.generalization_format import (
+    parse_generalization_rules,
+    write_generalization_rules,
+)
+from repro.relation.annotation import Annotation
+
+SAMPLE = """
+# paper Figure 9 sample
+Annot_X <= Annot_1 | Annot_5
+Annot_Y <= Annot_4
+Invalidation <= text has "invalid" "wrong" "incorrect"
+Versioning <= text ~ "v[0-9]+"
+Provenance <= category = lineage
+
+[hierarchy]
+Invalidation -> QualityIssue
+Versioning -> Metadata
+"""
+
+
+class TestParse:
+    def test_full_sample(self):
+        rules, hierarchy = parse_generalization_rules(
+            io.StringIO(SAMPLE).readlines())
+        assert len(rules) == 5
+        by_label = {rule.label: rule.matcher for rule in rules}
+        assert isinstance(by_label["Annot_X"], IdMatcher)
+        assert by_label["Annot_X"].annotation_ids == {"Annot_1", "Annot_5"}
+        assert isinstance(by_label["Invalidation"], KeywordMatcher)
+        assert isinstance(by_label["Versioning"], RegexMatcher)
+        assert isinstance(by_label["Provenance"], CategoryMatcher)
+        assert hierarchy is not None
+        assert hierarchy.ancestors("Invalidation") == {"QualityIssue"}
+
+    def test_paper_semantics(self):
+        """Every transaction with Annot_1 or Annot_5 gets Annot_X."""
+        rules, _ = parse_generalization_rules(
+            io.StringIO(SAMPLE).readlines())
+        labels = {rule.label for rule in rules
+                  if rule.applies_to(Annotation("Annot_1"))}
+        assert "Annot_X" in labels
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "gen.txt"
+        path.write_text(SAMPLE)
+        rules, hierarchy = parse_generalization_rules(path)
+        assert len(rules) == 5
+
+    def test_no_hierarchy_section(self):
+        rules, hierarchy = parse_generalization_rules(["L <= Annot_1"])
+        assert hierarchy is None
+
+    @pytest.mark.parametrize("bad_line", [
+        "no arrow here",
+        "Label <=",
+        "<= Annot_1",
+        'L <= text has',
+        'L <= text ~ "a" "b"',
+        "L <= category =",
+        "L <= Annot_1 | | Annot_2",
+    ])
+    def test_malformed_lines_rejected(self, bad_line):
+        with pytest.raises(FormatError):
+            parse_generalization_rules([bad_line])
+
+    def test_malformed_hierarchy_rejected(self):
+        with pytest.raises(FormatError):
+            parse_generalization_rules(["[hierarchy]", "A B"])
+
+
+class TestWriteRoundTrip:
+    def test_round_trip(self):
+        rules, hierarchy = parse_generalization_rules(
+            io.StringIO(SAMPLE).readlines())
+        buffer = io.StringIO()
+        write_generalization_rules(rules, buffer, hierarchy)
+        reread_rules, reread_hierarchy = parse_generalization_rules(
+            buffer.getvalue().splitlines())
+        assert {rule.describe() for rule in reread_rules} \
+            == {rule.describe() for rule in rules}
+        assert reread_hierarchy is not None
+        assert reread_hierarchy.ancestors("Invalidation") \
+            == hierarchy.ancestors("Invalidation")
+
+    def test_write_to_path(self, tmp_path):
+        rules, _ = parse_generalization_rules(["L <= Annot_1"])
+        path = tmp_path / "gen_out.txt"
+        lines = write_generalization_rules(rules, path)
+        assert lines == 1
+        assert path.read_text().strip() == "L <= Annot_1"

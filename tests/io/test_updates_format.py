@@ -1,0 +1,73 @@
+"""Unit tests for the Figure 14 annotation-update format."""
+
+import io
+
+import pytest
+
+from repro.core.events import AddAnnotations, RemoveAnnotations
+from repro.errors import FormatError
+from repro.io.updates_format import (
+    read_pairs,
+    read_removals,
+    read_updates,
+    write_updates,
+)
+
+
+class TestRead:
+    def test_paper_example(self):
+        event = read_updates(["150: Annot_3"])
+        assert event.additions == ((150, "Annot_3"),)
+
+    def test_multiple_lines_with_noise(self):
+        event = read_updates(["# batch", "", "1: Annot_1", "2:Annot_2"])
+        assert event.additions == ((1, "Annot_1"), (2, "Annot_2"))
+
+    def test_read_pairs(self):
+        assert read_pairs(["3: X", "4: Y"]) == [(3, "X"), (4, "Y")]
+
+    def test_read_removals(self):
+        event = read_removals(["3: X"])
+        assert isinstance(event, RemoveAnnotations)
+        assert event.removals == ((3, "X"),)
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "updates.txt"
+        path.write_text("9: Annot_9\n")
+        assert read_updates(path).additions == ((9, "Annot_9"),)
+
+    @pytest.mark.parametrize("bad", [
+        "no colon",
+        "x: Annot_1",
+        "-2: Annot_1",
+        "3:",
+        "3: two words",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(FormatError):
+            read_pairs([bad])
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(FormatError) as exc:
+            read_pairs(["1: ok", "broken"])
+        assert exc.value.line_number == 2
+
+
+class TestWriteRoundTrip:
+    def test_additions_round_trip(self):
+        event = AddAnnotations.build([(150, "Annot_3"), (7, "Annot_1")])
+        buffer = io.StringIO()
+        assert write_updates(event, buffer) == 2
+        assert read_updates(buffer.getvalue().splitlines()) == event
+
+    def test_removals_round_trip(self):
+        event = RemoveAnnotations.build([(3, "X")])
+        buffer = io.StringIO()
+        write_updates(event, buffer)
+        assert read_removals(buffer.getvalue().splitlines()) == event
+
+    def test_write_to_path(self, tmp_path):
+        event = AddAnnotations.build([(1, "A")])
+        path = tmp_path / "updates_out.txt"
+        write_updates(event, path)
+        assert path.read_text() == "1: A\n"

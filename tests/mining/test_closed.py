@@ -1,0 +1,125 @@
+"""Unit tests for closed/maximal itemsets and rule compression."""
+
+import random
+
+from repro.core.rules import AssociationRule, RuleKind
+from repro.mining.apriori import mine_frequent_itemsets
+from repro.mining.closed import (
+    closed_itemsets,
+    compress_rules,
+    compression_ratio,
+    maximal_itemsets,
+)
+
+
+def brute_force_closed(table):
+    out = {}
+    for itemset, count in table.items():
+        closed = True
+        for other, other_count in table.items():
+            if set(itemset) < set(other) and other_count == count:
+                closed = False
+                break
+        if closed:
+            out[itemset] = count
+    return out
+
+
+def brute_force_maximal(table):
+    out = {}
+    for itemset in table:
+        if not any(set(itemset) < set(other) for other in table):
+            out[itemset] = table[itemset]
+    return out
+
+
+class TestClosed:
+    def test_perfectly_correlated_pair(self):
+        transactions = [frozenset({1, 2})] * 3 + [frozenset({3})]
+        table = mine_frequent_itemsets(transactions, min_count=1)
+        closed = closed_itemsets(table)
+        # {1} and {2} always co-occur with {1,2}: only the pair is closed.
+        assert (1, 2) in closed
+        assert (1,) not in closed
+        assert (2,) not in closed
+        assert (3,) in closed
+
+    def test_matches_brute_force_on_random_tables(self):
+        rng = random.Random(8)
+        for trial in range(8):
+            transactions = [
+                frozenset(rng.sample(range(8), rng.randint(0, 5)))
+                for _ in range(20)]
+            table = mine_frequent_itemsets(transactions, min_count=2)
+            assert closed_itemsets(table) == brute_force_closed(table), \
+                f"trial {trial}"
+
+    def test_closed_preserves_counts(self):
+        transactions = [frozenset({1, 2, 3})] * 2 + [frozenset({1})] * 2
+        table = mine_frequent_itemsets(transactions, min_count=2)
+        for itemset, count in closed_itemsets(table).items():
+            assert table[itemset] == count
+
+
+class TestMaximal:
+    def test_maximal_subset_of_closed(self):
+        rng = random.Random(9)
+        transactions = [frozenset(rng.sample(range(8), rng.randint(0, 5)))
+                        for _ in range(25)]
+        table = mine_frequent_itemsets(transactions, min_count=2)
+        maximal = maximal_itemsets(table)
+        closed = closed_itemsets(table)
+        assert set(maximal) <= set(closed)
+
+    def test_matches_brute_force(self):
+        rng = random.Random(10)
+        transactions = [frozenset(rng.sample(range(7), rng.randint(0, 5)))
+                        for _ in range(20)]
+        table = mine_frequent_itemsets(transactions, min_count=2)
+        assert maximal_itemsets(table) == brute_force_maximal(table)
+
+
+class TestCompressionRatio:
+    def test_redundant_table_compresses(self):
+        transactions = [frozenset({1, 2, 3})] * 4
+        table = mine_frequent_itemsets(transactions, min_count=2)
+        assert compression_ratio(table) < 0.2  # only {1,2,3} is closed
+
+    def test_empty_table(self):
+        assert compression_ratio({}) == 1.0
+
+
+def rule(lhs, rhs=9, union=4, lhs_count=5, db=10):
+    return AssociationRule(kind=RuleKind.DATA_TO_ANNOTATION,
+                           lhs=tuple(lhs), rhs=rhs, union_count=union,
+                           lhs_count=lhs_count, db_size=db)
+
+
+class TestCompressRules:
+    def test_longer_equivalent_lhs_dropped(self):
+        short = rule((1,))
+        long = rule((1, 2))  # same counts, superset LHS
+        kept = compress_rules([long, short])
+        assert kept == [short]
+
+    def test_different_stats_both_kept(self):
+        first = rule((1,), union=4)
+        second = rule((1, 2), union=3, lhs_count=4)
+        kept = compress_rules([first, second])
+        assert len(kept) == 2
+
+    def test_incomparable_lhs_both_kept(self):
+        first = rule((1,))
+        second = rule((2,))
+        assert len(compress_rules([first, second])) == 2
+
+    def test_deterministic_order(self):
+        rules = [rule((2,)), rule((1,)), rule((1, 3), union=3,
+                                              lhs_count=4)]
+        assert compress_rules(rules) == compress_rules(list(reversed(rules)))
+
+    def test_works_on_ruleset(self, mined_manager):
+        from repro.core.rules import RuleSet
+        kept = compress_rules(mined_manager.rules)
+        assert len(kept) <= len(mined_manager.rules)
+        assert all(isinstance(r, AssociationRule) for r in kept)

@@ -1,0 +1,99 @@
+"""Unit tests for the paper's early-elimination candidate constraints."""
+
+import pytest
+
+from repro.mining.constraints import (
+    AnnotationOnlyConstraint,
+    AtMostOneAnnotationConstraint,
+    CombinedRelevanceConstraint,
+    MiningTask,
+    UnrestrictedConstraint,
+    constraint_for_task,
+    violation_is_monotone,
+)
+from repro.mining.itemsets import ItemVocabulary
+
+
+@pytest.fixture
+def vocabulary():
+    vocab = ItemVocabulary()
+    # ids: 0,1 data; 2,3 annotations; 4 label
+    vocab.intern_data("x")
+    vocab.intern_data("y")
+    vocab.intern_annotation("A")
+    vocab.intern_annotation("B")
+    vocab.intern_label("L")
+    return vocab
+
+
+class TestUnrestricted:
+    def test_admits_everything(self):
+        constraint = UnrestrictedConstraint()
+        assert constraint.admits((0, 1, 2))
+        assert constraint.admits(())
+        assert constraint.admits_item(7)
+
+    def test_projection_is_identity(self):
+        transaction = frozenset({1, 2})
+        assert UnrestrictedConstraint().project(transaction) == transaction
+
+
+class TestAnnotationOnly:
+    def test_admits_pure_annotation_patterns(self, vocabulary):
+        constraint = AnnotationOnlyConstraint(vocabulary)
+        assert constraint.admits((2, 3))
+        assert constraint.admits((2, 4))  # labels count as annotations
+        assert not constraint.admits((0, 2))
+
+    def test_projection_strips_data(self, vocabulary):
+        constraint = AnnotationOnlyConstraint(vocabulary)
+        assert constraint.project(frozenset({0, 1, 2, 4})) == frozenset({2, 4})
+
+
+class TestAtMostOneAnnotation:
+    def test_data_only_admitted(self, vocabulary):
+        constraint = AtMostOneAnnotationConstraint(vocabulary)
+        assert constraint.admits((0, 1))
+
+    def test_single_annotation_admitted(self, vocabulary):
+        constraint = AtMostOneAnnotationConstraint(vocabulary)
+        assert constraint.admits((0, 1, 2))
+
+    def test_two_annotations_rejected(self, vocabulary):
+        constraint = AtMostOneAnnotationConstraint(vocabulary)
+        assert not constraint.admits((2, 3))
+        assert not constraint.admits((0, 2, 4))
+
+
+class TestCombinedRelevance:
+    def test_partition(self, vocabulary):
+        constraint = CombinedRelevanceConstraint(vocabulary)
+        assert constraint.admits((0, 1))        # data-only
+        assert constraint.admits((0, 2))        # one annotation
+        assert constraint.admits((2, 3, 4))     # annotation-only
+        assert not constraint.admits((0, 2, 3))  # mixed, 2+ annotations
+
+    def test_violations_are_monotone(self, vocabulary):
+        constraint = CombinedRelevanceConstraint(vocabulary)
+        violating = (0, 2, 3)
+        for extra in (1, 4):
+            superset = tuple(sorted(violating + (extra,)))
+            assert violation_is_monotone(constraint, violating, superset)
+            assert not constraint.admits(superset)
+
+
+class TestTaskFactory:
+    def test_task_mapping(self, vocabulary):
+        assert isinstance(
+            constraint_for_task(MiningTask.DATA_TO_ANNOTATION, vocabulary),
+            AtMostOneAnnotationConstraint)
+        assert isinstance(
+            constraint_for_task(MiningTask.ANNOTATION_TO_ANNOTATION,
+                                vocabulary),
+            AnnotationOnlyConstraint)
+        assert isinstance(
+            constraint_for_task(MiningTask.COMBINED, vocabulary),
+            CombinedRelevanceConstraint)
+        assert isinstance(
+            constraint_for_task(MiningTask.UNRESTRICTED, vocabulary),
+            UnrestrictedConstraint)

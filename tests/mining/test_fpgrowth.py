@@ -1,0 +1,94 @@
+"""Unit tests for the FP-growth backend."""
+
+import random
+
+from repro.mining.apriori import mine_frequent_itemsets
+from repro.mining.constraints import (
+    AnnotationOnlyConstraint,
+    CombinedRelevanceConstraint,
+)
+from repro.mining.fpgrowth import mine_frequent_itemsets_fp
+from repro.mining.itemsets import ItemVocabulary
+
+TRANSACTIONS = [
+    frozenset({1, 3, 4}),
+    frozenset({2, 3, 5}),
+    frozenset({1, 2, 3, 5}),
+    frozenset({2, 5}),
+]
+
+
+class TestAgainstApriori:
+    def test_textbook(self):
+        assert mine_frequent_itemsets_fp(TRANSACTIONS, min_count=2) \
+            == mine_frequent_itemsets(TRANSACTIONS, min_count=2)
+
+    def test_min_count_one_includes_everything(self):
+        assert mine_frequent_itemsets_fp(TRANSACTIONS, min_count=1) \
+            == mine_frequent_itemsets(TRANSACTIONS, min_count=1)
+
+    def test_random_databases(self):
+        rng = random.Random(99)
+        for trial in range(10):
+            transactions = [
+                frozenset(rng.sample(range(10), rng.randint(0, 6)))
+                for _ in range(rng.randint(4, 30))
+            ]
+            min_count = rng.randint(1, 4)
+            assert mine_frequent_itemsets_fp(
+                transactions, min_count=min_count) \
+                == mine_frequent_itemsets(transactions,
+                                          min_count=min_count), \
+                f"trial {trial}"
+
+    def test_single_path_database(self):
+        # Every transaction is a prefix chain -> exercises the
+        # single-path combination emitter.
+        transactions = [frozenset({1}), frozenset({1, 2}),
+                        frozenset({1, 2, 3}), frozenset({1, 2, 3})]
+        assert mine_frequent_itemsets_fp(transactions, min_count=2) \
+            == mine_frequent_itemsets(transactions, min_count=2)
+
+    def test_empty_database(self):
+        assert mine_frequent_itemsets_fp([], min_count=1) == {}
+
+    def test_max_length(self):
+        table = mine_frequent_itemsets_fp(TRANSACTIONS, min_count=2,
+                                          max_length=2)
+        expected = mine_frequent_itemsets(TRANSACTIONS, min_count=2,
+                                          max_length=2)
+        assert table == expected
+
+
+class TestConstraints:
+    def _database(self):
+        vocabulary = ItemVocabulary()
+        data_x = vocabulary.intern_data("x")
+        data_y = vocabulary.intern_data("y")
+        annotation_a = vocabulary.intern_annotation("A")
+        annotation_b = vocabulary.intern_annotation("B")
+        transactions = [
+            frozenset({data_x, annotation_a}),
+            frozenset({data_x, data_y, annotation_a, annotation_b}),
+            frozenset({data_y, annotation_b}),
+            frozenset({data_x, annotation_a, annotation_b}),
+        ]
+        return vocabulary, transactions
+
+    def test_annotation_only_projection(self):
+        vocabulary, transactions = self._database()
+        constraint = AnnotationOnlyConstraint(vocabulary)
+        fp_table = mine_frequent_itemsets_fp(transactions, min_count=2,
+                                             constraint=constraint)
+        apriori_table = mine_frequent_itemsets(transactions, min_count=2,
+                                               constraint=constraint)
+        assert fp_table == apriori_table
+
+    def test_combined_constraint_postfilter(self):
+        vocabulary, transactions = self._database()
+        constraint = CombinedRelevanceConstraint(vocabulary)
+        fp_table = mine_frequent_itemsets_fp(transactions, min_count=2,
+                                             constraint=constraint)
+        apriori_table = mine_frequent_itemsets(transactions, min_count=2,
+                                               constraint=constraint)
+        assert fp_table == apriori_table

@@ -1,0 +1,82 @@
+"""Unit tests for the hash-tree candidate counter."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.hash_tree import HashTree
+
+
+def brute_force_counts(candidates, transactions):
+    return {candidate: sum(1 for transaction in transactions
+                           if set(candidate) <= transaction)
+            for candidate in candidates}
+
+
+class TestConstruction:
+    def test_rejects_mixed_lengths(self):
+        with pytest.raises(MiningError):
+            HashTree([(1, 2), (1, 2, 3)])
+
+    def test_rejects_empty_candidate(self):
+        with pytest.raises(MiningError):
+            HashTree([()])
+
+    def test_rejects_bad_fanout(self):
+        with pytest.raises(MiningError):
+            HashTree([(1, 2)], fanout=1)
+
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(MiningError):
+            HashTree([(1, 2)], max_leaf_size=0)
+
+    def test_empty_tree_counts_nothing(self):
+        tree = HashTree([])
+        tree.count_transaction(frozenset({1, 2, 3}))
+        assert tree.result() == {}
+
+
+class TestCounting:
+    def test_simple_pair_counting(self):
+        candidates = [(1, 2), (2, 3), (1, 3)]
+        transactions = [frozenset({1, 2, 3}), frozenset({1, 2}),
+                        frozenset({3})]
+        tree = HashTree(candidates)
+        assert tree.count_all(transactions) == {
+            (1, 2): 2, (2, 3): 1, (1, 3): 1}
+
+    def test_short_transactions_skipped(self):
+        tree = HashTree([(1, 2, 3)])
+        tree.count_transaction(frozenset({1, 2}))
+        assert tree.result() == {(1, 2, 3): 0}
+
+    def test_forced_splits_still_exact(self):
+        # Tiny leaves force deep splits including same-bucket collisions.
+        universe = list(range(30))
+        candidates = list(itertools.combinations(universe[:12], 3))
+        rng = random.Random(5)
+        transactions = [frozenset(rng.sample(universe, 9))
+                        for _ in range(60)]
+        tree = HashTree(candidates, fanout=3, max_leaf_size=1)
+        assert tree.count_all(transactions) == brute_force_counts(
+            candidates, transactions)
+
+    def test_random_against_brute_force(self):
+        rng = random.Random(13)
+        universe = list(range(25))
+        for trial in range(5):
+            length = rng.randint(2, 4)
+            candidates = list({tuple(sorted(rng.sample(universe, length)))
+                               for _ in range(40)})
+            transactions = [frozenset(rng.sample(universe,
+                                                 rng.randint(0, 12)))
+                            for _ in range(80)]
+            tree = HashTree(candidates, fanout=rng.choice([2, 4, 8]),
+                            max_leaf_size=rng.choice([1, 4, 16]))
+            assert tree.count_all(transactions) == brute_force_counts(
+                candidates, transactions), f"trial {trial}"
+
+    def test_len(self):
+        assert len(HashTree([(1, 2), (3, 4)])) == 2

@@ -1,0 +1,104 @@
+"""Unit tests for rule interestingness measures."""
+
+import math
+
+import pytest
+
+from repro.core.rules import AssociationRule, RuleKind
+from repro.errors import MiningError
+from repro.mining.interest import (
+    MEASURES,
+    RuleCounts,
+    conviction,
+    evaluate,
+    imbalance_ratio,
+    jaccard,
+    kulczynski,
+    leverage,
+    lift,
+)
+
+
+def counts(n=100, n_lhs=40, n_rhs=30, n_both=24):
+    return RuleCounts(n=n, n_lhs=n_lhs, n_rhs=n_rhs, n_both=n_both)
+
+
+class TestRuleCounts:
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            RuleCounts(n=10, n_lhs=5, n_rhs=5, n_both=6)
+        with pytest.raises(MiningError):
+            RuleCounts(n=10, n_lhs=11, n_rhs=5, n_both=2)
+        with pytest.raises(MiningError):
+            RuleCounts(n=-1, n_lhs=0, n_rhs=0, n_both=0)
+
+    def test_from_rule(self):
+        rule = AssociationRule(kind=RuleKind.DATA_TO_ANNOTATION, lhs=(0,),
+                               rhs=1, union_count=24, lhs_count=40,
+                               db_size=100)
+        assert RuleCounts.from_rule(rule, rhs_count=30) == counts()
+
+
+class TestMeasures:
+    def test_independence_baselines(self):
+        # P(both) == P(lhs)P(rhs): lift 1, leverage 0.
+        independent = counts(n=100, n_lhs=40, n_rhs=30, n_both=12)
+        assert lift(independent) == pytest.approx(1.0)
+        assert leverage(independent) == pytest.approx(0.0)
+
+    def test_positive_correlation(self):
+        correlated = counts()  # 0.24 > 0.4*0.3
+        assert lift(correlated) > 1.0
+        assert leverage(correlated) > 0.0
+
+    def test_conviction_infinite_for_exceptionless(self):
+        perfect = counts(n_both=40, n_rhs=50)
+        assert conviction(perfect) == math.inf
+
+    def test_conviction_finite_otherwise(self):
+        value = conviction(counts())
+        assert 0.0 < value < math.inf
+
+    def test_jaccard(self):
+        assert jaccard(counts()) == pytest.approx(24 / (40 + 30 - 24))
+        assert jaccard(counts(n_lhs=0, n_rhs=0, n_both=0)) == 0.0
+
+    def test_kulczynski(self):
+        assert kulczynski(counts()) \
+            == pytest.approx((24 / 40 + 24 / 30) / 2)
+
+    def test_imbalance_ratio(self):
+        assert imbalance_ratio(counts()) \
+            == pytest.approx(abs(40 - 30) / (40 + 30 - 24))
+        balanced = counts(n_lhs=30, n_rhs=30, n_both=20)
+        assert imbalance_ratio(balanced) == 0.0
+
+    def test_kulczynski_is_null_invariant(self):
+        """Adding tuples containing neither side must not move it."""
+        base = counts()
+        grown = counts(n=10_000)
+        assert kulczynski(base) == pytest.approx(kulczynski(grown))
+        # ...unlike lift, which null-transactions inflate:
+        assert lift(grown) > lift(base)
+
+
+class TestEvaluate:
+    def test_named_measures(self):
+        rule = AssociationRule(kind=RuleKind.DATA_TO_ANNOTATION, lhs=(0,),
+                               rhs=1, union_count=24, lhs_count=40,
+                               db_size=100)
+        out = evaluate(rule, rhs_count=30, measures=("lift", "jaccard"))
+        assert set(out) == {"lift", "jaccard"}
+        assert out["lift"] == pytest.approx(lift(counts()))
+
+    def test_unknown_measure(self):
+        rule = AssociationRule(kind=RuleKind.DATA_TO_ANNOTATION, lhs=(0,),
+                               rhs=1, union_count=1, lhs_count=1,
+                               db_size=2)
+        with pytest.raises(MiningError, match="unknown interestingness"):
+            evaluate(rule, rhs_count=1, measures=("entropy",))
+
+    def test_registry_complete(self):
+        for name, function in MEASURES.items():
+            value = function(counts())
+            assert isinstance(value, float), name

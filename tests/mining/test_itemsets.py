@@ -1,0 +1,163 @@
+"""Unit tests for the item model and transaction containers."""
+
+import pytest
+
+from repro.errors import ItemKindError, VocabularyError
+from repro.mining.itemsets import (
+    Item,
+    ItemKind,
+    ItemVocabulary,
+    TransactionDatabase,
+    canonical,
+    contains,
+)
+
+
+class TestItem:
+    def test_kinds_are_distinct_items(self):
+        data = Item(ItemKind.DATA, "x")
+        annotation = Item(ItemKind.ANNOTATION, "x")
+        assert data != annotation
+
+    def test_annotation_and_label_are_annotation_like(self):
+        assert Item(ItemKind.ANNOTATION, "a").is_annotation_like
+        assert Item(ItemKind.LABEL, "l").is_annotation_like
+        assert not Item(ItemKind.DATA, "d").is_annotation_like
+
+    def test_empty_token_rejected(self):
+        with pytest.raises(ItemKindError):
+            Item(ItemKind.DATA, "")
+
+    def test_non_string_token_rejected(self):
+        with pytest.raises(ItemKindError):
+            Item(ItemKind.DATA, 42)
+
+
+class TestItemVocabulary:
+    def test_interning_is_idempotent(self):
+        vocabulary = ItemVocabulary()
+        first = vocabulary.intern_data("x")
+        second = vocabulary.intern_data("x")
+        assert first == second
+        assert len(vocabulary) == 1
+
+    def test_ids_are_dense_and_stable(self):
+        vocabulary = ItemVocabulary()
+        ids = [vocabulary.intern_data(token) for token in "abc"]
+        assert ids == [0, 1, 2]
+
+    def test_item_round_trip(self):
+        vocabulary = ItemVocabulary()
+        item_id = vocabulary.intern_annotation("Annot_1")
+        assert vocabulary.item(item_id) == Item(ItemKind.ANNOTATION,
+                                                "Annot_1")
+        assert vocabulary.id_of(Item(ItemKind.ANNOTATION, "Annot_1")) \
+            == item_id
+
+    def test_unknown_id_raises(self):
+        vocabulary = ItemVocabulary()
+        with pytest.raises(VocabularyError):
+            vocabulary.item(0)
+        with pytest.raises(VocabularyError):
+            vocabulary.item("zero")
+
+    def test_unknown_item_raises(self):
+        vocabulary = ItemVocabulary()
+        with pytest.raises(VocabularyError):
+            vocabulary.id_of(Item(ItemKind.DATA, "missing"))
+
+    def test_find_annotation(self):
+        vocabulary = ItemVocabulary()
+        item_id = vocabulary.intern_annotation("Annot_9")
+        assert vocabulary.find_annotation("Annot_9") == item_id
+        with pytest.raises(VocabularyError):
+            vocabulary.find_annotation("Annot_0")
+
+    def test_annotation_like_partition(self):
+        vocabulary = ItemVocabulary()
+        data_id = vocabulary.intern_data("d")
+        annotation_id = vocabulary.intern_annotation("a")
+        label_id = vocabulary.intern_label("l")
+        assert vocabulary.annotation_like_ids() == {annotation_id, label_id}
+        assert vocabulary.data_ids() == {data_id}
+        assert not vocabulary.is_annotation_like(data_id)
+        assert vocabulary.is_annotation_like(label_id)
+
+    def test_is_annotation_like_unknown_id(self):
+        with pytest.raises(VocabularyError):
+            ItemVocabulary().is_annotation_like(5)
+
+    def test_count_annotation_like(self):
+        vocabulary = ItemVocabulary()
+        ids = [vocabulary.intern_data("d"),
+               vocabulary.intern_annotation("a"),
+               vocabulary.intern_label("l")]
+        assert vocabulary.count_annotation_like(ids) == 2
+
+    def test_render_puts_data_first(self):
+        vocabulary = ItemVocabulary()
+        annotation = vocabulary.intern_annotation("Annot_1")
+        data = vocabulary.intern_data("42")
+        assert vocabulary.render((annotation, data)) == "42 Annot_1"
+
+    def test_contains_and_iter(self):
+        vocabulary = ItemVocabulary()
+        vocabulary.intern_data("x")
+        assert Item(ItemKind.DATA, "x") in vocabulary
+        assert Item(ItemKind.DATA, "y") not in vocabulary
+        assert [item.token for item in vocabulary] == ["x"]
+
+
+class TestTransactionDatabase:
+    def test_add_tokens_assigns_sequential_tids(self):
+        database = TransactionDatabase()
+        assert database.add_tokens(("1", "2"), ("A",)) == 0
+        assert database.add_tokens(("3",)) == 1
+        assert len(database) == 2
+
+    def test_add_checks_vocabulary(self):
+        database = TransactionDatabase()
+        with pytest.raises(VocabularyError):
+            database.add([0])
+
+    def test_extend_and_shrink(self):
+        database = TransactionDatabase()
+        tid = database.add_tokens(("1",), ("A",))
+        annotation_b = database.vocabulary.intern_annotation("B")
+        database.extend_transaction(tid, [annotation_b])
+        assert annotation_b in database.transaction(tid)
+        database.shrink_transaction(tid, [annotation_b])
+        assert annotation_b not in database.transaction(tid)
+
+    def test_clear_transaction_returns_old_items(self):
+        database = TransactionDatabase()
+        tid = database.add_tokens(("1", "2"))
+        old = database.clear_transaction(tid)
+        assert len(old) == 2
+        assert database.transaction(tid) == frozenset()
+
+    def test_annotation_projection(self):
+        database = TransactionDatabase()
+        database.add_tokens(("1", "2"), ("A",))
+        database.add_tokens(("3",))
+        projected = database.annotation_projection()
+        annotation_id = database.vocabulary.find_annotation("A")
+        assert projected[0] == frozenset({annotation_id})
+        assert projected[1] == frozenset()
+
+    def test_shared_vocabulary(self):
+        from repro.mining.itemsets import ItemVocabulary
+        vocabulary = ItemVocabulary()
+        database = TransactionDatabase(vocabulary)
+        assert database.vocabulary is vocabulary
+
+
+class TestHelpers:
+    def test_canonical_sorts_and_dedupes(self):
+        assert canonical([3, 1, 3, 2]) == (1, 2, 3)
+
+    def test_contains(self):
+        transaction = frozenset({1, 2, 3})
+        assert contains(transaction, (1, 3))
+        assert not contains(transaction, (1, 4))
+        assert contains(transaction, ())

@@ -1,0 +1,111 @@
+"""Unit tests for itemset-table helpers (subset walks, closure checks)."""
+
+import itertools
+import random
+
+from repro.mining.apriori import mine_frequent_itemsets
+from repro.mining.tables import (
+    check_downward_closure,
+    increment_counts,
+    iter_table_subsets,
+    level_partition,
+)
+
+
+def brute_force_subsets(table, transaction, required=None):
+    found = set()
+    items = sorted(transaction)
+    for length in range(1, len(items) + 1):
+        for combo in itertools.combinations(items, length):
+            if combo in table:
+                if required is None or set(combo) & required:
+                    found.add(combo)
+    return found
+
+
+class TestIterTableSubsets:
+    def test_small_example(self):
+        table = {(1,): 3, (2,): 3, (1, 2): 2, (3,): 1}
+        transaction = frozenset({1, 2})
+        assert set(iter_table_subsets(table, transaction)) \
+            == {(1,), (2,), (1, 2)}
+
+    def test_requires_all_items_present(self):
+        table = {(1,): 1, (1, 2): 1}
+        assert set(iter_table_subsets(table, frozenset({1}))) == {(1,)}
+
+    def test_required_items_filter(self):
+        table = {(1,): 1, (2,): 1, (1, 2): 1}
+        transaction = frozenset({1, 2})
+        assert set(iter_table_subsets(table, transaction,
+                                      required_items=frozenset({2}))) \
+            == {(2,), (1, 2)}
+
+    def test_exhaustive_against_brute_force(self):
+        rng = random.Random(3)
+        for trial in range(10):
+            transactions = [
+                frozenset(rng.sample(range(10), rng.randint(0, 6)))
+                for _ in range(25)
+            ]
+            table = mine_frequent_itemsets(transactions, min_count=2)
+            transaction = frozenset(rng.sample(range(10), rng.randint(0, 8)))
+            required = (None if trial % 2 == 0
+                        else frozenset(rng.sample(range(10), 2)))
+            walked = set(iter_table_subsets(table, transaction,
+                                            required_items=required))
+            assert walked == brute_force_subsets(table, transaction,
+                                                 required), f"trial {trial}"
+
+    def test_empty_transaction(self):
+        assert set(iter_table_subsets({(1,): 1}, frozenset())) == set()
+
+
+class TestIncrementCounts:
+    def test_counts_and_touch_count(self):
+        table = {(1,): 5, (2,): 5, (1, 2): 3}
+        touched = increment_counts(table, frozenset({1, 2}))
+        assert touched == 3
+        assert table == {(1,): 6, (2,): 6, (1, 2): 4}
+
+    def test_negative_delta(self):
+        table = {(1,): 5, (1, 2): 3}
+        increment_counts(table, frozenset({1, 2}), delta=-1)
+        assert table == {(1,): 4, (1, 2): 2}
+
+    def test_required_items(self):
+        table = {(1,): 5, (2,): 5, (1, 2): 3}
+        increment_counts(table, frozenset({1, 2}),
+                         required_items=frozenset({2}))
+        assert table == {(1,): 5, (2,): 6, (1, 2): 4}
+
+
+class TestLevelPartition:
+    def test_partition(self):
+        table = {(1,): 1, (2,): 1, (1, 2): 1, (1, 2, 3): 1}
+        levels = level_partition(table)
+        assert levels == {1: {(1,), (2,)}, 2: {(1, 2)}, 3: {(1, 2, 3)}}
+
+
+class TestClosureCheck:
+    def test_closed_table_passes(self):
+        table = mine_frequent_itemsets(
+            [frozenset({1, 2}), frozenset({1, 2}), frozenset({2, 3})],
+            min_count=1)
+        assert check_downward_closure(table) == []
+
+    def test_missing_subset_detected(self):
+        problems = check_downward_closure({(1, 2): 2, (1,): 2})
+        assert any("missing" in problem for problem in problems)
+
+    def test_count_monotonicity_violation_detected(self):
+        problems = check_downward_closure({(1,): 1, (2,): 2, (1, 2): 2})
+        assert any("<" in problem for problem in problems)
+
+    def test_constraint_aware(self):
+        # (1,2) subset missing but inadmissible -> not a violation.
+        problems = check_downward_closure(
+            {(1, 2, 3): 1, (1, 2): 1, (1, 3): 1, (2, 3): 1,
+             (1,): 1, (3,): 1},
+            admits=lambda itemset: itemset != (2,))
+        assert problems == []

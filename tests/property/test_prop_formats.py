@@ -1,0 +1,62 @@
+"""Round-trip laws for the paper's file formats."""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import AddAnnotations
+from repro.io import dataset_format, updates_format
+from repro.relation.relation import AnnotatedRelation
+
+value_strategy = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=6)
+
+annotation_strategy = value_strategy.map(lambda token: f"Annot_{token}")
+
+row_strategy = st.tuples(
+    st.lists(value_strategy, min_size=1, max_size=5),
+    st.frozensets(annotation_strategy, max_size=3),
+)
+
+
+@given(rows=st.lists(row_strategy, min_size=0, max_size=15))
+@settings(max_examples=60, deadline=None)
+def test_dataset_round_trip(rows):
+    relation = AnnotatedRelation()
+    for values, annotations in rows:
+        relation.insert(values, annotations)
+    buffer = io.StringIO()
+    written = dataset_format.write_dataset(relation, buffer)
+    assert written == len(rows)
+    reread = dataset_format.read_dataset(
+        io.StringIO(buffer.getvalue()))
+    assert len(reread) == len(relation)
+    for tid in range(len(rows)):
+        assert reread.tuple(tid).values == relation.tuple(tid).values
+        assert reread.tuple(tid).annotation_ids \
+            == relation.tuple(tid).annotation_ids
+
+
+@given(pairs=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10_000),
+              annotation_strategy),
+    min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_updates_round_trip(pairs):
+    event = AddAnnotations.build(pairs)
+    buffer = io.StringIO()
+    updates_format.write_updates(event, buffer)
+    assert updates_format.read_updates(
+        buffer.getvalue().splitlines()) == event
+
+
+@given(rows=st.lists(row_strategy, min_size=0, max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_dataset_write_is_deterministic(rows):
+    relation = AnnotatedRelation()
+    for values, annotations in rows:
+        relation.insert(values, annotations)
+    first, second = io.StringIO(), io.StringIO()
+    dataset_format.write_dataset(relation, first)
+    dataset_format.write_dataset(relation, second)
+    assert first.getvalue() == second.getvalue()

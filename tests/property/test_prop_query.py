@@ -1,0 +1,91 @@
+"""Propagation laws for the annotation-propagating query algebra."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relation.query import project, select, union
+from repro.relation.relation import AnnotatedRelation
+from repro.relation.schema import Schema
+
+ARITY = 3
+
+row_strategy = st.tuples(
+    st.tuples(*[st.sampled_from(["a", "b", "c"]) for _ in range(ARITY)]),
+    st.frozensets(st.sampled_from(["Annot_1", "Annot_2", "Annot_3"]),
+                  max_size=2),
+)
+
+relation_strategy = st.lists(row_strategy, min_size=0, max_size=12)
+
+
+def build(rows) -> AnnotatedRelation:
+    relation = AnnotatedRelation(Schema(["x", "y", "z"]))
+    for values, annotations in rows:
+        relation.insert(values, annotations)
+    return relation
+
+
+@given(rows=relation_strategy)
+@settings(max_examples=50, deadline=None)
+def test_select_true_is_identity_with_annotations(rows):
+    relation = build(rows)
+    result = select(relation, lambda values: True)
+    assert len(result) == len(relation)
+    for out_tid, (in_tid,) in enumerate(result.provenance):
+        assert result.relation.tuple(out_tid).values \
+            == relation.tuple(in_tid).values
+        assert result.relation.tuple(out_tid).annotation_ids \
+            == relation.tuple(in_tid).annotation_ids
+
+
+@given(rows=relation_strategy)
+@settings(max_examples=50, deadline=None)
+def test_select_never_invents_annotations(rows):
+    relation = build(rows)
+    result = select(relation, lambda values: values[0] == "a")
+    universe = {annotation_id for row in relation
+                for annotation_id in row.annotation_ids}
+    for row in result.relation:
+        assert row.annotation_ids <= universe
+
+
+@given(rows=relation_strategy,
+       columns=st.lists(st.integers(min_value=0, max_value=ARITY - 1),
+                        min_size=1, max_size=ARITY, unique=True))
+@settings(max_examples=50, deadline=None)
+def test_project_preserves_row_annotations(rows, columns):
+    relation = build(rows)
+    result = project(relation, columns)
+    for out_tid, (in_tid,) in enumerate(result.provenance):
+        # All annotations here are row-anchored: every one must survive.
+        assert result.relation.tuple(out_tid).annotation_ids \
+            == relation.tuple(in_tid).annotation_ids
+
+
+@given(rows=relation_strategy)
+@settings(max_examples=50, deadline=None)
+def test_distinct_project_unions_annotations(rows):
+    relation = build(rows)
+    result = project(relation, [0], distinct=True)
+    # Each output value's annotations == union over its sources.
+    for out_row in result.relation:
+        sources = result.provenance[out_row.tid]
+        expected = set()
+        for in_tid in sources:
+            expected |= relation.tuple(in_tid).annotation_ids
+        assert out_row.annotation_ids == expected
+    # Output values are unique.
+    values = [row.values for row in result.relation]
+    assert len(values) == len(set(values))
+
+
+@given(left_rows=relation_strategy, right_rows=relation_strategy)
+@settings(max_examples=40, deadline=None)
+def test_union_cardinality_and_annotation_union(left_rows, right_rows):
+    left, right = build(left_rows), build(right_rows)
+    bag = union(left, right, distinct=False)
+    assert len(bag) == len(left) + len(right)
+    distinct = union(left, right, distinct=True)
+    assert len(distinct) <= len(bag)
+    total_values = {row.values for row in left} | {row.values
+                                                   for row in right}
+    assert len(distinct) == len(total_values)

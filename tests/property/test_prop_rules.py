@@ -1,0 +1,87 @@
+"""Property tests on rule statistics and rule-set operations."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.rules import AssociationRule, RuleKind, RuleSet
+from repro.core.stats import Thresholds
+
+
+@st.composite
+def rule_strategy(draw):
+    db_size = draw(st.integers(min_value=1, max_value=1000))
+    lhs_count = draw(st.integers(min_value=1, max_value=db_size))
+    union_count = draw(st.integers(min_value=0, max_value=lhs_count))
+    lhs = tuple(sorted(draw(
+        st.frozensets(st.integers(min_value=0, max_value=20),
+                      min_size=1, max_size=4))))
+    rhs = draw(st.integers(min_value=21, max_value=30))
+    kind = draw(st.sampled_from(list(RuleKind)))
+    return AssociationRule(kind=kind, lhs=lhs, rhs=rhs,
+                           union_count=union_count, lhs_count=lhs_count,
+                           db_size=db_size)
+
+
+@given(rule=rule_strategy())
+@settings(max_examples=100, deadline=None)
+def test_support_bounded_by_confidence(rule):
+    assert 0.0 <= rule.support <= rule.confidence <= 1.0
+
+
+@given(rule=rule_strategy())
+@settings(max_examples=100, deadline=None)
+def test_support_times_db_is_union_count(rule):
+    import pytest
+
+    assert rule.support * rule.db_size \
+        == pytest.approx(rule.union_count, abs=1e-9)
+
+
+@given(rule=rule_strategy(),
+       thresholds=st.tuples(st.floats(0.05, 1.0), st.floats(0.05, 1.0),
+                            st.floats(0.05, 1.0)))
+@settings(max_examples=100, deadline=None)
+def test_valid_and_near_miss_are_disjoint(rule, thresholds):
+    min_support, min_confidence, margin = thresholds
+    t = Thresholds(min_support, min_confidence, margin)
+    assert not (t.is_valid(rule) and t.is_near_miss(rule))
+
+
+@given(rules=st.lists(rule_strategy(), max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_ruleset_mentioning_index_consistent(rules):
+    rule_set = RuleSet(rules)
+    for rule in rule_set:
+        for item in rule.union_itemset:
+            assert rule.key in {r.key for r in rule_set.mentioning(item)}
+
+
+@given(rules=st.lists(rule_strategy(), max_size=15))
+@settings(max_examples=50, deadline=None)
+def test_ruleset_discard_restores_emptiness(rules):
+    rule_set = RuleSet(rules)
+    for key in list(rule_set.keys()):
+        rule_set.discard(key)
+    assert len(rule_set) == 0
+    # The inverted index must be fully cleaned up.
+    for rule in rules:
+        for item in rule.union_itemset:
+            assert rule_set.mentioning(item) == []
+
+
+@given(rules=st.lists(rule_strategy(), max_size=15))
+@settings(max_examples=50, deadline=None)
+def test_sorted_rules_is_stable_total_order(rules):
+    rule_set = RuleSet(rules)
+    first = [rule.key for rule in rule_set.sorted_rules()]
+    second = [rule.key for rule in rule_set.sorted_rules()]
+    assert first == second
+    assert len(first) == len(rule_set)
+
+
+@given(rule=rule_strategy(), db_delta=st.integers(min_value=0, max_value=50))
+@settings(max_examples=50, deadline=None)
+def test_growing_db_never_raises_support(rule, db_delta):
+    assume(rule.db_size + db_delta >= rule.lhs_count)
+    grown = rule.with_counts(db_size=rule.db_size + db_delta)
+    assert grown.support <= rule.support
+    assert grown.confidence == rule.confidence

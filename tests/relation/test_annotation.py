@@ -1,0 +1,94 @@
+"""Unit tests for annotation records and the registry."""
+
+import pytest
+
+from repro.errors import DuplicateAnnotationError, UnknownAnnotationError
+from repro.relation.annotation import (
+    Annotation,
+    AnnotationRegistry,
+    registry_stats,
+)
+
+
+class TestAnnotation:
+    def test_defaults(self):
+        annotation = Annotation("Annot_1")
+        assert annotation.text == ""
+        assert annotation.category == ""
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(UnknownAnnotationError):
+            Annotation("")
+
+    def test_non_string_id_rejected(self):
+        with pytest.raises(UnknownAnnotationError):
+            Annotation(17)
+
+    def test_with_text(self):
+        enriched = Annotation("Annot_1", category="flag").with_text("bad")
+        assert enriched.text == "bad"
+        assert enriched.category == "flag"
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = AnnotationRegistry()
+        annotation = Annotation("Annot_1", text="wrong value")
+        registry.register(annotation)
+        assert registry.get("Annot_1") is annotation
+        assert "Annot_1" in registry
+        assert len(registry) == 1
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownAnnotationError):
+            AnnotationRegistry().get("Annot_404")
+
+    def test_same_content_is_idempotent(self):
+        registry = AnnotationRegistry()
+        registry.register(Annotation("Annot_1", text="x"))
+        registry.register(Annotation("Annot_1", text="x"))
+        assert len(registry) == 1
+
+    def test_bare_id_then_enrichment(self):
+        registry = AnnotationRegistry()
+        registry.ensure("Annot_1")
+        enriched = Annotation("Annot_1", text="now with text")
+        registry.register(enriched)
+        assert registry.get("Annot_1").text == "now with text"
+
+    def test_enriched_then_bare_keeps_enrichment(self):
+        registry = AnnotationRegistry()
+        registry.register(Annotation("Annot_1", text="content"))
+        registry.register(Annotation("Annot_1"))
+        assert registry.get("Annot_1").text == "content"
+
+    def test_conflicting_content_rejected(self):
+        registry = AnnotationRegistry()
+        registry.register(Annotation("Annot_1", text="one"))
+        with pytest.raises(DuplicateAnnotationError):
+            registry.register(Annotation("Annot_1", text="two"))
+
+    def test_ensure_is_idempotent(self):
+        registry = AnnotationRegistry()
+        first = registry.ensure("Annot_2")
+        second = registry.ensure("Annot_2")
+        assert first is second
+
+    def test_iteration(self):
+        registry = AnnotationRegistry()
+        registry.ensure("Annot_1")
+        registry.ensure("Annot_2")
+        assert {annotation.annotation_id for annotation in registry} \
+            == {"Annot_1", "Annot_2"}
+
+
+class TestStats:
+    def test_stats(self):
+        registry = AnnotationRegistry()
+        registry.register(Annotation("Annot_1", text="x", category="flag"))
+        registry.register(Annotation("Annot_2", category="flag"))
+        registry.ensure("Annot_3")
+        stats = registry_stats(registry)
+        assert stats.total == 3
+        assert stats.with_text == 1
+        assert stats.categories == ("flag",)

@@ -1,0 +1,204 @@
+"""Unit tests for the annotated relation storage engine."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownTupleError
+from repro.relation.annotation import Annotation
+from repro.relation.relation import AnnotatedRelation
+from repro.relation.schema import Schema
+from repro.relation.tuples import AnnotationAnchor
+
+
+class TestInsert:
+    def test_insert_returns_sequential_tids(self):
+        relation = AnnotatedRelation()
+        assert relation.insert(("1", "2")) == 0
+        assert relation.insert(("3",), ("A",)) == 1
+        assert len(relation) == 2
+
+    def test_insert_registers_annotations(self):
+        relation = AnnotatedRelation()
+        relation.insert(("1",), ("A", "B"))
+        assert "A" in relation.registry
+        assert "B" in relation.registry
+
+    def test_schema_validation(self):
+        relation = AnnotatedRelation(Schema(["a", "b"]))
+        relation.insert(("1", "2"))
+        with pytest.raises(SchemaError):
+            relation.insert(("1",))
+
+    def test_empty_row_rejected_without_schema(self):
+        with pytest.raises(SchemaError):
+            AnnotatedRelation().insert(())
+
+    def test_insert_many(self):
+        relation = AnnotatedRelation()
+        tids = relation.insert_many([(("1",), ("A",)), (("2",), ())])
+        assert tids == [0, 1]
+
+    def test_version_bumps_on_mutation(self):
+        relation = AnnotatedRelation()
+        v0 = relation.version
+        relation.insert(("1",))
+        assert relation.version > v0
+
+
+class TestAnnotate:
+    def test_annotate_once(self):
+        relation = AnnotatedRelation()
+        tid = relation.insert(("1",))
+        assert relation.annotate(tid, "A")
+        assert not relation.annotate(tid, "A")
+        assert relation.tuple(tid).annotation_ids == {"A"}
+
+    def test_annotate_with_rich_annotation(self):
+        relation = AnnotatedRelation()
+        tid = relation.insert(("1",))
+        relation.annotate(tid, Annotation("A", text="suspicious"))
+        assert relation.registry.get("A").text == "suspicious"
+
+    def test_annotate_unknown_tuple(self):
+        with pytest.raises(UnknownTupleError):
+            AnnotatedRelation().annotate(0, "A")
+
+    def test_cell_anchor_bounds_checked(self):
+        relation = AnnotatedRelation()
+        tid = relation.insert(("1", "2"))
+        relation.annotate(tid, "A", AnnotationAnchor.cell(1))
+        with pytest.raises(SchemaError):
+            relation.annotate(tid, "B", AnnotationAnchor.cell(5))
+
+    def test_column_anchor_rejected_on_tuple(self):
+        relation = AnnotatedRelation()
+        tid = relation.insert(("1",))
+        with pytest.raises(SchemaError):
+            relation.annotate(tid, "A", AnnotationAnchor.column_anchor(0))
+
+    def test_detach(self):
+        relation = AnnotatedRelation()
+        tid = relation.insert(("1",), ("A",))
+        assert relation.detach(tid, "A")
+        assert not relation.detach(tid, "A")
+
+
+class TestColumnAnnotations:
+    def test_annotate_column(self):
+        relation = AnnotatedRelation(Schema(["a", "b"]))
+        assert relation.annotate_column(1, "Annot_units")
+        assert not relation.annotate_column(1, "Annot_units")
+        assert relation.column_annotations(1) == {"Annot_units"}
+        assert relation.column_annotations(0) == frozenset()
+
+    def test_out_of_schema_column_rejected(self):
+        relation = AnnotatedRelation(Schema(["a"]))
+        with pytest.raises(SchemaError):
+            relation.annotate_column(3, "A")
+
+    def test_negative_column_rejected_without_schema(self):
+        with pytest.raises(SchemaError):
+            AnnotatedRelation().annotate_column(-1, "A")
+
+
+class TestDelete:
+    def test_delete_tombstones(self):
+        relation = AnnotatedRelation()
+        tid = relation.insert(("1",))
+        relation.insert(("2",))
+        relation.delete(tid)
+        assert len(relation) == 1
+        assert relation.tid_range == 2
+        assert not relation.is_live(tid)
+        with pytest.raises(UnknownTupleError):
+            relation.tuple(tid)
+
+    def test_iteration_skips_tombstones(self):
+        relation = AnnotatedRelation()
+        relation.insert(("1",))
+        relation.insert(("2",))
+        relation.delete(0)
+        assert [row.values for row in relation] == [("2",)]
+        assert list(relation.tids()) == [1]
+
+
+class TestDataTokens:
+    def test_opaque_without_schema(self):
+        relation = AnnotatedRelation()
+        tid = relation.insert(("10", "20"))
+        assert relation.data_tokens(tid) == ("10", "20")
+
+    def test_qualified_with_schema(self):
+        relation = AnnotatedRelation(Schema(["x", "y"]))
+        tid = relation.insert(("10", "20"))
+        assert relation.data_tokens(tid) == ("x=10", "y=20")
+
+
+class TestLabels:
+    def test_set_labels_and_noop(self):
+        relation = AnnotatedRelation()
+        tid = relation.insert(("1",))
+        relation.set_labels(tid, {"L1"})
+        version = relation.version
+        relation.set_labels(tid, {"L1"})  # unchanged -> no version bump
+        assert relation.version == version
+        assert relation.tuple(tid).labels == {"L1"}
+
+    def test_add_labels_returns_new_only(self):
+        relation = AnnotatedRelation()
+        tid = relation.insert(("1",))
+        relation.set_labels(tid, {"L1"})
+        assert relation.add_labels(tid, {"L1", "L2"}) == {"L2"}
+
+
+class TestTriggers:
+    def test_insert_trigger(self):
+        relation = AnnotatedRelation()
+        fired = []
+        relation.triggers.on_insert.append(
+            lambda tid, values, annotations: fired.append(
+                (tid, values, annotations)))
+        relation.insert(("1",), ("A",))
+        assert fired == [(0, ("1",), frozenset({"A"}))]
+
+    def test_annotate_trigger_fires_only_when_new(self):
+        relation = AnnotatedRelation()
+        tid = relation.insert(("1",))
+        fired = []
+        relation.triggers.on_annotate.append(
+            lambda tid, annotation: fired.append(annotation))
+        relation.annotate(tid, "A")
+        relation.annotate(tid, "A")
+        assert fired == ["A"]
+
+    def test_detach_and_delete_triggers(self):
+        relation = AnnotatedRelation()
+        tid = relation.insert(("1",), ("A",))
+        events = []
+        relation.triggers.on_detach.append(
+            lambda tid, annotation: events.append(("detach", annotation)))
+        relation.triggers.on_delete.append(
+            lambda tid: events.append(("delete", tid)))
+        relation.detach(tid, "A")
+        relation.delete(tid)
+        assert events == [("detach", "A"), ("delete", 0)]
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        relation = AnnotatedRelation()
+        tid = relation.insert(("1",), ("A",))
+        relation.set_labels(tid, {"L"})
+        clone = relation.copy()
+        clone.annotate(tid, "B")
+        clone.set_labels(tid, {"L", "M"})
+        assert relation.tuple(tid).annotation_ids == {"A"}
+        assert relation.tuple(tid).labels == {"L"}
+
+    def test_copy_preserves_tombstones(self):
+        relation = AnnotatedRelation()
+        relation.insert(("1",))
+        relation.insert(("2",))
+        relation.delete(0)
+        clone = relation.copy()
+        assert len(clone) == 1
+        assert clone.tid_range == 2

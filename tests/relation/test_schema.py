@@ -1,0 +1,62 @@
+"""Unit tests for schemas and data tokens."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relation.schema import Attribute, Schema, opaque_token
+
+
+class TestAttribute:
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            Attribute("", 0)
+        with pytest.raises(SchemaError):
+            Attribute("x", -1)
+
+
+class TestSchema:
+    def test_basic(self):
+        schema = Schema(["gene", "expression"])
+        assert schema.arity == 2
+        assert schema.attribute("gene").position == 0
+        assert len(schema) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).attribute("b")
+
+    def test_positional_factory(self):
+        schema = Schema.positional(3)
+        assert [attribute.name for attribute in schema] \
+            == ["attr0", "attr1", "attr2"]
+        with pytest.raises(SchemaError):
+            Schema.positional(0)
+
+    def test_validate_row(self):
+        schema = Schema(["a", "b"])
+        assert schema.validate_row([1, "x"]) == ("1", "x")
+        with pytest.raises(SchemaError):
+            schema.validate_row(["only-one"])
+
+    def test_data_token_qualifies_column(self):
+        schema = Schema(["gene", "tissue"])
+        assert schema.data_token(0, "BRCA1") == "gene=BRCA1"
+        assert schema.data_token(1, "BRCA1") == "tissue=BRCA1"
+        with pytest.raises(SchemaError):
+            schema.data_token(2, "x")
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a"]) != Schema(["b"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+    def test_opaque_token(self):
+        assert opaque_token(42) == "42"

@@ -1,0 +1,99 @@
+"""Unit tests for relation -> transaction encoding."""
+
+from repro.mining.itemsets import ItemKind, ItemVocabulary
+from repro.relation.relation import AnnotatedRelation
+from repro.relation.schema import Schema
+from repro.relation.transactions import (
+    annotation_item_ids,
+    encode_relation,
+    encode_tuple,
+)
+
+
+def build_relation():
+    relation = AnnotatedRelation()
+    relation.insert(("1", "2"), ("A",))
+    relation.insert(("3", "4"))
+    return relation
+
+
+class TestEncodeTuple:
+    def test_data_and_annotations(self):
+        relation = build_relation()
+        vocabulary = ItemVocabulary()
+        transaction = encode_tuple(relation, 0, vocabulary)
+        tokens = {vocabulary.item(item).token for item in transaction}
+        assert tokens == {"1", "2", "A"}
+
+    def test_labels_included_by_default(self):
+        relation = build_relation()
+        relation.set_labels(0, {"L"})
+        vocabulary = ItemVocabulary()
+        transaction = encode_tuple(relation, 0, vocabulary)
+        kinds = {vocabulary.item(item).kind for item in transaction}
+        assert ItemKind.LABEL in kinds
+
+    def test_labels_can_be_excluded(self):
+        relation = build_relation()
+        relation.set_labels(0, {"L"})
+        vocabulary = ItemVocabulary()
+        transaction = encode_tuple(relation, 0, vocabulary,
+                                   include_labels=False)
+        kinds = {vocabulary.item(item).kind for item in transaction}
+        assert ItemKind.LABEL not in kinds
+
+    def test_schema_qualified_tokens(self):
+        relation = AnnotatedRelation(Schema(["x", "y"]))
+        relation.insert(("1", "1"))
+        vocabulary = ItemVocabulary()
+        transaction = encode_tuple(relation, 0, vocabulary)
+        tokens = {vocabulary.item(item).token for item in transaction}
+        assert tokens == {"x=1", "y=1"}
+        assert len(transaction) == 2  # same value, distinct items
+
+    def test_column_annotations_opt_in(self):
+        relation = AnnotatedRelation(Schema(["x", "y"]))
+        relation.insert(("1", "2"))
+        relation.annotate_column(0, "Annot_col")
+        vocabulary = ItemVocabulary()
+        default = encode_tuple(relation, 0, vocabulary)
+        tokens = {vocabulary.item(item).token for item in default}
+        assert "Annot_col" not in tokens
+        included = encode_tuple(relation, 0, vocabulary,
+                                include_column_annotations=True)
+        tokens = {vocabulary.item(item).token for item in included}
+        assert "Annot_col" in tokens
+
+
+class TestEncodeRelation:
+    def test_tid_alignment(self):
+        relation = build_relation()
+        database = encode_relation(relation)
+        assert len(database) == 2
+        tokens_0 = {database.vocabulary.item(item).token
+                    for item in database.transaction(0)}
+        assert tokens_0 == {"1", "2", "A"}
+
+    def test_tombstones_encode_empty(self):
+        relation = build_relation()
+        relation.delete(0)
+        database = encode_relation(relation)
+        assert database.transaction(0) == frozenset()
+        assert database.transaction(1) != frozenset()
+
+    def test_existing_vocabulary_reused(self):
+        relation = build_relation()
+        vocabulary = ItemVocabulary()
+        pre_interned = vocabulary.intern_data("1")
+        database = encode_relation(relation, vocabulary)
+        assert database.vocabulary is vocabulary
+        assert pre_interned in database.transaction(0)
+
+
+class TestAnnotationItemIds:
+    def test_returns_annotation_ids_only(self):
+        relation = build_relation()
+        vocabulary = ItemVocabulary()
+        ids = annotation_item_ids(relation, vocabulary, 0)
+        assert {vocabulary.item(item).token for item in ids} == {"A"}
+        assert all(vocabulary.is_annotation_like(item) for item in ids)

@@ -1,0 +1,64 @@
+"""Unit tests for the trigger registry and its reentrancy guard."""
+
+import pytest
+
+from repro.relation.relation import AnnotatedRelation
+from repro.relation.triggers import TriggerReentrancyError, TriggerRegistry
+
+
+class TestRegistry:
+    def test_fire_insert_passes_arguments(self):
+        registry = TriggerRegistry()
+        seen = []
+        registry.on_insert.append(lambda *args: seen.append(args))
+        registry.fire_insert(3, ("a",), frozenset({"A"}))
+        assert seen == [(3, ("a",), frozenset({"A"}))]
+
+    def test_multiple_callbacks_in_order(self):
+        registry = TriggerRegistry()
+        order = []
+        registry.on_delete.append(lambda tid: order.append(("first", tid)))
+        registry.on_delete.append(lambda tid: order.append(("second", tid)))
+        registry.fire_delete(1)
+        assert order == [("first", 1), ("second", 1)]
+
+    def test_guard_outside_firing_is_noop(self):
+        TriggerRegistry().guard()  # must not raise
+
+    def test_guard_inside_firing_raises(self):
+        registry = TriggerRegistry()
+
+        def misbehaving(tid):
+            registry.guard()
+
+        registry.on_delete.append(misbehaving)
+        with pytest.raises(TriggerReentrancyError):
+            registry.fire_delete(0)
+
+    def test_firing_flag_reset_after_error(self):
+        registry = TriggerRegistry()
+        registry.on_delete.append(lambda tid: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            registry.fire_delete(0)
+        registry.guard()  # flag must be reset by the finally block
+
+
+class TestRelationIntegration:
+    def test_trigger_cannot_mutate_relation(self):
+        relation = AnnotatedRelation()
+
+        def evil_trigger(tid, values, annotations):
+            relation.insert(("sneaky",))
+
+        relation.triggers.on_insert.append(evil_trigger)
+        with pytest.raises(TriggerReentrancyError):
+            relation.insert(("1",))
+
+    def test_read_only_trigger_is_fine(self):
+        relation = AnnotatedRelation()
+        sizes = []
+        relation.triggers.on_insert.append(
+            lambda tid, values, annotations: sizes.append(len(relation)))
+        relation.insert(("1",))
+        relation.insert(("2",))
+        assert sizes == [1, 2]

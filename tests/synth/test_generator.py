@@ -1,0 +1,147 @@
+"""Unit tests for the planted-rule synthetic generator."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.synth.generator import (
+    PlantedA2A,
+    PlantedD2A,
+    SyntheticConfig,
+    generate,
+    generate_annotation_batch,
+    hide_annotations,
+    value_token,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        n_tuples=300,
+        n_columns=3,
+        values_per_column=8,
+        planted_d2a=(
+            PlantedD2A(pattern=((0, 1),), annotation="Annot_1",
+                       pattern_rate=0.5, confidence=0.9),
+        ),
+        planted_a2a=(
+            PlantedA2A(lhs=("Annot_1",), rhs="Annot_2", confidence=0.8),
+        ),
+        noise_annotations=2,
+        noise_rate=0.05,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return SyntheticConfig(**defaults)
+
+
+class TestValidation:
+    def test_bad_tuple_count(self):
+        with pytest.raises(MiningError):
+            SyntheticConfig(n_tuples=0)
+
+    def test_pattern_outside_schema(self):
+        with pytest.raises(MiningError):
+            small_config(planted_d2a=(
+                PlantedD2A(pattern=((9, 0),), annotation="A",
+                           pattern_rate=0.5, confidence=0.9),))
+
+    def test_pattern_value_outside_domain(self):
+        with pytest.raises(MiningError):
+            small_config(planted_d2a=(
+                PlantedD2A(pattern=((0, 99),), annotation="A",
+                           pattern_rate=0.5, confidence=0.9),))
+
+    def test_planted_rule_validation(self):
+        with pytest.raises(MiningError):
+            PlantedD2A(pattern=(), annotation="A", pattern_rate=0.5,
+                       confidence=0.9)
+        with pytest.raises(MiningError):
+            PlantedD2A(pattern=((0, 0),), annotation="A", pattern_rate=1.5,
+                       confidence=0.9)
+        with pytest.raises(MiningError):
+            PlantedA2A(lhs=("A",), rhs="A", confidence=0.9)
+
+
+class TestGenerate:
+    def test_deterministic(self):
+        left, _ = generate(small_config())
+        right, _ = generate(small_config())
+        assert len(left) == len(right)
+        for tid in range(len(left)):
+            assert left.tuple(tid).values == right.tuple(tid).values
+            assert left.tuple(tid).annotation_ids \
+                == right.tuple(tid).annotation_ids
+
+    def test_seed_changes_output(self):
+        left, _ = generate(small_config(seed=1))
+        right, _ = generate(small_config(seed=2))
+        different = any(
+            left.tuple(tid).values != right.tuple(tid).values
+            for tid in range(len(left)))
+        assert different
+
+    def test_planted_support_and_confidence_close_to_target(self):
+        relation, truth = generate(small_config(n_tuples=2000))
+        pattern_tids = truth.pattern_tids[0]
+        annotated_tids = truth.annotated_tids[0]
+        # Pattern rate ~0.5, confidence ~0.9 (within sampling noise).
+        assert 0.45 <= len(pattern_tids) / 2000 <= 0.55
+        assert 0.85 <= len(annotated_tids) / len(pattern_tids) <= 0.95
+        # Every recorded pattern tid really contains the pattern.
+        token = value_token(0, 1)
+        for tid in list(pattern_tids)[:50]:
+            assert token in relation.tuple(tid).values
+
+    def test_a2a_rule_planted(self):
+        relation, _ = generate(small_config(n_tuples=2000))
+        with_lhs = [row for row in relation
+                    if "Annot_1" in row.annotation_ids]
+        with_both = [row for row in with_lhs
+                     if "Annot_2" in row.annotation_ids]
+        assert 0.7 <= len(with_both) / len(with_lhs) <= 0.9
+
+
+class TestAnnotationBatch:
+    def test_batch_targets_valid_pairs(self):
+        relation, _ = generate(small_config())
+        batch = generate_annotation_batch(relation, size=40, seed=9)
+        assert len(batch) == 40
+        assert len(set(batch)) == 40
+        for tid, annotation_id in batch:
+            assert relation.is_live(tid)
+            assert not relation.tuple(tid).has_annotation(annotation_id)
+
+    def test_batch_deterministic(self):
+        relation, _ = generate(small_config())
+        assert generate_annotation_batch(relation, size=10, seed=4) \
+            == generate_annotation_batch(relation, size=10, seed=4)
+
+    def test_custom_pool(self):
+        relation, _ = generate(small_config())
+        batch = generate_annotation_batch(relation, size=5, seed=1,
+                                          annotation_pool=["Annot_zz"])
+        assert all(annotation == "Annot_zz" for _, annotation in batch)
+
+    def test_empty_pool_rejected(self):
+        from repro.relation.relation import AnnotatedRelation
+        relation = AnnotatedRelation()
+        relation.insert(("1",))
+        with pytest.raises(MiningError):
+            generate_annotation_batch(relation, size=1, seed=1)
+
+
+class TestHideAnnotations:
+    def test_hides_exact_fraction(self):
+        relation, _ = generate(small_config())
+        total = sum(len(row.annotation_ids) for row in relation)
+        hidden = hide_annotations(relation, fraction=0.25, seed=5)
+        assert len(hidden) == int(total * 0.25)
+        remaining = sum(len(row.annotation_ids) for row in relation)
+        assert remaining == total - len(hidden)
+        for tid, annotation_id in hidden:
+            assert not relation.tuple(tid).has_annotation(annotation_id)
+
+    def test_bad_fraction_rejected(self):
+        relation, _ = generate(small_config())
+        with pytest.raises(MiningError):
+            hide_annotations(relation, fraction=1.0, seed=1)

@@ -1,0 +1,113 @@
+"""Unit tests for the random event-stream generator."""
+
+import pytest
+
+from repro.core.events import (
+    AddAnnotatedTuples,
+    AddAnnotations,
+    AddUnannotatedTuples,
+    RemoveAnnotations,
+    RemoveTuples,
+)
+from repro.errors import MiningError
+from repro.relation.relation import AnnotatedRelation
+from repro.synth.streams import EventStream, StreamConfig
+from repro.synth.workloads import dev_scale
+
+
+class TestConfig:
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(MiningError):
+            StreamConfig(weight_add_annotations=0,
+                         weight_insert_annotated=0,
+                         weight_insert_unannotated=0,
+                         weight_remove_annotations=0,
+                         weight_remove_tuples=0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(MiningError):
+            StreamConfig(weight_remove_tuples=-1)
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(MiningError):
+            StreamConfig(batch_size=0)
+
+
+class TestDraw:
+    def test_deterministic_given_seed(self):
+        first = EventStream(dev_scale(n_tuples=50).relation,
+                            StreamConfig(seed=3))
+        second = EventStream(dev_scale(n_tuples=50).relation,
+                             StreamConfig(seed=3))
+        assert [first.draw() for _ in range(5)] \
+            == [second.draw() for _ in range(5)]
+
+    def test_events_target_live_tuples(self):
+        workload = dev_scale(n_tuples=60)
+        stream = EventStream(workload.relation, StreamConfig(seed=9))
+        for _ in range(20):
+            event = stream.draw()
+            if isinstance(event, AddAnnotations):
+                for tid, annotation_id in event.additions:
+                    assert workload.relation.is_live(tid)
+                    assert not workload.relation.tuple(tid).has_annotation(
+                        annotation_id)
+            elif isinstance(event, (RemoveAnnotations, RemoveTuples)):
+                tids = ([tid for tid, _ in event.removals]
+                        if isinstance(event, RemoveAnnotations)
+                        else list(event.tids))
+                assert all(workload.relation.is_live(tid) for tid in tids)
+
+    def test_weights_zeroing_excludes_kinds(self):
+        workload = dev_scale(n_tuples=40)
+        stream = EventStream(workload.relation, StreamConfig(
+            weight_add_annotations=0, weight_insert_annotated=0,
+            weight_insert_unannotated=1, weight_remove_annotations=0,
+            weight_remove_tuples=0, seed=5))
+        events = [stream.draw() for _ in range(10)]
+        assert all(isinstance(event, AddUnannotatedTuples)
+                   for event in events)
+
+    def test_empty_relation_falls_back_to_insert(self):
+        relation = AnnotatedRelation()
+        relation.insert(("seed",))
+        stream = EventStream(relation, StreamConfig(
+            weight_add_annotations=0, weight_insert_annotated=0,
+            weight_insert_unannotated=0, weight_remove_annotations=1,
+            weight_remove_tuples=0, seed=2))
+        event = stream.draw()
+        # No annotations exist to remove: the stream degrades to inserts
+        # rather than spinning forever.
+        assert isinstance(event, (AddUnannotatedTuples,
+                                  AddAnnotatedTuples))
+
+
+class TestTake:
+    def test_take_applies_between_draws(self):
+        workload = dev_scale(n_tuples=40)
+        relation = workload.relation
+        applied = []
+
+        def apply(event):
+            applied.append(type(event).__name__)
+            # Minimal application so subsequent draws see fresh state.
+            if isinstance(event, AddAnnotations):
+                for tid, annotation_id in event.additions:
+                    relation.annotate(tid, annotation_id)
+            elif isinstance(event, AddUnannotatedTuples):
+                for values in event.rows:
+                    relation.insert(values)
+            elif isinstance(event, AddAnnotatedTuples):
+                for values, annotations in event.rows:
+                    relation.insert(values, annotations)
+            elif isinstance(event, RemoveAnnotations):
+                for tid, annotation_id in event.removals:
+                    relation.detach(tid, annotation_id)
+            elif isinstance(event, RemoveTuples):
+                for tid in event.tids:
+                    relation.delete(tid)
+
+        stream = EventStream(relation, StreamConfig(seed=11))
+        events = list(stream.take(15, apply=apply))
+        assert len(events) == 15
+        assert len(applied) == 15

@@ -1,0 +1,34 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            attribute = getattr(errors, name)
+            if isinstance(attribute, type) \
+                    and issubclass(attribute, Exception) \
+                    and attribute is not errors.ReproError:
+                assert issubclass(attribute, errors.ReproError), name
+
+    def test_single_catch_point(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.MiningError("boom")
+
+
+class TestFormatError:
+    def test_location_rendered(self):
+        error = errors.FormatError("bad token", line_number=7,
+                                   line="x y z")
+        assert "line 7" in str(error)
+        assert "'x y z'" in str(error)
+        assert error.line_number == 7
+        assert error.line == "x y z"
+
+    def test_location_optional(self):
+        error = errors.FormatError("bad token")
+        assert str(error) == "bad token"
+        assert error.line_number is None

@@ -1,0 +1,86 @@
+"""Unit tests for shared helpers (thresholds arithmetic, timers)."""
+
+import pytest
+
+from repro._util import (
+    Stopwatch,
+    meets_fraction,
+    min_count_for,
+    sorted_tuple,
+    timed,
+    validate_fraction,
+)
+from repro.errors import InvalidThresholdError
+
+
+class TestValidateFraction:
+    def test_accepts_valid(self):
+        assert validate_fraction(0.5, "x") == 0.5
+        assert validate_fraction(1, "x") == 1.0
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.01, float("nan"), True,
+                                     "0.5", None])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(InvalidThresholdError):
+            validate_fraction(bad, "x")
+
+    def test_error_names_the_parameter(self):
+        with pytest.raises(InvalidThresholdError, match="min_support"):
+            validate_fraction(2.0, "min_support")
+
+
+class TestMinCountFor:
+    def test_basic(self):
+        assert min_count_for(0.4, 10) == 4
+        assert min_count_for(0.4, 11) == 5
+
+    def test_exact_products_not_rounded_up(self):
+        # 0.3 * 10 = 3.0 exactly (within epsilon): count >= 3, not 4.
+        assert min_count_for(0.3, 10) == 3
+        assert min_count_for(0.25, 8) == 2
+
+    def test_floor_of_one(self):
+        assert min_count_for(0.001, 10) == 1
+        assert min_count_for(0.5, 0) == 1
+
+    def test_agreement_with_meets_fraction(self):
+        # The two helpers must define the same boundary everywhere.
+        for total in range(1, 40):
+            for percent in range(1, 100):
+                fraction = percent / 100
+                threshold = min_count_for(fraction, total)
+                assert meets_fraction(threshold, total, fraction)
+                assert not meets_fraction(threshold - 1, total, fraction)
+
+
+class TestMeetsFraction:
+    def test_boundary(self):
+        assert meets_fraction(4, 10, 0.4)
+        assert not meets_fraction(3, 10, 0.4)
+
+    def test_zero_denominator(self):
+        assert not meets_fraction(5, 0, 0.1)
+
+
+class TestSortedTuple:
+    def test_sorts_and_dedupes(self):
+        assert sorted_tuple([3, 1, 1, 2]) == (1, 2, 3)
+        assert sorted_tuple([]) == ()
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        watch.start()
+        first = watch.stop()
+        watch.start()
+        second = watch.stop()
+        assert second >= first >= 0.0
+
+    def test_stop_without_start_is_safe(self):
+        assert Stopwatch().stop() == 0.0
+
+    def test_timed_context(self):
+        with timed() as watch:
+            sum(range(1000))
+        assert watch.elapsed > 0.0

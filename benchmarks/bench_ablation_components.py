@@ -17,13 +17,13 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines.remine import remine
-from repro.core.manager import AnnotationRuleManager
+from repro.core.engine import engine
 from repro.synth.generator import generate_annotation_batch
 from benchmarks._harness import fmt_ms, record, time_once
 
 
 def _mined(workload, margin=0.75):
-    manager = AnnotationRuleManager(
+    manager = engine(
         workload.relation.copy(),
         min_support=workload.min_support,
         min_confidence=workload.min_confidence,
@@ -93,7 +93,7 @@ def test_ablation_rule_compression(benchmark, case_workload):
     observation; reported as rules shown to the curator before/after."""
     from repro.mining.closed import compress_rules, compression_ratio
 
-    manager = AnnotationRuleManager(
+    manager = engine(
         case_workload.relation.copy(),
         min_support=0.1,  # deliberately low: many redundant rules
         min_confidence=case_workload.min_confidence)
@@ -113,7 +113,7 @@ def test_ablation_rule_compression(benchmark, case_workload):
 def test_ablation_candidate_store_disabled(benchmark, case_workload):
     """track_candidates=False must not affect correctness, only the
     observability of near-misses."""
-    manager = AnnotationRuleManager(
+    manager = engine(
         case_workload.relation.copy(),
         min_support=case_workload.min_support,
         min_confidence=case_workload.min_confidence,

@@ -18,7 +18,7 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines.remine import remine
-from repro.core.manager import AnnotationRuleManager
+from repro.core.engine import engine
 from repro.synth.generator import generate_annotation_batch
 from benchmarks._harness import fmt_ms, record, time_once
 
@@ -27,7 +27,7 @@ SUPPORT_SWEEP = (0.5, 0.4, 0.3, 0.2)
 
 
 def _mined_copy(workload, min_support=None):
-    manager = AnnotationRuleManager(
+    manager = engine(
         workload.relation.copy(),
         min_support=min_support or workload.min_support,
         min_confidence=workload.min_confidence)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.manager import AnnotationRuleManager
+from repro.core.engine import engine
 from repro.exploitation.curation import CurationSession
 from repro.exploitation.ranking import rank
 from repro.exploitation.recommender import MissingAnnotationRecommender
@@ -30,7 +30,7 @@ def damaged():
     relation = workload.relation
     hidden = set(hide_annotations(relation, fraction=HIDE_FRACTION,
                                   seed=4))
-    manager = AnnotationRuleManager(relation, min_support=0.3,
+    manager = engine(relation, min_support=0.3,
                                     min_confidence=0.7)
     manager.mine()
     return manager, hidden

@@ -14,8 +14,9 @@ import io
 
 import pytest
 
-from repro.core.manager import AnnotationRuleManager
+from repro.core.engine import engine
 from repro.core.rules import RuleKind
+from repro.mining.backend import available_backends
 from repro.io.rules_format import parse_rules, write_rules
 from repro.synth import workloads
 from benchmarks._harness import record
@@ -29,19 +30,22 @@ def dense_workload():
     return workloads.dense_correlations()
 
 
-def _mine(relation, min_support, min_confidence):
-    manager = AnnotationRuleManager(relation.copy(),
-                                    min_support=min_support,
-                                    min_confidence=min_confidence)
+def _mine(relation, min_support, min_confidence, backend="apriori-fup"):
+    manager = engine(relation.copy(),
+                     min_support=min_support,
+                     min_confidence=min_confidence,
+                     backend=backend)
     manager.mine()
     return manager
 
 
-def test_fig7_rule_file_at_paper_thresholds(benchmark, paper_workload):
+def test_fig7_rule_file_at_paper_thresholds(benchmark, paper_workload,
+                                            backend_name):
     manager = benchmark.pedantic(
         lambda: _mine(paper_workload.relation,
                       paper_workload.min_support,
-                      paper_workload.min_confidence),
+                      paper_workload.min_confidence,
+                      backend_name),
         rounds=2, iterations=1)
     buffer = io.StringIO()
     write_rules(manager.rules, manager.vocabulary, buffer)
@@ -60,7 +64,30 @@ def test_fig7_rule_file_at_paper_thresholds(benchmark, paper_workload):
         f"flagship rule (paper: '28 85 ==> Annot_1, 0.9659, 0.4194'): "
         f"{flagship[0].lhs_tokens} ==> {flagship[0].rhs_token}, "
         f"{flagship[0].confidence}, {flagship[0].support}",
+        f"backend: {manager.backend_name}",
     ])
+
+
+def test_fig7_backend_axis(benchmark, dense_workload, backend_name):
+    """The same discovery pass on every registered backend: identical
+    rule sets, per-backend wall clock as a comparison table."""
+    from benchmarks._harness import fmt_ms, time_once
+
+    manager = benchmark.pedantic(
+        lambda: _mine(dense_workload.relation, 0.2, 0.6, backend_name),
+        rounds=2, iterations=1)
+    reference = manager.signature()
+
+    rows = [f"benchmarked backend: {backend_name}",
+            "backend        initial-mine      rules  agrees"]
+    for name in available_backends():
+        elapsed, other = time_once(
+            lambda: _mine(dense_workload.relation, 0.2, 0.6, name))
+        agrees = other.signature() == reference
+        rows.append(f"{name:12s} {fmt_ms(elapsed)} {len(other.rules):8d}"
+                    f"  {agrees}")
+        assert agrees, f"backend {name} disagrees with {backend_name}"
+    record("E5_fig7_backend_axis", rows)
 
 
 def test_fig7_threshold_grid(benchmark, dense_workload):

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.manager import AnnotationRuleManager
+from repro.core.engine import engine
 from repro.generalization.engine import Generalizer
 from repro.generalization.hierarchy import ConceptHierarchy
 from repro.generalization.rules import (
@@ -38,7 +38,7 @@ def _variant_ids(relation):
 
 
 def _mine(relation, workload, generalizer=None):
-    manager = AnnotationRuleManager(
+    manager = engine(
         relation, min_support=workload.min_support,
         min_confidence=workload.min_confidence, generalizer=generalizer)
     manager.mine()

@@ -18,7 +18,8 @@ import random
 import tempfile
 from pathlib import Path
 
-from repro import AnnotatedRelation, Annotation, AnnotationRuleManager, Schema
+import repro
+from repro import AnnotatedRelation, Annotation, Schema
 from repro.core import persistence
 from repro.relation.query import join, project, select
 
@@ -73,7 +74,7 @@ def main() -> None:
     print(f"view (instrument, value, vendor) over high readings: "
           f"{len(view)} tuples")
 
-    manager = AnnotationRuleManager(view, min_support=0.1,
+    manager = repro.engine(view, min_support=0.1,
                                     min_confidence=0.6)
     manager.mine()
     print(f"\nrules mined on the view: {len(manager.rules)}")

@@ -17,10 +17,10 @@ Run with:  python examples/biocuration.py
 
 import random
 
+import repro
 from repro import (
     AnnotatedRelation,
     Annotation,
-    AnnotationRuleManager,
     ConceptHierarchy,
     GeneralizationRule,
     GeneralizationRuleSet,
@@ -87,9 +87,9 @@ def main() -> None:
         ConceptHierarchy.from_edges([("Invalidation", "QualityIssue")]),
     )
 
-    manager = AnnotationRuleManager(relation, min_support=0.05,
-                                    min_confidence=0.6,
-                                    generalizer=generalizer)
+    manager = repro.engine(relation, min_support=0.05,
+                           min_confidence=0.6,
+                           generalizer=generalizer)
     manager.mine()
     print(f"\nRules over the extended (generalized) database: "
           f"{len(manager.rules)}")

@@ -11,7 +11,8 @@ Run with:  python examples/incremental_maintenance.py
 
 import time
 
-from repro import AnnotationRuleManager, remine
+import repro
+from repro import remine
 from repro.synth.generator import generate_annotation_batch
 from repro.synth.workloads import paper_scale
 
@@ -22,7 +23,7 @@ def main() -> None:
           f"alpha={workload.min_support}, beta={workload.min_confidence} "
           f"(the paper's Figure 16 setting)")
 
-    manager = AnnotationRuleManager(
+    manager = repro.engine(
         workload.relation,
         min_support=workload.min_support,
         min_confidence=workload.min_confidence)

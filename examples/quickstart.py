@@ -1,14 +1,17 @@
 """Quickstart: discover and incrementally maintain annotation rules.
 
-Builds a small annotated relation, mines data-to-annotation and
+Builds a small annotated relation, configures a correlation engine
+through the fluent builder, mines data-to-annotation and
 annotation-to-annotation rules, applies each of the paper's three
 update cases incrementally, and verifies the maintained rule set
-against a full re-mine after every step.
+against a full re-mine after every step — then repeats the initial
+mine on every registered backend to show they agree.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import AnnotationRuleManager, AnnotatedRelation, RuleKind
+import repro
+from repro import AnnotatedRelation, CorrelationEngine, EngineConfig, RuleKind
 
 ROWS = [
     # (data values, annotations) — Figure 4 style, opaque value ids.
@@ -23,44 +26,61 @@ ROWS = [
 ]
 
 
-def print_rules(manager: AnnotationRuleManager) -> None:
-    for kind in (RuleKind.DATA_TO_ANNOTATION,
-                 RuleKind.ANNOTATION_TO_ANNOTATION):
-        print(f"  {kind.value}:")
-        for rule in manager.rules.sorted_rules():
-            if rule.kind is kind:
-                print(f"    {rule.render(manager.vocabulary)}")
-
-
-def main() -> None:
+def build_relation() -> AnnotatedRelation:
     relation = AnnotatedRelation()
     for values, annotations in ROWS:
         relation.insert(values, annotations)
+    return relation
 
-    manager = AnnotationRuleManager(relation, min_support=0.25,
-                                    min_confidence=0.6)
-    report = manager.mine()
-    print(f"Mined {len(manager.rules)} rules from {manager.db_size} tuples "
-          f"in {report.duration_seconds * 1000:.1f} ms")
-    print_rules(manager)
+
+def print_rules(engine: CorrelationEngine) -> None:
+    for kind in (RuleKind.DATA_TO_ANNOTATION,
+                 RuleKind.ANNOTATION_TO_ANNOTATION):
+        print(f"  {kind.value}:")
+        for rule in engine.rules.sorted_rules():
+            if rule.kind is kind:
+                print(f"    {rule.render(engine.vocabulary)}")
+
+
+def main() -> None:
+    config = (EngineConfig.builder()
+              .support(0.25)
+              .confidence(0.6)
+              .build())
+    engine = CorrelationEngine(build_relation(), config)
+    report = engine.mine()
+    print(f"Mined {len(engine.rules)} rules from {engine.db_size} tuples "
+          f"in {report.duration_seconds * 1000:.1f} ms "
+          f"[backend={engine.backend_name}]")
+    print_rules(engine)
 
     print("\nCase 3 — add annotations to existing tuples (the δ batch):")
-    report = manager.add_annotations([(5, "Annot_1"), (7, "Annot_1")])
+    report = engine.add_annotations([(5, "Annot_1"), (7, "Annot_1")])
     print(f"  {report.summary()}")
 
     print("Case 1 — add annotated tuples:")
-    report = manager.insert_annotated([(("28", "85", "9"), ("Annot_1",))])
+    report = engine.insert_annotated([(("28", "85", "9"), ("Annot_1",))])
     print(f"  {report.summary()}")
 
     print("Case 2 — add un-annotated tuples:")
-    report = manager.insert_unannotated([("41", "12", "9")])
+    report = engine.insert_unannotated([("41", "12", "9")])
     print(f"  {report.summary()}")
 
-    verification = manager.verify_against_remine()
+    verification = engine.verify_against_remine()
     print(f"\nIncremental == full re-mine: {verification.equivalent} "
           f"({verification.explain()})")
     print("\nFinal rules:")
-    print_rules(manager)
+    print_rules(engine)
+
+    print("\nEvery backend mines the same rule set:")
+    reference = None
+    for backend in repro.available_backends():
+        alt = repro.engine(build_relation(), config, backend=backend)
+        alt.mine()
+        reference = alt.signature() if reference is None else reference
+        agrees = alt.signature() == reference
+        print(f"  {backend:12s} -> {len(alt.rules)} rules, "
+              f"agrees with reference: {agrees}")
 
 
 if __name__ == "__main__":

@@ -25,7 +25,22 @@ from repro.core.events import (
     RemoveAnnotations,
     RemoveTuples,
 )
+from repro.core.config import EngineConfig, EngineConfigBuilder
+from repro.core.engine import (
+    CorrelationEngine,
+    VerificationResult,
+    engine,
+)
 from repro.core.manager import AnnotationRuleManager
+from repro.mining.backend import (
+    AprioriFupBackend,
+    EclatBackend,
+    FPGrowthBackend,
+    MiningBackend,
+    available_backends,
+    register_backend,
+)
+from repro.app.service import CorrelationService, RuleSnapshot
 from repro.core.audit import AuditReport, audit
 from repro.core.explain import RuleEvidence, explain_rule, render_evidence
 from repro.core.multilevel import LeveledRule, MultiLevelMiner
@@ -71,8 +86,18 @@ __all__ = [
     "AnnotationAnchor",
     "AnnotatedRelation",
     "AnnotationRuleManager",
+    "AprioriFupBackend",
     "AssociationRule",
     "AuditReport",
+    "CorrelationEngine",
+    "CorrelationService",
+    "EclatBackend",
+    "EngineConfig",
+    "EngineConfigBuilder",
+    "FPGrowthBackend",
+    "MiningBackend",
+    "RuleSnapshot",
+    "VerificationResult",
     "ConceptHierarchy",
     "CurationSession",
     "Direction",
@@ -106,13 +131,16 @@ __all__ = [
     "UnexplainedAnnotationFinder",
     "TransactionDatabase",
     "audit",
+    "available_backends",
     "closed_itemsets",
     "compress_rules",
+    "engine",
     "evaluate_rule",
     "explain_rule",
     "maximal_itemsets",
     "persistence",
     "query",
+    "register_backend",
     "remine",
     "render_evidence",
     "score_recommendations",

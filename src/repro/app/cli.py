@@ -22,6 +22,7 @@ from collections.abc import Callable, Iterator
 from repro.core.rules import RuleKind
 from repro.errors import ReproError
 from repro.app.session import Session
+from repro.mining.backend import DEFAULT_BACKEND, available_backends
 
 MENU = """
 Please select an operation:
@@ -49,10 +50,12 @@ class CommandLoop:
 
     def __init__(self,
                  read: Callable[[str], str],
-                 write: Callable[[str], None]) -> None:
+                 write: Callable[[str], None],
+                 *,
+                 backend: str = DEFAULT_BACKEND) -> None:
         self._read = read
         self._write = write
-        self.session = Session()
+        self.session = Session(backend=backend)
 
     # -- prompting helpers ----------------------------------------------------
 
@@ -243,17 +246,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="dataset file (paper Figure 4 format)")
     parser.add_argument("--commands", metavar="FILE",
                         help="read menu answers from FILE instead of stdin")
+    parser.add_argument("--backend", default=DEFAULT_BACKEND,
+                        choices=available_backends(),
+                        help="mining backend for discovery and maintenance "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
     if args.commands:
         with open(args.commands, encoding="utf-8") as handle:
             lines = [line.rstrip("\n") for line in handle]
-        loop = CommandLoop(_scripted_reader(lines), print)
+        loop = CommandLoop(_scripted_reader(lines), print,
+                           backend=args.backend)
     else:
         def read(prompt: str) -> str:
             return input(prompt)
 
-        loop = CommandLoop(read, print)
+        loop = CommandLoop(read, print, backend=args.backend)
     try:
         return loop.run(args.dataset)
     except (ReproError, FileNotFoundError) as error:

@@ -9,12 +9,12 @@ the CLI prints and tests can assert on.
 from __future__ import annotations
 
 from repro.core.maintenance import MaintenanceReport
-from repro.core.manager import AnnotationRuleManager
+from repro.core.engine import CorrelationEngine
 from repro.core.rules import RuleKind
 from repro.mining.closed import compress_rules
 
 
-def rules_report(manager: AnnotationRuleManager, *,
+def rules_report(manager: CorrelationEngine, *,
                  compress: bool = False,
                  limit: int | None = None) -> str:
     """Rules grouped by kind, confidence-descending, Figure 7 lines."""
@@ -34,7 +34,7 @@ def rules_report(manager: AnnotationRuleManager, *,
     return "\n".join(lines)
 
 
-def candidates_report(manager: AnnotationRuleManager, *,
+def candidates_report(manager: CorrelationEngine, *,
                       limit: int = 10) -> str:
     """The near-miss rules closest to promotion, with their gaps."""
     thresholds = manager.thresholds
@@ -57,7 +57,7 @@ def candidates_report(manager: AnnotationRuleManager, *,
     return "\n".join(lines)
 
 
-def table_report(manager: AnnotationRuleManager) -> str:
+def table_report(manager: CorrelationEngine) -> str:
     """Pattern table size by class plus index statistics."""
     stats = manager.table.stats()
     frequencies = manager.index.annotation_frequencies()

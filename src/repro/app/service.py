@@ -1,0 +1,288 @@
+"""Thread-safe serving facade over correlation engines.
+
+The paper's application is one synchronous menu loop around one
+dataset.  :class:`CorrelationService` is the shape a *served* system
+needs instead: it hosts many named sessions (one engine each), lets
+writers stream update events into a batched queue, and lets any number
+of concurrent readers query immutable :class:`RuleSnapshot` views while
+a flush is pending.
+
+Concurrency model, per session:
+
+* a read-write lock (:class:`ReadWriteLock`, writer-preferring)
+  guards the engine — queries share the read side, ``mine``/``flush``
+  take the write side;
+* :meth:`CorrelationService.submit` appends to a queue under a cheap
+  mutex and never touches the engine, so producers are not blocked by
+  readers (set ``auto_flush_every`` to bound queue growth by flushing
+  inline once the queue reaches that depth);
+* :meth:`CorrelationService.flush` drains the queue in submission
+  order inside one write-lock hold, so readers observe either the
+  pre-batch or the post-batch rule set, never a half-applied one;
+* :class:`RuleSnapshot` results are frozen copies — they stay valid
+  (and stale) after the lock is released, which is the point.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.core.config import EngineConfig
+from repro.core.engine import CorrelationEngine, RuleSignature, VerificationResult
+from repro.core.events import UpdateEvent
+from repro.core.maintenance import MaintenanceReport
+from repro.core.rules import AssociationRule, RuleKind
+from repro.errors import SessionError
+from repro.relation.relation import AnnotatedRelation
+
+
+@dataclass(frozen=True)
+class RuleSnapshot:
+    """An immutable, point-in-time view of one session's rule set."""
+
+    session: str
+    backend: str
+    db_size: int
+    #: Monotone per-session counter: bumped by ``mine`` and each flush.
+    revision: int
+    rules: tuple[AssociationRule, ...]
+    signature: frozenset[RuleSignature]
+    #: Events queued but not yet applied when the snapshot was taken.
+    pending_events: int
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[AssociationRule]:
+        return iter(self.rules)
+
+    def of_kind(self, kind: RuleKind) -> tuple[AssociationRule, ...]:
+        return tuple(rule for rule in self.rules if rule.kind is kind)
+
+
+class ReadWriteLock:
+    """Writer-preferring read-write lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Arriving writers block *new* readers, so a steady read load
+    cannot starve flushes.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._active_writer = False
+        self._waiting_writers = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._condition:
+            while self._active_writer or self._waiting_writers:
+                self._condition.wait()
+            self._active_readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._active_readers -= 1
+                if self._active_readers == 0:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._condition:
+            self._waiting_writers += 1
+            try:
+                while self._active_writer or self._active_readers:
+                    self._condition.wait()
+                self._active_writer = True
+            finally:
+                self._waiting_writers -= 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._active_writer = False
+                self._condition.notify_all()
+
+
+@dataclass
+class _Hosted:
+    """One named session: an engine plus its locks and update queue."""
+
+    name: str
+    engine: CorrelationEngine
+    lock: ReadWriteLock = field(default_factory=ReadWriteLock)
+    queue_lock: threading.Lock = field(default_factory=threading.Lock)
+    queue: deque[UpdateEvent] = field(default_factory=deque)
+    revision: int = 0
+
+
+class CorrelationService:
+    """Hosts named correlation sessions for concurrent readers/writers."""
+
+    def __init__(self, *,
+                 config: EngineConfig | None = None,
+                 auto_flush_every: int | None = None) -> None:
+        if auto_flush_every is not None and auto_flush_every < 1:
+            raise SessionError(
+                f"auto_flush_every must be >= 1 or None, "
+                f"got {auto_flush_every}")
+        self._default_config = config
+        self._auto_flush_every = auto_flush_every
+        self._registry_lock = threading.Lock()
+        self._hosted: dict[str, _Hosted] = {}
+
+    # -- session registry ------------------------------------------------------
+
+    def create(self, name: str,
+               relation: AnnotatedRelation | None = None,
+               config: EngineConfig | None = None,
+               *, mine: bool = True) -> RuleSnapshot:
+        """Register session ``name`` over ``relation`` and (by default)
+        run the initial mine; returns the first snapshot."""
+        config = config if config is not None else self._default_config
+        if config is None:
+            raise SessionError(
+                f"no EngineConfig for session {name!r}: pass one to "
+                f"create() or construct the service with a default")
+        with self._registry_lock:
+            if name in self._hosted:
+                raise SessionError(f"session {name!r} already exists")
+        hosted = _Hosted(name=name,
+                         engine=CorrelationEngine(relation, config))
+        # Mine before publishing: a failed mine must not leave a broken
+        # session squatting on the name (nobody can reach it yet, so no
+        # write lock is needed).
+        if mine:
+            hosted.engine.mine()
+            hosted.revision += 1
+        with self._registry_lock:
+            if name in self._hosted:
+                raise SessionError(f"session {name!r} already exists")
+            self._hosted[name] = hosted
+        return self._snapshot_locked(hosted)
+
+    def sessions(self) -> tuple[str, ...]:
+        with self._registry_lock:
+            return tuple(sorted(self._hosted))
+
+    def drop(self, name: str) -> None:
+        with self._registry_lock:
+            if self._hosted.pop(name, None) is None:
+                raise SessionError(f"unknown session {name!r}")
+
+    def _session(self, name: str) -> _Hosted:
+        with self._registry_lock:
+            try:
+                return self._hosted[name]
+            except KeyError:
+                known = ", ".join(sorted(self._hosted)) or "(none)"
+                raise SessionError(
+                    f"unknown session {name!r}; known: {known}") from None
+
+    # -- writes ---------------------------------------------------------------
+
+    def submit(self, name: str, event: UpdateEvent) -> int:
+        """Queue ``event`` for the next flush; returns the queue depth.
+
+        Never blocks on readers.  With ``auto_flush_every`` set, a full
+        queue is flushed inline before returning (depth 0).
+        """
+        hosted = self._session(name)
+        with hosted.queue_lock:
+            hosted.queue.append(event)
+            depth = len(hosted.queue)
+        if (self._auto_flush_every is not None
+                and depth >= self._auto_flush_every):
+            self.flush(name)
+            return 0
+        return depth
+
+    def flush(self, name: str) -> tuple[MaintenanceReport, ...]:
+        """Apply every queued event in submission order, atomically with
+        respect to readers; returns one report per event.
+
+        If an event fails, the *unapplied remainder* of the batch is
+        re-queued at the front (in order) and the error is re-raised
+        wrapped in :class:`SessionError` naming the poison event — it is
+        dropped, since retrying it would fail every flush.  Events
+        applied before the failure stay applied; call
+        :meth:`CorrelationService.mine` if the engine reports its
+        incremental state as stale.
+        """
+        hosted = self._session(name)
+        with hosted.lock.write():
+            with hosted.queue_lock:
+                batch = list(hosted.queue)
+                hosted.queue.clear()
+            reports = []
+            for position, event in enumerate(batch):
+                try:
+                    reports.append(hosted.engine.apply(event))
+                except Exception as error:
+                    remainder = batch[position + 1:]
+                    with hosted.queue_lock:
+                        hosted.queue.extendleft(reversed(remainder))
+                    if reports:
+                        hosted.revision += 1
+                    raise SessionError(
+                        f"flush of session {name!r} failed on event "
+                        f"{position + 1} of {len(batch)} ({event!r}); "
+                        f"{len(reports)} applied, {len(remainder)} "
+                        f"re-queued, the failing event dropped") from error
+            if reports:
+                hosted.revision += 1
+        return tuple(reports)
+
+    def mine(self, name: str) -> MaintenanceReport:
+        """(Re-)run the initial from-scratch pass for ``name``."""
+        hosted = self._session(name)
+        with hosted.lock.write():
+            report = hosted.engine.mine()
+            hosted.revision += 1
+        return report
+
+    # -- reads ----------------------------------------------------------------
+
+    def snapshot(self, name: str) -> RuleSnapshot:
+        """A frozen view of the current rules (shared read lock)."""
+        hosted = self._session(name)
+        return self._snapshot_locked(hosted)
+
+    def rules(self, name: str,
+              kind: RuleKind | None = None) -> tuple[AssociationRule, ...]:
+        snap = self.snapshot(name)
+        return snap.rules if kind is None else snap.of_kind(kind)
+
+    def pending(self, name: str) -> int:
+        """Events submitted but not yet flushed."""
+        hosted = self._session(name)
+        with hosted.queue_lock:
+            return len(hosted.queue)
+
+    def verify(self, name: str) -> VerificationResult:
+        """Re-mine from scratch and compare (read lock: no mutation)."""
+        hosted = self._session(name)
+        with hosted.lock.read():
+            return hosted.engine.verify_against_remine()
+
+    def _snapshot_locked(self, hosted: _Hosted) -> RuleSnapshot:
+        with hosted.lock.read():
+            engine = hosted.engine
+            with hosted.queue_lock:
+                pending = len(hosted.queue)
+            mined = engine.is_mined
+            return RuleSnapshot(
+                session=hosted.name,
+                backend=engine.backend_name,
+                db_size=engine.db_size,
+                revision=hosted.revision,
+                rules=(tuple(engine.rules.sorted_rules()) if mined else ()),
+                signature=engine.signature() if mined else frozenset(),
+                pending_events=pending,
+            )

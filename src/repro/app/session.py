@@ -13,11 +13,13 @@ from __future__ import annotations
 
 import os
 
+from repro.core.config import EngineConfig
+from repro.core.engine import CorrelationEngine
 from repro.core.maintenance import MaintenanceReport
-from repro.core.manager import AnnotationRuleManager
 from repro.core.rules import AssociationRule, RuleKind
 from repro.core.stats import DEFAULT_MARGIN
 from repro.errors import SessionError
+from repro.mining.backend import DEFAULT_BACKEND
 from repro.exploitation.ranking import rank
 from repro.exploitation.recommender import (
     MissingAnnotationRecommender,
@@ -32,11 +34,12 @@ from repro.relation.relation import AnnotatedRelation
 class Session:
     """Mutable application state: one dataset, one mined manager."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, backend: str = DEFAULT_BACKEND) -> None:
         self.relation: AnnotatedRelation | None = None
-        self.manager: AnnotationRuleManager | None = None
+        self.manager: CorrelationEngine | None = None
         self.generalizer: Generalizer | None = None
         self.dataset_path: str | None = None
+        self.backend = backend
 
     # -- dataset -----------------------------------------------------------
 
@@ -53,7 +56,7 @@ class Session:
             raise SessionError("no dataset loaded — load a dataset first")
         return self.relation
 
-    def _require_manager(self) -> AnnotationRuleManager:
+    def _require_manager(self) -> CorrelationEngine:
         if self.manager is None:
             raise SessionError(
                 "no rules mined yet — run a discovery option first")
@@ -77,14 +80,15 @@ class Session:
              max_length: int | None = None) -> MaintenanceReport:
         """(Re)mine at the given thresholds; installs a fresh manager."""
         relation = self._require_relation()
-        self.manager = AnnotationRuleManager(
-            relation,
-            min_support=min_support,
-            min_confidence=min_confidence,
-            margin=margin,
-            generalizer=self.generalizer,
-            max_length=max_length,
-        )
+        config = (EngineConfig.builder()
+                  .support(min_support)
+                  .confidence(min_confidence)
+                  .margin(margin)
+                  .backend(self.backend)
+                  .generalizer(self.generalizer)
+                  .max_length(max_length)
+                  .build())
+        self.manager = CorrelationEngine(relation, config)
         return self.manager.mine()
 
     def rules_of_kind(self, kind: RuleKind) -> list[AssociationRule]:
@@ -154,6 +158,7 @@ class Session:
             "annotations": (len(self.relation.registry)
                             if self.relation else 0),
             "generalizations": (self.generalizer is not None),
+            "backend": self.backend,
             "mined": self.manager is not None,
         }
         if self.manager is not None:

@@ -4,15 +4,19 @@ The paper verifies every incremental case by "manually adding in [the
 update] and running the original apriori algorithm over the newly
 updated dataset", then checking the rule sets are identical; and its
 Figure 16 compares the incremental path's run time against exactly this
-baseline.  :func:`remine` builds a *fresh* manager over a deep copy of
+baseline.  :func:`remine` builds a *fresh* engine over a deep copy of
 the relation and mines from scratch — no shared state with the
-incremental manager beyond the relation's logical content.
+incremental engine beyond the relation's logical content.  The baseline
+honours the caller's mining backend so each backend is verified against
+its own from-scratch run.
 """
 
 from __future__ import annotations
 
-from repro.core.manager import AnnotationRuleManager
+from repro.core.config import EngineConfig
+from repro.core.engine import CorrelationEngine
 from repro.core.stats import DEFAULT_MARGIN
+from repro.mining.backend import DEFAULT_BACKEND
 from repro.relation.relation import AnnotatedRelation
 
 
@@ -23,27 +27,28 @@ def remine(relation: AnnotatedRelation,
            margin: float = DEFAULT_MARGIN,
            generalizer=None,
            max_length: int | None = None,
-           counter: str = "auto") -> AnnotationRuleManager:
-    """Mine ``relation`` from scratch; returns the fresh manager.
+           counter: str = "auto",
+           backend: str = DEFAULT_BACKEND) -> CorrelationEngine:
+    """Mine ``relation`` from scratch; returns the fresh engine.
 
     The relation is copied first, so re-mining never interferes with an
-    incremental manager tracking the original (label application during
+    incremental engine tracking the original (label application during
     mining mutates tuples).
     """
-    manager = AnnotationRuleManager(
-        relation.copy(),
+    fresh = CorrelationEngine(relation.copy(), EngineConfig(
         min_support=min_support,
         min_confidence=min_confidence,
         margin=margin,
+        backend=backend,
         generalizer=generalizer,
         max_length=max_length,
         counter=counter,
-    )
-    manager.mine()
-    return manager
+    ))
+    fresh.mine()
+    return fresh
 
 
-def signatures_match(incremental: AnnotationRuleManager,
-                     baseline: AnnotationRuleManager) -> bool:
-    """Structural rule-set equality across independently built managers."""
+def signatures_match(incremental: CorrelationEngine,
+                     baseline: CorrelationEngine) -> bool:
+    """Structural rule-set equality across independently built engines."""
     return incremental.signature() == baseline.signature()

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.manager import AnnotationRuleManager
+from repro.core.engine import CorrelationEngine
 from repro.core.derive import derive_rules
 from repro.relation.transactions import encode_tuple
 
@@ -44,7 +44,7 @@ class AuditReport:
                                    for finding in self.findings[:10]])
 
 
-def audit(manager: AnnotationRuleManager, *,
+def audit(manager: CorrelationEngine, *,
           max_pattern_checks: int | None = None) -> AuditReport:
     """Run every consistency check; returns the findings.
 

@@ -1,0 +1,122 @@
+"""Engine configuration: one immutable object instead of sprawling kwargs.
+
+:class:`EngineConfig` gathers every knob the correlation engine takes —
+thresholds, the near-miss margin, the mining backend, generalization,
+search limits, counting strategy, observability toggles.  It is frozen,
+so a config can be shared between engines, stored on a service, or used
+as a template (:meth:`EngineConfig.replace`) without aliasing bugs.
+
+:class:`EngineConfigBuilder` is the fluent construction path::
+
+    config = (EngineConfig.builder()
+              .support(0.2).confidence(0.6)
+              .backend("eclat")
+              .build())
+
+Thresholds are validated eagerly at :meth:`~EngineConfigBuilder.build`
+(and at ``EngineConfig`` construction) through the same
+:class:`~repro.core.stats.Thresholds` rules the engine enforces, so a
+bad config fails where it is written, not where it is first mined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dataclass_replace
+from typing import Any
+
+from repro.core.stats import DEFAULT_MARGIN, Thresholds
+from repro.errors import InvalidThresholdError
+from repro.mining.backend import DEFAULT_BACKEND
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Complete, validated configuration of a :class:`CorrelationEngine`."""
+
+    min_support: float
+    min_confidence: float
+    margin: float = DEFAULT_MARGIN
+    backend: str = DEFAULT_BACKEND
+    generalizer: Any = None
+    max_length: int | None = None
+    counter: str = "auto"
+    track_candidates: bool = True
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        # Thresholds shares its validation; a bad fraction raises here.
+        self.thresholds()
+        if self.max_length is not None and self.max_length < 1:
+            raise InvalidThresholdError(
+                f"max_length must be >= 1 or None, got {self.max_length}")
+
+    def thresholds(self) -> Thresholds:
+        """The engine-facing thresholds triple."""
+        return Thresholds(self.min_support, self.min_confidence, self.margin)
+
+    def replace(self, **changes: Any) -> "EngineConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return _dataclass_replace(self, **changes)
+
+    @classmethod
+    def builder(cls) -> "EngineConfigBuilder":
+        return EngineConfigBuilder()
+
+
+class EngineConfigBuilder:
+    """Fluent builder; every setter returns the builder itself."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, Any] = {}
+
+    # -- required knobs --------------------------------------------------------
+
+    def support(self, min_support: float) -> "EngineConfigBuilder":
+        self._values["min_support"] = min_support
+        return self
+
+    def confidence(self, min_confidence: float) -> "EngineConfigBuilder":
+        self._values["min_confidence"] = min_confidence
+        return self
+
+    # -- optional knobs --------------------------------------------------------
+
+    def margin(self, margin: float) -> "EngineConfigBuilder":
+        self._values["margin"] = margin
+        return self
+
+    def backend(self, name: str) -> "EngineConfigBuilder":
+        self._values["backend"] = name
+        return self
+
+    def generalizer(self, generalizer: Any) -> "EngineConfigBuilder":
+        self._values["generalizer"] = generalizer
+        return self
+
+    def max_length(self, max_length: int | None) -> "EngineConfigBuilder":
+        self._values["max_length"] = max_length
+        return self
+
+    def counter(self, counter: str) -> "EngineConfigBuilder":
+        self._values["counter"] = counter
+        return self
+
+    def track_candidates(self, enabled: bool = True) -> "EngineConfigBuilder":
+        self._values["track_candidates"] = enabled
+        return self
+
+    def validate(self, enabled: bool = True) -> "EngineConfigBuilder":
+        self._values["validate"] = enabled
+        return self
+
+    # -- terminal --------------------------------------------------------------
+
+    def build(self) -> EngineConfig:
+        missing = [name for name in ("min_support", "min_confidence")
+                   if name not in self._values]
+        if missing:
+            raise InvalidThresholdError(
+                "EngineConfig.builder() is missing required "
+                f"{' and '.join(missing)} — call .support(...) / "
+                ".confidence(...) before .build()")
+        return EngineConfig(**self._values)

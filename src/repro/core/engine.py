@@ -1,0 +1,482 @@
+"""The correlation engine — the library's central lifecycle object.
+
+:class:`CorrelationEngine` owns an annotated relation together with all
+maintained state the paper describes: the transaction encoding, the
+annotation (vertical) index and frequency table, the frequent-pattern
+table, the valid rule set, and the near-miss candidate store.  It
+exposes exactly the lifecycle of the paper's application:
+
+* :meth:`mine` — the initial, from-scratch pass, run by whichever
+  :class:`~repro.mining.backend.MiningBackend` the config selects;
+* :meth:`apply` — route an update event (the paper's three cases plus
+  the deletion extensions) through the incremental algorithms of
+  Figures 12 and 13;
+* :meth:`rules` / :meth:`rules_of_kind` — the current correlations;
+* :meth:`signature` — a vocabulary-independent snapshot used by every
+  equivalence check against full re-mining.
+
+Construction goes through :class:`~repro.core.config.EngineConfig`
+(usually via :func:`engine` or ``EngineConfig.builder()``); the legacy
+kwargs surface survives as the deprecated
+:class:`~repro.core.manager.AnnotationRuleManager` shim.
+
+All mutation must flow through the engine (or a relation it has not
+yet adopted): it records the relation's version counter and refuses to
+proceed if the relation changed behind its back, because incremental
+maintenance over unseen mutations would silently desynchronize counts.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+
+from repro.core.annotation_index import VerticalIndex
+from repro.core.candidate_store import CandidateRuleStore
+from repro.core.config import EngineConfig
+from repro.core.derive import derive_rules
+from repro.core.discovery import complete_table, discover_with_seeds
+from repro.core.events import (
+    AddAnnotatedTuples,
+    AddAnnotations,
+    AddUnannotatedTuples,
+    EventLog,
+    RemoveAnnotations,
+    RemoveTuples,
+    UpdateEvent,
+)
+from repro.core.maintenance import (
+    MaintenanceReport,
+    TupleDelta,
+    decay_for_deleted_tuples,
+    decay_for_removed_items,
+    refresh_for_added_items,
+)
+from repro.core.pattern_table import FrequentPatternTable
+from repro.core.rules import AssociationRule, RuleKind, RuleSet
+from repro.errors import MaintenanceError
+from repro.mining.backend import MiningBackend, get_backend
+from repro.mining.constraints import CombinedRelevanceConstraint
+from repro.mining.itemsets import ItemVocabulary, TransactionDatabase
+from repro.relation.relation import AnnotatedRelation
+from repro.relation.transactions import encode_tuple
+
+#: Vocabulary-independent fingerprint of one rule (used across engines).
+RuleSignature = tuple[str, tuple[str, ...], str, int, int, int]
+
+
+def engine(relation: AnnotatedRelation | None = None,
+           config: EngineConfig | None = None,
+           **overrides) -> "CorrelationEngine":
+    """Build a :class:`CorrelationEngine` — the one-call public entry.
+
+    ``overrides`` are :class:`EngineConfig` fields; they either build a
+    config from scratch (``repro.engine(rel, min_support=0.2,
+    min_confidence=0.6, backend="eclat")``) or refine a given one.
+    """
+    return CorrelationEngine(relation, config, **overrides)
+
+
+class CorrelationEngine:
+    """Discovers and incrementally maintains annotation correlations."""
+
+    def __init__(self,
+                 relation: AnnotatedRelation | None = None,
+                 config: EngineConfig | None = None,
+                 **overrides) -> None:
+        if config is None:
+            config = EngineConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.relation = relation if relation is not None else AnnotatedRelation()
+        self.config = config
+        self.thresholds = config.thresholds()
+        self._backend: MiningBackend = get_backend(config.backend)
+
+        self.vocabulary = ItemVocabulary()
+        self.database = TransactionDatabase(self.vocabulary)
+        self.index = VerticalIndex(self.vocabulary)
+        self.table = FrequentPatternTable(self.vocabulary)
+        self.constraint = CombinedRelevanceConstraint(self.vocabulary)
+        self.candidates = CandidateRuleStore(enabled=config.track_candidates)
+        self.log = EventLog()
+        self._rules = RuleSet()
+        self._mined = False
+        self._relation_version = -1
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the mining backend in use."""
+        return self._backend.name
+
+    @property
+    def generalizer(self):
+        return self.config.generalizer
+
+    @property
+    def max_length(self) -> int | None:
+        return self.config.max_length
+
+    @property
+    def counter(self) -> str:
+        return self.config.counter
+
+    @property
+    def validate(self) -> bool:
+        return self.config.validate
+
+    @property
+    def db_size(self) -> int:
+        """|DB| — the support denominator (live tuples)."""
+        return self.relation.live_count
+
+    @property
+    def rules(self) -> RuleSet:
+        self._require_mined()
+        return self._rules
+
+    def rules_of_kind(self, kind: RuleKind) -> list[AssociationRule]:
+        return self.rules.of_kind(kind)
+
+    @property
+    def is_mined(self) -> bool:
+        return self._mined
+
+    # -- initial mining --------------------------------------------------------
+
+    def mine(self) -> MaintenanceReport:
+        """From-scratch pass: encode, apply generalizations, run the
+        backend's constrained miner at the margined floor, derive rules."""
+        started = time.perf_counter()
+        if self.generalizer is not None:
+            for row in self.relation:
+                self.relation.set_labels(
+                    row.tid, self.generalizer.labels_for(row.annotation_ids))
+
+        self.database = TransactionDatabase(self.vocabulary)
+        self.index = VerticalIndex(self.vocabulary)
+        for tid in range(self.relation.tid_range):
+            if self.relation.is_live(tid):
+                transaction = encode_tuple(self.relation, tid, self.vocabulary)
+            else:
+                transaction = frozenset()
+            self.database.add(transaction)
+            self.index.add_transaction(tid, transaction)
+
+        counts = self._backend.mine_initial(
+            self.database.transactions,
+            min_count=self.thresholds.keep_count(self.db_size),
+            constraint=self.constraint,
+            counter=self.counter,
+            max_length=self.max_length,
+        )
+        self.table.replace(counts)
+        self._mined = True
+        self._relation_version = self.relation.version
+
+        report = MaintenanceReport(event="mine", db_size=self.db_size)
+        self._refresh_rules(report)
+        report.duration_seconds = time.perf_counter() - started
+        self._finish(report)
+        return report
+
+    # -- convenience wrappers ---------------------------------------------------
+
+    def insert_annotated(self, rows: Iterable[tuple[Sequence[str],
+                                                    Iterable[str]]]
+                         ) -> MaintenanceReport:
+        return self.apply(AddAnnotatedTuples.build(rows))
+
+    def insert_unannotated(self, rows: Iterable[Sequence[str]]
+                           ) -> MaintenanceReport:
+        return self.apply(AddUnannotatedTuples.build(rows))
+
+    def add_annotations(self, additions: Iterable[tuple[int, str]]
+                        ) -> MaintenanceReport:
+        return self.apply(AddAnnotations.build(additions))
+
+    def remove_annotations(self, removals: Iterable[tuple[int, str]]
+                           ) -> MaintenanceReport:
+        return self.apply(RemoveAnnotations.build(removals))
+
+    def remove_tuples(self, tids: Iterable[int]) -> MaintenanceReport:
+        return self.apply(RemoveTuples.build(tids))
+
+    # -- event routing ---------------------------------------------------------
+
+    def apply(self, event: UpdateEvent) -> MaintenanceReport:
+        """Route an update through the matching incremental algorithm."""
+        self._require_mined()
+        if self.relation.version != self._relation_version:
+            raise MaintenanceError(
+                "relation was modified outside the engine; incremental "
+                "state is stale — re-run mine()")
+        started = time.perf_counter()
+        if isinstance(event, AddAnnotatedTuples):
+            report = self._apply_inserts(event.rows, "add-annotated-tuples")
+        elif isinstance(event, AddUnannotatedTuples):
+            rows = tuple((values, frozenset()) for values in event.rows)
+            report = self._apply_inserts(rows, "add-unannotated-tuples")
+        elif isinstance(event, AddAnnotations):
+            report = self._apply_annotations(event)
+        elif isinstance(event, RemoveAnnotations):
+            report = self._apply_annotation_removal(event)
+        elif isinstance(event, RemoveTuples):
+            report = self._apply_tuple_removal(event)
+        else:
+            raise MaintenanceError(f"unknown update event {event!r}")
+        self._refresh_rules(report)
+        report.duration_seconds = time.perf_counter() - started
+        self.log.record(event)
+        self._relation_version = self.relation.version
+        self._finish(report)
+        return report
+
+    # -- Cases 1 and 2: tuple inserts (backend increment path) ------------------
+
+    def _apply_inserts(self,
+                       rows: Sequence[tuple[Sequence[str], frozenset[str]]],
+                       label: str) -> MaintenanceReport:
+        increment = []
+        for values, annotation_ids in rows:
+            tid = self.relation.insert(values, annotation_ids)
+            if self.generalizer is not None:
+                self.relation.set_labels(
+                    tid, self.generalizer.labels_for(frozenset(annotation_ids)))
+            transaction = encode_tuple(self.relation, tid, self.vocabulary)
+            db_tid = self.database.add(transaction)
+            if db_tid != tid:
+                raise MaintenanceError(
+                    f"tid drift: relation says {tid}, database says {db_tid}")
+            self.index.add_transaction(tid, transaction)
+            increment.append(transaction)
+
+        fup_report = self._backend.apply_increment(
+            self.table.counts,
+            increment,
+            index=self.index.as_mapping(),
+            new_size=self.db_size,
+            keep_fraction=self.thresholds.keep_support,
+            constraint=self.constraint,
+            max_length=self.max_length,
+            counter=self.counter,
+        )
+        report = MaintenanceReport(event=label, db_size=self.db_size)
+        report.patterns_touched = fup_report.refreshed
+        report.patterns_added = fup_report.added
+        report.patterns_pruned = fup_report.pruned
+        report.tuples_scanned = len(increment)
+        return report
+
+    # -- Case 3: the δ batch of new annotations ---------------------------------
+
+    def _apply_annotations(self, event: AddAnnotations) -> MaintenanceReport:
+        deltas: list[TupleDelta] = []
+        seeds: set[int] = set()
+        for tid, annotation_ids in event.by_tid().items():
+            new_items = set()
+            for annotation_id in annotation_ids:
+                if self.relation.annotate(tid, annotation_id):
+                    new_items.add(
+                        self.vocabulary.intern_annotation(annotation_id))
+            if self.generalizer is not None:
+                row = self.relation.tuple(tid)
+                fresh_labels = self.relation.add_labels(
+                    tid, self.generalizer.labels_for(row.annotation_ids))
+                new_items |= {self.vocabulary.intern_label(label)
+                              for label in fresh_labels}
+            if not new_items:
+                continue  # every annotation was already present
+            self.database.extend_transaction(tid, new_items)
+            self.index.extend_transaction(tid, new_items)
+            deltas.append(TupleDelta(
+                tid=tid,
+                after=self.database.transaction(tid),
+                changed_items=frozenset(new_items)))
+            seeds |= new_items
+
+        report = MaintenanceReport(event="add-annotations",
+                                   db_size=self.db_size)
+        report.tuples_scanned = len(deltas)
+        # Figure 12: refresh stored patterns, touching only δ tuples.
+        report.patterns_touched = refresh_for_added_items(self.table, deltas)
+        # Figure 13: seeded discovery through the annotation index.
+        report.patterns_added = discover_with_seeds(
+            self.table, self.index, seeds,
+            min_count=self.thresholds.keep_count(self.db_size),
+            constraint=self.constraint,
+            max_length=self.max_length,
+            validate=self.validate,
+        )
+        return report
+
+    # -- extensions: removals ----------------------------------------------------
+
+    def _apply_annotation_removal(self, event: RemoveAnnotations
+                                  ) -> MaintenanceReport:
+        deltas: list[TupleDelta] = []
+        for tid, annotation_ids in event.by_tid().items():
+            before = self.database.transaction(tid)
+            removed_items = set()
+            for annotation_id in annotation_ids:
+                if self.relation.detach(tid, annotation_id):
+                    removed_items.add(
+                        self.vocabulary.intern_annotation(annotation_id))
+            if self.generalizer is not None:
+                row = self.relation.tuple(tid)
+                kept_labels = self.generalizer.labels_for(row.annotation_ids)
+                lost_labels = row.labels - set(kept_labels)
+                if lost_labels:
+                    self.relation.set_labels(tid, kept_labels)
+                    removed_items |= {self.vocabulary.intern_label(label)
+                                      for label in lost_labels}
+            if not removed_items:
+                continue
+            self.database.shrink_transaction(tid, removed_items)
+            self.index.shrink_transaction(tid, removed_items)
+            deltas.append(TupleDelta(
+                tid=tid, after=before,
+                changed_items=frozenset(removed_items)))
+
+        report = MaintenanceReport(event="remove-annotations",
+                                   db_size=self.db_size)
+        report.tuples_scanned = len(deltas)
+        report.patterns_touched = decay_for_removed_items(self.table, deltas)
+        # Counts only fell and |DB| is unchanged: nothing new can appear.
+        report.patterns_pruned = self.table.prune_below(
+            self.thresholds.keep_count(self.db_size))
+        return report
+
+    def _apply_tuple_removal(self, event: RemoveTuples) -> MaintenanceReport:
+        old_transactions = []
+        for tid in event.tids:
+            self.relation.delete(tid)
+            old = self.database.clear_transaction(tid)
+            self.index.remove_transaction(tid, old)
+            old_transactions.append(old)
+
+        report = MaintenanceReport(event="remove-tuples",
+                                   db_size=self.db_size)
+        report.tuples_scanned = len(old_transactions)
+        report.patterns_touched = decay_for_deleted_tuples(
+            self.table, old_transactions)
+        floor = self.thresholds.keep_count(self.db_size)
+        report.patterns_pruned = self.table.prune_below(floor)
+        # |DB| fell, so patterns whose counts never changed may now
+        # qualify: run the level-wise completion.
+        report.patterns_added = complete_table(
+            self.table, self.index,
+            floor=floor,
+            constraint=self.constraint,
+            max_length=self.max_length,
+        )
+        return report
+
+    # -- rule refresh & verification -----------------------------------------------
+
+    def _refresh_rules(self, report: MaintenanceReport) -> None:
+        new_rules, near_misses = derive_rules(self.table, self.thresholds,
+                                              self.db_size)
+        old_rules = self._rules
+        added_keys = new_rules.keys() - old_rules.keys()
+        dropped_keys = old_rules.keys() - new_rules.keys()
+        report.rules_added = sorted(
+            (new_rules.get(key) for key in added_keys),
+            key=lambda rule: (rule.kind.value, rule.lhs, rule.rhs))
+        report.rules_dropped = sorted(dropped_keys,
+                                      key=lambda key: (key[0].value, key[1],
+                                                       key[2]))
+        report.rules_updated = sum(
+            1 for rule in new_rules
+            if rule.key not in added_keys and old_rules.get(rule.key) != rule)
+
+        demoted = [rule for rule in near_misses if rule.key in dropped_keys]
+        promoted = [key for key in added_keys if key in self.candidates]
+        self.candidates.refresh(near_misses, promoted_keys=promoted,
+                                demoted=demoted)
+        self._rules = new_rules
+        report.table_size = len(self.table)
+        report.candidate_count = len(self.candidates)
+
+    def _finish(self, report: MaintenanceReport) -> None:
+        """Post-event validation; timing and failure context land on
+        ``report`` so callers can see *which* event broke an invariant."""
+        if not self.validate:
+            return
+        started = time.perf_counter()
+        try:
+            self.table.check_invariants(
+                floor=self.thresholds.keep_count(self.db_size))
+        except MaintenanceError as error:
+            report.validation_seconds = time.perf_counter() - started
+            raise MaintenanceError(
+                f"invariant check failed after event {report.event!r} "
+                f"(db_size={report.db_size}, backend={self.backend_name}): "
+                f"{error}") from error
+        report.validation_seconds = time.perf_counter() - started
+
+    def _require_mined(self) -> None:
+        if not self._mined:
+            raise MaintenanceError(
+                "call mine() before using rules or applying updates")
+
+    # -- equivalence with full re-mining ---------------------------------------------
+
+    def signature(self) -> frozenset[RuleSignature]:
+        """Vocabulary-independent fingerprint of the current rule set.
+
+        Two engines (e.g. an incrementally maintained one and a fresh
+        re-mine of the same relation) agree iff their signatures are
+        equal — the comparison the paper's three "Results" sections run.
+        """
+        out = set()
+        for rule in self.rules:
+            lhs_tokens = tuple(sorted(self.vocabulary.item(item).token
+                                      for item in rule.lhs))
+            rhs_token = self.vocabulary.item(rule.rhs).token
+            out.add((rule.kind.value, lhs_tokens, rhs_token,
+                     rule.union_count, rule.lhs_count, rule.db_size))
+        return frozenset(out)
+
+    def verify_against_remine(self) -> "VerificationResult":
+        """Re-mine the relation from scratch and compare rule sets."""
+        from repro.baselines.remine import remine  # local: avoid cycle
+
+        fresh = remine(
+            self.relation,
+            min_support=self.thresholds.min_support,
+            min_confidence=self.thresholds.min_confidence,
+            margin=self.thresholds.margin,
+            generalizer=self.generalizer,
+            max_length=self.max_length,
+            backend=self.config.backend,
+        )
+        mine_signature = self.signature()
+        fresh_signature = fresh.signature()
+        return VerificationResult(
+            equivalent=mine_signature == fresh_signature,
+            only_incremental=mine_signature - fresh_signature,
+            only_remine=fresh_signature - mine_signature,
+        )
+
+
+class VerificationResult:
+    """Outcome of an incremental-vs-remine comparison."""
+
+    def __init__(self, *, equivalent: bool,
+                 only_incremental: frozenset[RuleSignature],
+                 only_remine: frozenset[RuleSignature]) -> None:
+        self.equivalent = equivalent
+        self.only_incremental = only_incremental
+        self.only_remine = only_remine
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+    def explain(self) -> str:
+        if self.equivalent:
+            return "rule sets identical (counts included)"
+        return (f"{len(self.only_incremental)} rules only incremental, "
+                f"{len(self.only_remine)} rules only in re-mine")

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.manager import AnnotationRuleManager
+from repro.core.engine import CorrelationEngine
 from repro.core.rules import AssociationRule
 from repro.mining.interest import RuleCounts, evaluate
 
@@ -38,7 +38,7 @@ class RuleEvidence:
         return len(self.violating_tids) / total if total else 0.0
 
 
-def explain_rule(manager: AnnotationRuleManager,
+def explain_rule(manager: CorrelationEngine,
                  rule: AssociationRule,
                  *,
                  max_tids: int | None = None,
@@ -69,7 +69,7 @@ def explain_rule(manager: AnnotationRuleManager,
     )
 
 
-def render_evidence(manager: AnnotationRuleManager,
+def render_evidence(manager: CorrelationEngine,
                     evidence: RuleEvidence,
                     *,
                     sample: int = 3) -> str:
@@ -96,7 +96,7 @@ def render_evidence(manager: AnnotationRuleManager,
     return "\n".join(lines)
 
 
-def verify_evidence(manager: AnnotationRuleManager,
+def verify_evidence(manager: CorrelationEngine,
                     evidence: RuleEvidence) -> bool:
     """Cross-check the evidence against the rule's stored counts.
 

@@ -45,6 +45,8 @@ class MaintenanceReport:
     event: str
     db_size: int
     duration_seconds: float = 0.0
+    #: Time spent in post-event invariant validation (0.0 when disabled).
+    validation_seconds: float = 0.0
     patterns_touched: int = 0
     patterns_added: list[Itemset] = field(default_factory=list)
     patterns_pruned: list[Itemset] = field(default_factory=list)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
-from repro.core.manager import AnnotationRuleManager
+from repro.core.engine import CorrelationEngine
 from repro.core.rules import AssociationRule
 from repro.errors import GeneralizationError
 from repro.generalization.hierarchy import ConceptHierarchy
@@ -43,7 +43,7 @@ class LeveledRule:
 class MultiLevelMiner:
     """Per-level thresholding over a mined manager's label rules."""
 
-    def __init__(self, manager: AnnotationRuleManager,
+    def __init__(self, manager: CorrelationEngine,
                  hierarchy: ConceptHierarchy, *,
                  base_support: float | None = None,
                  decay: float = 0.5,

@@ -19,8 +19,10 @@ from __future__ import annotations
 import json
 import os
 
-from repro.core.manager import AnnotationRuleManager
+from repro.core.config import EngineConfig
+from repro.core.engine import CorrelationEngine
 from repro.errors import FormatError, MaintenanceError
+from repro.mining.backend import DEFAULT_BACKEND
 from repro.relation.annotation import Annotation
 from repro.relation.relation import AnnotatedRelation
 from repro.relation.schema import Schema
@@ -28,7 +30,7 @@ from repro.relation.schema import Schema
 FORMAT_VERSION = 1
 
 
-def snapshot(manager: AnnotationRuleManager) -> dict:
+def snapshot(manager: CorrelationEngine) -> dict:
     """The manager's full maintained state as a JSON-able dict."""
     if not manager.is_mined:
         raise MaintenanceError("cannot snapshot an unmined manager")
@@ -69,6 +71,7 @@ def snapshot(manager: AnnotationRuleManager) -> dict:
             "margin": manager.thresholds.margin,
         },
         "max_length": manager.max_length,
+        "backend": manager.config.backend,
         "schema": ([attribute.name
                     for attribute in relation.schema.attributes]
                    if relation.schema is not None else None),
@@ -80,19 +83,19 @@ def snapshot(manager: AnnotationRuleManager) -> dict:
     }
 
 
-def _token_ref(manager: AnnotationRuleManager, item_id: int) -> list:
+def _token_ref(manager: CorrelationEngine, item_id: int) -> list:
     item = manager.vocabulary.item(item_id)
     return [item.kind.value, item.token]
 
 
-def save(manager: AnnotationRuleManager,
+def save(manager: CorrelationEngine,
          path: str | os.PathLike) -> None:
     """Write a snapshot to ``path`` (JSON)."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(snapshot(manager), handle, indent=1)
 
 
-def restore(document: dict, *, generalizer=None) -> AnnotationRuleManager:
+def restore(document: dict, *, generalizer=None) -> CorrelationEngine:
     """Rebuild a mined manager from a snapshot dict.
 
     The pattern table is restored via a fresh ``mine()`` over the
@@ -127,28 +130,28 @@ def restore(document: dict, *, generalizer=None) -> AnnotationRuleManager:
         relation.delete(tid)
 
     thresholds = document["thresholds"]
-    manager = AnnotationRuleManager(
-        relation,
+    manager = CorrelationEngine(relation, EngineConfig(
         min_support=thresholds["min_support"],
         min_confidence=thresholds["min_confidence"],
         margin=thresholds["margin"],
+        backend=document.get("backend", DEFAULT_BACKEND),
         max_length=document.get("max_length"),
         generalizer=generalizer,
-    )
+    ))
     manager.mine()
     _verify_table(manager, document)
     return manager
 
 
 def load(path: str | os.PathLike, *, generalizer=None
-         ) -> AnnotationRuleManager:
+         ) -> CorrelationEngine:
     """Read a snapshot file and rebuild the manager."""
     with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
     return restore(document, generalizer=generalizer)
 
 
-def _verify_table(manager: AnnotationRuleManager, document: dict) -> None:
+def _verify_table(manager: CorrelationEngine, document: dict) -> None:
     from repro.mining.itemsets import Item, ItemKind
 
     expected: dict[tuple, int] = {}

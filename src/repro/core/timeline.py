@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.core.events import UpdateEvent
 from repro.core.maintenance import MaintenanceReport
-from repro.core.manager import AnnotationRuleManager
+from repro.core.engine import CorrelationEngine
 from repro.core.rules import RuleKey, RuleKind
 from repro.errors import MaintenanceError
 
@@ -75,7 +75,7 @@ class RuleTrajectory:
 class TimelineRecorder:
     """Wraps a mined manager; snapshots rules around each event."""
 
-    def __init__(self, manager: AnnotationRuleManager) -> None:
+    def __init__(self, manager: CorrelationEngine) -> None:
         if not manager.is_mined:
             raise MaintenanceError(
                 "TimelineRecorder needs an already-mined manager")

@@ -1,0 +1,199 @@
+"""Pluggable mining backends behind one protocol.
+
+The engine never calls a miner directly; it talks to a
+:class:`MiningBackend`, which owns both halves of the incremental
+lifecycle:
+
+* :meth:`MiningBackend.mine_initial` — the from-scratch pass that
+  builds the frequent-pattern table;
+* :meth:`MiningBackend.apply_increment` — FUP-style exact maintenance
+  of that table under a batch of inserted transactions.
+
+All backends maintain the identical table contract — every
+constraint-admitted itemset at or above the floor, with its exact
+count — so they are interchangeable under the engine's
+``signature()``-equivalence checks.  The FUP argument (see
+:mod:`repro.mining.fup`) is miner-agnostic: the only backend-specific
+step is *which* algorithm enumerates the itemsets frequent within the
+increment, so each backend routes that local search through its own
+miner.
+
+Backends register under a short name (``"apriori-fup"``, ``"eclat"``,
+``"fpgrowth"``) so configuration can select them by string; third
+parties may add their own via :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from typing import Protocol, runtime_checkable
+
+from repro.errors import MiningError
+from repro.mining.apriori import mine_frequent_itemsets
+from repro.mining.constraints import CandidateConstraint
+from repro.mining.eclat import mine_frequent_itemsets_vertical
+from repro.mining.fpgrowth import mine_frequent_itemsets_fp
+from repro.mining.fup import FupReport, fup_update
+from repro.mining.itemsets import Itemset, Transaction
+
+#: Registry default — the paper's own pipeline.
+DEFAULT_BACKEND = "apriori-fup"
+
+
+@runtime_checkable
+class MiningBackend(Protocol):
+    """What the engine requires of a mining strategy."""
+
+    #: Registry name, echoed in configs, snapshots and reports.
+    name: str
+
+    def mine_initial(self,
+                     transactions: Sequence[Transaction],
+                     *,
+                     min_count: int,
+                     constraint: CandidateConstraint,
+                     max_length: int | None = None,
+                     counter: str = "auto") -> dict[Itemset, int]:
+        """From-scratch pass: every admitted itemset with count >= floor."""
+        ...
+
+    def apply_increment(self,
+                        table: dict[Itemset, int],
+                        increment: Sequence[Transaction],
+                        *,
+                        index: Mapping[int, set[int] | frozenset[int]],
+                        new_size: int,
+                        keep_fraction: float,
+                        constraint: CandidateConstraint,
+                        max_length: int | None = None,
+                        counter: str = "auto") -> FupReport:
+        """Exact in-place table maintenance for an insert batch."""
+        ...
+
+
+class AprioriFupBackend:
+    """The paper's pipeline: modified Apriori + classic FUP (default)."""
+
+    name = DEFAULT_BACKEND
+
+    def mine_initial(self, transactions, *, min_count, constraint,
+                     max_length=None, counter="auto"):
+        return mine_frequent_itemsets(
+            transactions,
+            min_count=min_count,
+            constraint=constraint,
+            counter=counter,
+            max_length=max_length,
+        )
+
+    def apply_increment(self, table, increment, *, index, new_size,
+                        keep_fraction, constraint, max_length=None,
+                        counter="auto"):
+        return fup_update(
+            table, increment,
+            index=index,
+            new_size=new_size,
+            keep_fraction=keep_fraction,
+            constraint=constraint,
+            max_length=max_length,
+            counter=counter,
+        )
+
+
+class _FupOverLocalMiner:
+    """Shared FUP skeleton for backends that swap the local miner."""
+
+    name = "abstract"
+
+    def _mine(self, transactions, *, min_count, constraint, max_length):
+        raise NotImplementedError
+
+    def _reject_counter(self, counter: str) -> None:
+        # The counter knob selects an Apriori counting structure; honouring
+        # it here is impossible, and silently ignoring it would let a
+        # config lie about what ran.
+        if counter != "auto":
+            raise MiningError(
+                f"backend {self.name!r} does not support counter="
+                f"{counter!r}; only the apriori-fup backend honours the "
+                f"counter knob")
+
+    def mine_initial(self, transactions, *, min_count, constraint,
+                     max_length=None, counter="auto"):
+        self._reject_counter(counter)
+        return self._mine(transactions, min_count=min_count,
+                          constraint=constraint, max_length=max_length)
+
+    def apply_increment(self, table, increment, *, index, new_size,
+                        keep_fraction, constraint, max_length=None,
+                        counter="auto"):
+        self._reject_counter(counter)
+        return fup_update(
+            table, increment,
+            index=index,
+            new_size=new_size,
+            keep_fraction=keep_fraction,
+            constraint=constraint,
+            max_length=max_length,
+            counter=counter,
+            miner=self._mine,
+        )
+
+
+class EclatBackend(_FupOverLocalMiner):
+    """Vertical (tidset-intersection) mining; FUP over the Eclat miner."""
+
+    name = "eclat"
+
+    def _mine(self, transactions, *, min_count, constraint, max_length):
+        return mine_frequent_itemsets_vertical(
+            transactions, min_count=min_count, constraint=constraint,
+            max_length=max_length)
+
+
+class FPGrowthBackend(_FupOverLocalMiner):
+    """Pattern-growth mining; FUP over the FP-growth miner."""
+
+    name = "fpgrowth"
+
+    def _mine(self, transactions, *, min_count, constraint, max_length):
+        return mine_frequent_itemsets_fp(
+            transactions, min_count=min_count, constraint=constraint,
+            max_length=max_length)
+
+
+_REGISTRY: dict[str, Callable[[], MiningBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], MiningBackend],
+                     *, replace: bool = False) -> None:
+    """Expose ``factory`` under ``name`` for configs to select."""
+    if not replace and name in _REGISTRY:
+        raise MiningError(f"mining backend {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted (for help texts and errors)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> MiningBackend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_backends())
+        raise MiningError(
+            f"unknown mining backend {name!r}; available: {known}") from None
+    backend = factory()
+    if not isinstance(backend, MiningBackend):
+        raise MiningError(
+            f"backend factory for {name!r} produced {backend!r}, which "
+            f"does not satisfy the MiningBackend protocol")
+    return backend
+
+
+register_backend(AprioriFupBackend.name, AprioriFupBackend)
+register_backend(EclatBackend.name, EclatBackend)
+register_backend(FPGrowthBackend.name, FPGrowthBackend)

@@ -164,11 +164,11 @@ def replay_kit(paths: KitPaths, *, min_support: float,
     Returns the manager, for inspection; used by tests to prove kits
     are self-consistent (everything parses and applies cleanly).
     """
-    from repro.core.manager import AnnotationRuleManager
+    from repro.core.engine import engine
 
     relation = dataset_format.read_dataset(paths.dataset)
-    manager = AnnotationRuleManager(relation, min_support=min_support,
-                                    min_confidence=min_confidence)
+    manager = engine(relation, min_support=min_support,
+                     min_confidence=min_confidence)
     manager.mine()
     for update in paths.updates:
         manager.apply(updates_format.read_updates(update))

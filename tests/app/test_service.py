@@ -1,0 +1,243 @@
+"""CorrelationService: named sessions, batched updates, concurrency."""
+
+import threading
+import time
+
+import pytest
+
+from repro.app.service import CorrelationService, ReadWriteLock, RuleSnapshot
+from repro.core.config import EngineConfig
+from repro.core.events import AddAnnotatedTuples, AddAnnotations
+from repro.core.rules import RuleKind
+from repro.errors import MiningError, SessionError
+from tests.conftest import make_relation
+
+CONFIG = EngineConfig(min_support=0.25, min_confidence=0.6)
+
+
+@pytest.fixture
+def service():
+    return CorrelationService(config=CONFIG)
+
+
+class TestSessions:
+    def test_create_mines_and_snapshots(self, service):
+        snap = service.create("main", make_relation())
+        assert isinstance(snap, RuleSnapshot)
+        assert snap.session == "main"
+        assert snap.revision == 1
+        assert snap.backend == "apriori-fup"
+        assert len(snap) > 0 and snap.pending_events == 0
+
+    def test_multi_dataset_sessions_are_independent(self, service):
+        service.create("left", make_relation())
+        service.create("right", make_relation(
+            [(("9", "9"), ("Z",))] * 4))
+        assert service.sessions() == ("left", "right")
+        assert (service.snapshot("left").signature
+                != service.snapshot("right").signature)
+        service.drop("left")
+        assert service.sessions() == ("right",)
+
+    def test_per_session_config_override(self, service):
+        snap = service.create("vertical", make_relation(),
+                              CONFIG.replace(backend="eclat"))
+        assert snap.backend == "eclat"
+
+    def test_duplicate_name_rejected(self, service):
+        service.create("dup", make_relation())
+        with pytest.raises(SessionError, match="already exists"):
+            service.create("dup", make_relation())
+
+    def test_unknown_session_rejected(self, service):
+        with pytest.raises(SessionError, match="unknown session"):
+            service.snapshot("ghost")
+
+    def test_create_without_any_config_rejected(self):
+        bare = CorrelationService()
+        with pytest.raises(SessionError, match="EngineConfig"):
+            bare.create("x", make_relation())
+
+    def test_create_unmined_has_empty_snapshot(self, service):
+        snap = service.create("lazy", make_relation(), mine=False)
+        assert snap.revision == 0 and len(snap) == 0
+        service.mine("lazy")
+        assert len(service.snapshot("lazy")) > 0
+
+
+class TestUpdateQueue:
+    def test_submit_queues_without_applying(self, service):
+        service.create("s", make_relation())
+        before = service.snapshot("s")
+        depth = service.submit("s", AddAnnotations.build([(3, "A")]))
+        assert depth == 1 and service.pending("s") == 1
+        assert service.snapshot("s").signature == before.signature
+
+    def test_flush_applies_in_order_and_bumps_revision(self, service):
+        service.create("s", make_relation())
+        service.submit("s", AddAnnotations.build([(3, "A")]))
+        service.submit("s", AddAnnotatedTuples.build(
+            [(("1", "2"), ("A",))]))
+        reports = service.flush("s")
+        assert [report.event for report in reports] == [
+            "add-annotations", "add-annotated-tuples"]
+        snap = service.snapshot("s")
+        assert snap.revision == 2 and snap.pending_events == 0
+        assert snap.db_size == 9
+        assert service.verify("s").equivalent
+
+    def test_flush_empty_queue_is_a_noop(self, service):
+        service.create("s", make_relation())
+        assert service.flush("s") == ()
+        assert service.snapshot("s").revision == 1
+
+    def test_auto_flush_threshold(self):
+        service = CorrelationService(config=CONFIG, auto_flush_every=2)
+        service.create("s", make_relation())
+        assert service.submit("s", AddAnnotations.build([(3, "A")])) == 1
+        assert service.submit("s", AddAnnotations.build([(5, "A")])) == 0
+        assert service.pending("s") == 0
+        assert service.snapshot("s").revision == 2
+
+    def test_bad_auto_flush_rejected(self):
+        with pytest.raises(SessionError):
+            CorrelationService(config=CONFIG, auto_flush_every=0)
+
+    def test_flush_failure_requeues_remainder_and_drops_poison(self, service):
+        service.create("s", make_relation())
+        good_before = AddAnnotations.build([(3, "A")])
+        poison = AddAnnotations.build([(999, "A")])   # unknown tuple id
+        good_after = AddAnnotations.build([(5, "A")])
+        for event in (good_before, poison, good_after):
+            service.submit("s", event)
+        with pytest.raises(SessionError, match="event 2 of 3"):
+            service.flush("s")
+        # The event before the poison applied; the one after survived.
+        assert service.pending("s") == 1
+        snap = service.snapshot("s")
+        assert snap.revision == 2 and snap.pending_events == 1
+
+    def test_failed_create_does_not_squat_the_name(self, service):
+        with pytest.raises(MiningError):
+            service.create("s", make_relation(),
+                           CONFIG.replace(backend="no-such-backend"))
+        assert service.sessions() == ()
+        service.create("s", make_relation())
+        assert service.sessions() == ("s",)
+
+    def test_rules_query_by_kind(self, service):
+        service.create("s", make_relation())
+        for rule in service.rules("s", RuleKind.DATA_TO_ANNOTATION):
+            assert rule.kind is RuleKind.DATA_TO_ANNOTATION
+
+
+class TestReadWriteLock:
+    def test_readers_share_writers_exclude(self):
+        lock = ReadWriteLock()
+        entered = threading.Event()
+        release = threading.Event()
+        writer_done = threading.Event()
+
+        def slow_reader():
+            with lock.read():
+                entered.set()
+                release.wait(timeout=5)
+
+        def writer():
+            with lock.write():
+                writer_done.set()
+
+        reader_thread = threading.Thread(target=slow_reader)
+        reader_thread.start()
+        assert entered.wait(timeout=5)
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        time.sleep(0.05)
+        assert not writer_done.is_set(), "writer entered alongside a reader"
+        release.set()
+        assert writer_done.wait(timeout=5)
+        reader_thread.join(timeout=5)
+        writer_thread.join(timeout=5)
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        first_reader_in = threading.Event()
+        first_reader_release = threading.Event()
+        second_reader_in = threading.Event()
+        writer_in = threading.Event()
+
+        def first_reader():
+            with lock.read():
+                first_reader_in.set()
+                first_reader_release.wait(timeout=5)
+
+        def writer():
+            with lock.write():
+                writer_in.set()
+
+        def second_reader():
+            with lock.read():
+                second_reader_in.set()
+
+        threads = [threading.Thread(target=first_reader)]
+        threads[0].start()
+        assert first_reader_in.wait(timeout=5)
+        threads.append(threading.Thread(target=writer))
+        threads[1].start()
+        time.sleep(0.05)  # let the writer start waiting
+        threads.append(threading.Thread(target=second_reader))
+        threads[2].start()
+        time.sleep(0.05)
+        assert not second_reader_in.is_set(), "reader overtook waiting writer"
+        first_reader_release.set()
+        assert writer_in.wait(timeout=5)
+        assert second_reader_in.wait(timeout=5)
+        for thread in threads:
+            thread.join(timeout=5)
+
+
+class TestConcurrentReadsDuringFlush:
+    def test_snapshots_stay_consistent_under_concurrent_flushes(self):
+        """Readers hammering snapshot() while a writer queues and
+        flushes batches must only ever observe whole rule sets."""
+        service = CorrelationService(config=CONFIG)
+        service.create("hot", make_relation())
+        stop = threading.Event()
+        failures: list[str] = []
+        observed_revisions: list[int] = []
+
+        def reader():
+            revisions = []
+            while not stop.is_set():
+                snap = service.snapshot("hot")
+                # Signature must be derived from exactly the rules in
+                # the snapshot — a torn read would break this pairing.
+                expected = frozenset(snap.signature)
+                if len(expected) != len(snap.rules):
+                    failures.append(
+                        f"torn snapshot: {len(snap.rules)} rules vs "
+                        f"{len(expected)} signature entries")
+                    return
+                revisions.append(snap.revision)
+            if revisions != sorted(revisions):
+                failures.append("revision went backwards for a reader")
+            observed_revisions.extend(revisions)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for wave in range(5):
+                service.submit("hot", AddAnnotations.build([(3, "A")]))
+                service.submit("hot", AddAnnotatedTuples.build(
+                    [(("1", "2"), ("A",))]))
+                service.flush("hot")
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=10)
+
+        assert not failures, failures
+        assert service.snapshot("hot").revision == 6
+        assert service.verify("hot").equivalent
+        assert max(observed_revisions, default=0) <= 6

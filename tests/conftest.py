@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.relation.relation import AnnotatedRelation
-from repro.core.manager import AnnotationRuleManager
+from repro.core.engine import CorrelationEngine, engine
 from repro.baselines.remine import remine
 
 #: A hand-checkable reference dataset used across many tests.
@@ -31,7 +31,7 @@ def make_relation(rows=None) -> AnnotatedRelation:
     return relation
 
 
-def assert_equivalent_to_remine(manager: AnnotationRuleManager) -> None:
+def assert_equivalent_to_remine(manager: CorrelationEngine) -> None:
     """The paper's verification: incremental rules == re-mined rules."""
     baseline = remine(
         manager.relation,
@@ -40,6 +40,7 @@ def assert_equivalent_to_remine(manager: AnnotationRuleManager) -> None:
         margin=manager.thresholds.margin,
         generalizer=manager.generalizer,
         max_length=manager.max_length,
+        backend=manager.config.backend,
     )
     incremental = manager.signature()
     fresh = baseline.signature()
@@ -54,8 +55,8 @@ def reference_relation() -> AnnotatedRelation:
 
 
 @pytest.fixture
-def mined_manager(reference_relation) -> AnnotationRuleManager:
-    manager = AnnotationRuleManager(
+def mined_manager(reference_relation) -> CorrelationEngine:
+    manager = engine(
         reference_relation, min_support=0.25, min_confidence=0.6,
         validate=True)
     manager.mine()

@@ -1,0 +1,111 @@
+"""Backend registry and cross-backend lifecycle equivalence."""
+
+import pytest
+
+from repro.core.engine import engine
+from repro.errors import MiningError
+from repro.mining.backend import (
+    AprioriFupBackend,
+    DEFAULT_BACKEND,
+    EclatBackend,
+    FPGrowthBackend,
+    MiningBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from tests.conftest import assert_equivalent_to_remine, make_relation
+
+ALL_BACKENDS = ("apriori-fup", "eclat", "fpgrowth")
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert set(ALL_BACKENDS) <= set(available_backends())
+        assert DEFAULT_BACKEND == "apriori-fup"
+
+    @pytest.mark.parametrize("name,cls", [
+        ("apriori-fup", AprioriFupBackend),
+        ("eclat", EclatBackend),
+        ("fpgrowth", FPGrowthBackend),
+    ])
+    def test_get_backend_instantiates(self, name, cls):
+        backend = get_backend(name)
+        assert isinstance(backend, cls)
+        assert isinstance(backend, MiningBackend)
+        assert backend.name == name
+
+    def test_unknown_backend_names_the_alternatives(self):
+        with pytest.raises(MiningError, match="eclat"):
+            get_backend("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(MiningError):
+            register_backend("eclat", EclatBackend)
+
+    def test_replace_allows_reregistration(self):
+        register_backend("eclat", EclatBackend, replace=True)
+        assert isinstance(get_backend("eclat"), EclatBackend)
+
+    def test_bad_factory_product_rejected(self):
+        register_backend("broken", lambda: object(), replace=True)
+        try:
+            with pytest.raises(MiningError, match="protocol"):
+                get_backend("broken")
+        finally:
+            from repro.mining import backend as backend_module
+            backend_module._REGISTRY.pop("broken", None)
+
+
+#: The same event script the manager scenario tests run: the paper's
+#: three cases plus both removal extensions.
+def run_lifecycle(backend_name):
+    eng = engine(make_relation(), min_support=0.25, min_confidence=0.6,
+                 backend=backend_name, validate=True)
+    eng.mine()
+    signatures = [eng.signature()]
+    eng.add_annotations([(3, "A"), (5, "A"), (0, "B")])        # Case 3
+    signatures.append(eng.signature())
+    eng.insert_annotated([(("1", "2"), ("A",)),                # Case 1
+                          (("4", "3"), ("B",))])
+    signatures.append(eng.signature())
+    eng.insert_unannotated([("4", "9"), ("1", "9")])           # Case 2
+    signatures.append(eng.signature())
+    eng.remove_annotations([(5, "A"), (1, "B")])               # removal ext.
+    signatures.append(eng.signature())
+    eng.remove_tuples([7, 2])                                  # deletion ext.
+    signatures.append(eng.signature())
+    return eng, signatures
+
+
+class TestLifecycleEquivalence:
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_backend_matches_its_own_remine(self, backend_name):
+        eng, _signatures = run_lifecycle(backend_name)
+        assert eng.backend_name == backend_name
+        verification = eng.verify_against_remine()
+        assert verification.equivalent, verification.explain()
+        assert_equivalent_to_remine(eng)
+
+    def test_all_backends_agree_step_by_step(self):
+        trails = {name: run_lifecycle(name)[1] for name in ALL_BACKENDS}
+        reference = trails[DEFAULT_BACKEND]
+        for name, signatures in trails.items():
+            assert signatures == reference, (
+                f"backend {name} diverged from {DEFAULT_BACKEND}")
+
+    @pytest.mark.parametrize("backend_name", ["eclat", "fpgrowth"])
+    def test_non_apriori_backends_reject_counter_knob(self, backend_name):
+        eng = engine(make_relation(), min_support=0.25, min_confidence=0.6,
+                     backend=backend_name, counter="scan")
+        with pytest.raises(MiningError, match="counter"):
+            eng.mine()
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_max_length_respected(self, backend_name):
+        eng = engine(make_relation(), min_support=0.25, min_confidence=0.6,
+                     backend=backend_name, max_length=2, validate=True)
+        eng.mine()
+        eng.insert_annotated([(("1", "3"), ("A", "B"))])
+        assert max(len(itemset) for itemset in eng.table) <= 2
+        assert eng.verify_against_remine().equivalent

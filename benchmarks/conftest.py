@@ -6,6 +6,10 @@ to re-run every experiment on that backend, e.g.::
 
     REPRO_BACKEND=eclat pytest benchmarks/bench_fig7_rule_discovery.py
 
+``REPRO_COUNTER`` likewise selects the candidate counting strategy
+(``auto``, ``scan``, ``hashtree``, ``vertical``) for the experiments
+that take the counter axis (``bench_counting_substrate.py``).
+
 The per-experiment output files record which backend produced them.
 """
 
@@ -28,6 +32,19 @@ def backend_name() -> str:
         raise pytest.UsageError(
             f"REPRO_BACKEND={name!r} is not a registered backend; "
             f"choose from {', '.join(available_backends())}")
+    return name
+
+
+@pytest.fixture(scope="session")
+def counter_name() -> str:
+    """Candidate counting strategy (``REPRO_COUNTER`` env var)."""
+    from repro.mining.apriori import COUNTER_STRATEGIES
+
+    name = os.environ.get("REPRO_COUNTER", "auto")
+    if name not in COUNTER_STRATEGIES:
+        raise pytest.UsageError(
+            f"REPRO_COUNTER={name!r} is not a counter strategy; "
+            f"choose from {', '.join(COUNTER_STRATEGIES)}")
     return name
 
 

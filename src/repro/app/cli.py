@@ -22,6 +22,7 @@ from collections.abc import Callable, Iterator
 from repro.core.rules import RuleKind
 from repro.errors import ReproError
 from repro.app.session import Session
+from repro.mining.apriori import COUNTER_STRATEGIES
 from repro.mining.backend import DEFAULT_BACKEND, available_backends
 
 MENU = """
@@ -52,10 +53,11 @@ class CommandLoop:
                  read: Callable[[str], str],
                  write: Callable[[str], None],
                  *,
-                 backend: str = DEFAULT_BACKEND) -> None:
+                 backend: str = DEFAULT_BACKEND,
+                 counter: str = "auto") -> None:
         self._read = read
         self._write = write
-        self.session = Session(backend=backend)
+        self.session = Session(backend=backend, counter=counter)
 
     # -- prompting helpers ----------------------------------------------------
 
@@ -250,18 +252,24 @@ def main(argv: list[str] | None = None) -> int:
                         choices=available_backends(),
                         help="mining backend for discovery and maintenance "
                              "(default: %(default)s)")
+    parser.add_argument("--counter", default="auto",
+                        choices=COUNTER_STRATEGIES,
+                        help="candidate counting strategy; 'vertical' "
+                             "counts by bitmap-tidset intersection "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
     if args.commands:
         with open(args.commands, encoding="utf-8") as handle:
             lines = [line.rstrip("\n") for line in handle]
         loop = CommandLoop(_scripted_reader(lines), print,
-                           backend=args.backend)
+                           backend=args.backend, counter=args.counter)
     else:
         def read(prompt: str) -> str:
             return input(prompt)
 
-        loop = CommandLoop(read, print, backend=args.backend)
+        loop = CommandLoop(read, print, backend=args.backend,
+                           counter=args.counter)
     try:
         return loop.run(args.dataset)
     except (ReproError, FileNotFoundError) as error:

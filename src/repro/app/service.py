@@ -120,6 +120,14 @@ class _Hosted:
     queue_lock: threading.Lock = field(default_factory=threading.Lock)
     queue: deque[UpdateEvent] = field(default_factory=deque)
     revision: int = 0
+    #: Token of the writer holding the inline auto-flush duty (None when
+    #: unclaimed).  Set under ``queue_lock`` by the submit that crosses
+    #: the threshold, cleared under ``queue_lock`` when a flush drains
+    #: the queue — so exactly one writer triggers per crossing, decided
+    #: atomically with the depth read.  A token (not a bool) lets a
+    #: failed claimant release only its *own* claim, never one a later
+    #: writer legitimately took after the drain.
+    flush_claim: object | None = None
 
 
 class CorrelationService:
@@ -190,17 +198,44 @@ class CorrelationService:
     def submit(self, name: str, event: UpdateEvent) -> int:
         """Queue ``event`` for the next flush; returns the queue depth.
 
-        Never blocks on readers.  With ``auto_flush_every`` set, a full
-        queue is flushed inline before returning (depth 0).
+        Never blocks on readers.  With ``auto_flush_every`` set, the
+        submit that fills the queue flushes it inline before returning —
+        the flush decision is made atomically with the depth read, so
+        concurrent writers trigger exactly one inline flush per
+        threshold crossing.  The returned depth is re-read after the
+        flush (usually 0, but truthful when other writers queued events
+        meanwhile or a failing batch was re-queued).
         """
         hosted = self._session(name)
+        token = object()
         with hosted.queue_lock:
             hosted.queue.append(event)
             depth = len(hosted.queue)
-        if (self._auto_flush_every is not None
-                and depth >= self._auto_flush_every):
+            # Decide inline-flush duty atomically with the depth read:
+            # exactly one writer claims it per threshold crossing, so
+            # concurrent submitters cannot pile redundant flushes onto
+            # the same backlog.
+            claimed = (self._auto_flush_every is not None
+                       and depth >= self._auto_flush_every
+                       and hosted.flush_claim is None)
+            if claimed:
+                hosted.flush_claim = token
+        if not claimed:
+            return depth
+        try:
             self.flush(name)
-            return 0
+        finally:
+            # flush() normally releases the claim when it drains the
+            # queue; if it failed *before* the drain, release our own
+            # claim so auto-flushing is not dead forever after.  Only
+            # our token is released — by now another writer may hold a
+            # legitimate claim on the post-drain backlog.
+            with hosted.queue_lock:
+                if hosted.flush_claim is token:
+                    hosted.flush_claim = None
+                depth = len(hosted.queue)
+        # Post-flush depth, read under the lock: 0 unless other writers
+        # queued during the flush (or a failing batch was re-queued).
         return depth
 
     def flush(self, name: str) -> tuple[MaintenanceReport, ...]:
@@ -220,6 +255,9 @@ class CorrelationService:
             with hosted.queue_lock:
                 batch = list(hosted.queue)
                 hosted.queue.clear()
+                # The backlog this claim covered is drained; the next
+                # threshold crossing may claim a fresh inline flush.
+                hosted.flush_claim = None
             reports = []
             for position, event in enumerate(batch):
                 try:

@@ -34,12 +34,14 @@ from repro.relation.relation import AnnotatedRelation
 class Session:
     """Mutable application state: one dataset, one mined manager."""
 
-    def __init__(self, *, backend: str = DEFAULT_BACKEND) -> None:
+    def __init__(self, *, backend: str = DEFAULT_BACKEND,
+                 counter: str = "auto") -> None:
         self.relation: AnnotatedRelation | None = None
         self.manager: CorrelationEngine | None = None
         self.generalizer: Generalizer | None = None
         self.dataset_path: str | None = None
         self.backend = backend
+        self.counter = counter
 
     # -- dataset -----------------------------------------------------------
 
@@ -85,6 +87,7 @@ class Session:
                   .confidence(min_confidence)
                   .margin(margin)
                   .backend(self.backend)
+                  .counter(self.counter)
                   .generalizer(self.generalizer)
                   .max_length(max_length)
                   .build())
@@ -159,6 +162,7 @@ class Session:
                             if self.relation else 0),
             "generalizations": (self.generalizer is not None),
             "backend": self.backend,
+            "counter": self.counter,
             "mined": self.manager is not None,
         }
         if self.manager is not None:

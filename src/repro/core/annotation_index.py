@@ -8,6 +8,12 @@ annotation is added".  Both structures are views over one maintained
 item -> tidset map; keeping data items in the same map lets discovery
 count any candidate pattern by tidset intersection without a database
 scan.
+
+Storage is the bitmap substrate of :mod:`repro.mining.bitmap`: each
+item's tidset is one big integer, so candidate counting is a bitwise
+AND plus a popcount instead of hashed set intersection.  Buckets whose
+last tid disappears are pruned immediately, so delete-heavy streams do
+not accumulate dead items in :meth:`VerticalIndex.items` walks.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 
 from repro.errors import MaintenanceError
-from repro.mining.eclat import count_itemset, tids_of
+from repro.mining.bitmap import BitmapIndex, BitTidset
 from repro.mining.itemsets import ItemVocabulary, Itemset, Transaction
 
 
@@ -24,25 +30,23 @@ class VerticalIndex:
 
     def __init__(self, vocabulary: ItemVocabulary) -> None:
         self._vocabulary = vocabulary
-        self._tids: dict[int, set[int]] = {}
+        self._bitmaps = BitmapIndex()
 
     # -- maintenance --------------------------------------------------------
 
     def add_transaction(self, tid: int, items: Transaction) -> None:
         for item in items:
-            self._tids.setdefault(item, set()).add(tid)
+            self._bitmaps.add(item, tid)
 
     def extend_transaction(self, tid: int, new_items: Iterable[int]) -> None:
         for item in new_items:
-            self._tids.setdefault(item, set()).add(tid)
+            self._bitmaps.add(item, tid)
 
     def shrink_transaction(self, tid: int, removed_items: Iterable[int]) -> None:
         for item in removed_items:
-            bucket = self._tids.get(item)
-            if bucket is None or tid not in bucket:
+            if not self._bitmaps.discard(item, tid):
                 raise MaintenanceError(
                     f"index does not record item {item} on tid {tid}")
-            bucket.discard(tid)
 
     def remove_transaction(self, tid: int, items: Transaction) -> None:
         self.shrink_transaction(tid, items)
@@ -50,38 +54,48 @@ class VerticalIndex:
     # -- queries -------------------------------------------------------------
 
     def tids(self, item: int) -> frozenset[int]:
-        return frozenset(self._tids.get(item, ()))
+        return frozenset(self._bitmaps.tidset(item))
 
     def frequency(self, item: int) -> int:
         """The annotation frequency table entry for ``item``."""
-        return len(self._tids.get(item, ()))
+        return self._bitmaps.frequency(item)
 
     def count(self, itemset: Itemset, *, db_size: int | None = None) -> int:
-        return count_itemset(self._tids, itemset, universe_size=db_size)
+        if not itemset:
+            if db_size is None:
+                raise ValueError(
+                    "db_size required to count the empty itemset")
+            return db_size
+        return self._bitmaps.count(itemset)
 
     def tids_of_itemset(self, itemset: Itemset) -> set[int]:
-        return tids_of(self._tids, itemset)
+        return self._bitmaps.tids_of(itemset)
 
     def frequent_items(self, min_count: int, *,
                        annotation_like_only: bool = False) -> list[int]:
         keep = (self._vocabulary.annotation_like_ids()
                 if annotation_like_only else None)
-        return sorted(
-            item for item, tids in self._tids.items()
-            if len(tids) >= min_count and (keep is None or item in keep))
+        return [
+            item for item in self._bitmaps.items()
+            if self._bitmaps.frequency(item) >= min_count
+            and (keep is None or item in keep)]
 
     def items(self) -> list[int]:
-        return sorted(self._tids)
+        return self._bitmaps.items()
 
-    def as_mapping(self) -> Mapping[int, set[int]]:
-        """Read-only view handed to the vertical miners."""
-        return self._tids
+    def as_mapping(self) -> Mapping[int, BitTidset]:
+        """Read-only view handed to the vertical miners.
+
+        The view is live but cannot corrupt the index: it exposes no
+        mutators and its values are immutable :class:`BitTidset`\\ s.
+        """
+        return self._bitmaps.as_mapping()
 
     def annotation_frequencies(self) -> dict[int, int]:
         """The paper's annotation frequency table as a plain dict."""
         keep = self._vocabulary.annotation_like_ids()
-        return {item: len(tids) for item, tids in self._tids.items()
-                if item in keep}
+        return {item: self._bitmaps.frequency(item)
+                for item in self._bitmaps.items() if item in keep}
 
     def __contains__(self, item: int) -> bool:
-        return item in self._tids and bool(self._tids[item])
+        return item in self._bitmaps

@@ -25,7 +25,8 @@ from dataclasses import dataclass, replace as _dataclass_replace
 from typing import Any
 
 from repro.core.stats import DEFAULT_MARGIN, Thresholds
-from repro.errors import InvalidThresholdError
+from repro.errors import InvalidThresholdError, MiningError
+from repro.mining.apriori import COUNTER_STRATEGIES
 from repro.mining.backend import DEFAULT_BACKEND
 
 
@@ -49,6 +50,10 @@ class EngineConfig:
         if self.max_length is not None and self.max_length < 1:
             raise InvalidThresholdError(
                 f"max_length must be >= 1 or None, got {self.max_length}")
+        if self.counter not in COUNTER_STRATEGIES:
+            raise MiningError(
+                f"unknown counter strategy {self.counter!r}; choose from "
+                f"{', '.join(COUNTER_STRATEGIES)}")
 
     def thresholds(self) -> Thresholds:
         """The engine-facing thresholds triple."""

@@ -123,6 +123,15 @@ class CorrelationEngine:
     def counter(self) -> str:
         return self.config.counter
 
+    def _counting_index(self) -> VerticalIndex | None:
+        """The index, when maintenance should recount via bitmaps.
+
+        With ``counter="vertical"`` the Figure-12 refresh/decay paths
+        recount the touched patterns by bitmap-tidset intersection
+        instead of adjusting counts tuple by tuple.
+        """
+        return self.index if self.config.counter == "vertical" else None
+
     @property
     def validate(self) -> bool:
         return self.config.validate
@@ -301,7 +310,8 @@ class CorrelationEngine:
                                    db_size=self.db_size)
         report.tuples_scanned = len(deltas)
         # Figure 12: refresh stored patterns, touching only δ tuples.
-        report.patterns_touched = refresh_for_added_items(self.table, deltas)
+        report.patterns_touched = refresh_for_added_items(
+            self.table, deltas, index=self._counting_index())
         # Figure 13: seeded discovery through the annotation index.
         report.patterns_added = discover_with_seeds(
             self.table, self.index, seeds,
@@ -343,7 +353,8 @@ class CorrelationEngine:
         report = MaintenanceReport(event="remove-annotations",
                                    db_size=self.db_size)
         report.tuples_scanned = len(deltas)
-        report.patterns_touched = decay_for_removed_items(self.table, deltas)
+        report.patterns_touched = decay_for_removed_items(
+            self.table, deltas, index=self._counting_index())
         # Counts only fell and |DB| is unchanged: nothing new can appear.
         report.patterns_pruned = self.table.prune_below(
             self.thresholds.keep_count(self.db_size))
@@ -361,7 +372,7 @@ class CorrelationEngine:
                                    db_size=self.db_size)
         report.tuples_scanned = len(old_transactions)
         report.patterns_touched = decay_for_deleted_tuples(
-            self.table, old_transactions)
+            self.table, old_transactions, index=self._counting_index())
         floor = self.thresholds.keep_count(self.db_size)
         report.patterns_pruned = self.table.prune_below(floor)
         # |DB| fell, so patterns whose counts never changed may now

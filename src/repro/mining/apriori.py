@@ -17,6 +17,7 @@ from collections.abc import Sequence
 
 from repro.errors import MiningError
 from repro._util import min_count_for, validate_fraction
+from repro.mining.bitmap import BitmapIndex
 from repro.mining.constraints import (
     CandidateConstraint,
     MiningTask,
@@ -28,6 +29,11 @@ from repro.mining.itemsets import Itemset, Transaction, TransactionDatabase
 
 #: Below this many candidates a direct scan beats building a hash tree.
 _SCAN_THRESHOLD = 12
+
+#: Every candidate-counting strategy a config may select.  ``"auto"``
+#: picks scan or hashtree by candidate volume; ``"vertical"`` counts by
+#: bitmap-tidset intersection (:mod:`repro.mining.bitmap`).
+COUNTER_STRATEGIES = ("auto", "scan", "hashtree", "vertical")
 
 
 def resolve_min_count(n_transactions: int,
@@ -80,16 +86,25 @@ def _all_subsets_present(candidate: Itemset,
 def count_candidates(candidates: Sequence[Itemset],
                      transactions: Sequence[Transaction],
                      *,
-                     counter: str = "auto") -> dict[Itemset, int]:
+                     counter: str = "auto",
+                     index: BitmapIndex | None = None) -> dict[Itemset, int]:
     """Exact support counts for same-length candidates.
 
     ``counter`` selects the strategy: ``"hashtree"`` (paper default),
-    ``"scan"`` (per-candidate containment scan), or ``"auto"``.
+    ``"scan"`` (per-candidate containment scan), ``"vertical"`` (bitmap
+    tidset intersection), or ``"auto"``.  For ``"vertical"``, ``index``
+    may carry a prebuilt :class:`~repro.mining.bitmap.BitmapIndex` over
+    ``transactions`` so level-wise callers index the database once.
     """
     if not candidates:
         return {}
     if counter == "auto":
         counter = "scan" if len(candidates) <= _SCAN_THRESHOLD else "hashtree"
+    if counter == "vertical":
+        if index is None:
+            index = BitmapIndex.from_transactions(transactions)
+        return {candidate: index.count(candidate)
+                for candidate in candidates}
     if counter == "hashtree":
         tree = HashTree(candidates)
         return tree.count_all(transactions)
@@ -102,7 +117,8 @@ def count_candidates(candidates: Sequence[Itemset],
                 if needed <= transaction:
                     counts[candidate] += 1
         return counts
-    raise MiningError(f"unknown counter strategy {counter!r}")
+    raise MiningError(f"unknown counter strategy {counter!r}; "
+                      f"choose from {', '.join(COUNTER_STRATEGIES)}")
 
 
 def mine_frequent_itemsets(transactions: Sequence[Transaction],
@@ -122,6 +138,10 @@ def mine_frequent_itemsets(transactions: Sequence[Transaction],
     threshold = resolve_min_count(len(transactions), min_support, min_count)
     projected = [constraint.project(transaction)
                  for transaction in transactions]
+    # With the vertical counter, index the database once up front; every
+    # level then counts candidates by bitmap intersection against it.
+    index = (BitmapIndex.from_transactions(projected)
+             if counter == "vertical" else None)
 
     item_counts: Counter[int] = Counter()
     for transaction in projected:
@@ -139,7 +159,8 @@ def mine_frequent_itemsets(transactions: Sequence[Transaction],
         candidates = [candidate
                       for candidate in generate_candidates(level)
                       if constraint.admits(candidate)]
-        counts = count_candidates(candidates, projected, counter=counter)
+        counts = count_candidates(candidates, projected, counter=counter,
+                                  index=index)
         level = set()
         for candidate, count in counts.items():
             if count >= threshold:

@@ -30,6 +30,7 @@ from typing import Protocol, runtime_checkable
 
 from repro.errors import MiningError
 from repro.mining.apriori import mine_frequent_itemsets
+from repro.mining.bitmap import BitTidset
 from repro.mining.constraints import CandidateConstraint
 from repro.mining.eclat import mine_frequent_itemsets_vertical
 from repro.mining.fpgrowth import mine_frequent_itemsets_fp
@@ -61,7 +62,7 @@ class MiningBackend(Protocol):
                         table: dict[Itemset, int],
                         increment: Sequence[Transaction],
                         *,
-                        index: Mapping[int, set[int] | frozenset[int]],
+                        index: Mapping[int, "set[int] | frozenset[int] | BitTidset"],
                         new_size: int,
                         keep_fraction: float,
                         constraint: CandidateConstraint,
@@ -109,14 +110,16 @@ class _FupOverLocalMiner:
         raise NotImplementedError
 
     def _reject_counter(self, counter: str) -> None:
-        # The counter knob selects an Apriori counting structure; honouring
-        # it here is impossible, and silently ignoring it would let a
-        # config lie about what ran.
-        if counter != "auto":
+        # The horizontal counter strategies select an Apriori counting
+        # structure; honouring them here is impossible, and silently
+        # ignoring the knob would let a config lie about what ran.
+        # "vertical" is these backends' native mode — tidset/bitmap
+        # intersections — so it (like "auto") passes through.
+        if counter not in ("auto", "vertical"):
             raise MiningError(
                 f"backend {self.name!r} does not support counter="
                 f"{counter!r}; only the apriori-fup backend honours the "
-                f"counter knob")
+                f"horizontal counter strategies")
 
     def mine_initial(self, transactions, *, min_count, constraint,
                      max_length=None, counter="auto"):

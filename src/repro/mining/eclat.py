@@ -8,19 +8,30 @@ enumerates every frequent itemset that *contains a given seed item*,
 intersecting tidsets so that only transactions holding the seed are ever
 touched.  :func:`mine_frequent_itemsets_vertical` is the unrestricted
 Eclat counterpart used for cross-checking the horizontal miners.
+
+Every function here is *tidset-polymorphic*: it only asks a tidset for
+``a & b``, ``len``, truthiness and iteration, so the same search runs
+over classic ``set``/``frozenset`` tidsets and over the bitmap-backed
+:class:`~repro.mining.bitmap.BitTidset` representation (the fast path
+every maintained index uses).  :func:`build_vertical_index` survives as
+the set-based reference builder for tests and comparisons.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 
+from repro.mining.bitmap import BitmapIndex, BitTidset
 from repro.mining.constraints import CandidateConstraint, UnrestrictedConstraint
 from repro.mining.itemsets import Itemset, Transaction
+
+#: Any value usable as a tidset: set, frozenset, or BitTidset.
+Tidset = "set[int] | frozenset[int] | BitTidset"
 
 
 def build_vertical_index(transactions: Sequence[Transaction]
                          ) -> dict[int, set[int]]:
-    """Item id -> set of tids containing it."""
+    """Item id -> set of tids containing it (set-based reference form)."""
     index: dict[int, set[int]] = {}
     for tid, transaction in enumerate(transactions):
         for item in transaction:
@@ -29,8 +40,8 @@ def build_vertical_index(transactions: Sequence[Transaction]
 
 
 def _dfs(prefix: Itemset,
-         prefix_tids: frozenset[int],
-         extensions: list[tuple[int, frozenset[int]]],
+         prefix_tids,
+         extensions: list,
          min_count: int,
          constraint: CandidateConstraint,
          max_length: int | None,
@@ -56,17 +67,21 @@ def mine_frequent_itemsets_vertical(transactions: Sequence[Transaction],
                                     constraint: CandidateConstraint | None = None,
                                     max_length: int | None = None
                                     ) -> dict[Itemset, int]:
-    """Eclat over a horizontal database; same contract as the Apriori miner."""
+    """Eclat over a horizontal database; same contract as the Apriori miner.
+
+    The database is indexed into bitmaps first, so every intersection in
+    the depth-first search is one big-int ``&`` plus a popcount.
+    """
     constraint = constraint if constraint is not None else UnrestrictedConstraint()
     projected = [constraint.project(transaction)
                  for transaction in transactions]
-    index = build_vertical_index(projected)
+    index = BitmapIndex.from_transactions(projected).as_mapping()
     out: dict[Itemset, int] = {}
-    extensions = sorted(
-        (item, frozenset(tids))
-        for item, tids in index.items()
+    extensions = [
+        (item, tids)
+        for item, tids in sorted(index.items())
         if len(tids) >= min_count and constraint.admits_item(item)
-    )
+    ]
     for position, (item, tids) in enumerate(extensions):
         out[(item,)] = len(tids)
         _dfs((item,), tids, extensions[position + 1:], min_count,
@@ -74,7 +89,7 @@ def mine_frequent_itemsets_vertical(transactions: Sequence[Transaction],
     return out
 
 
-def mine_containing(index: Mapping[int, set[int] | frozenset[int]],
+def mine_containing(index: Mapping[int, Tidset],
                     seed_item: int,
                     *,
                     min_count: int,
@@ -91,17 +106,21 @@ def mine_containing(index: Mapping[int, set[int] | frozenset[int]],
     the seed (e.g. only items actually co-occurring with it).
     """
     constraint = constraint if constraint is not None else UnrestrictedConstraint()
-    seed_tids = frozenset(index.get(seed_item, frozenset()))
-    if len(seed_tids) < min_count or not constraint.admits_item(seed_item):
+    seed_tids = index.get(seed_item)
+    if seed_tids is None or len(seed_tids) < min_count \
+            or not constraint.admits_item(seed_item):
         return {}
 
     if candidate_items is None:
         candidate_items = index.keys()
     extensions = []
     for item in sorted(set(candidate_items) - {seed_item}):
-        item_tids = seed_tids & index.get(item, frozenset())
+        other_tids = index.get(item)
+        if other_tids is None:
+            continue
+        item_tids = seed_tids & other_tids
         if len(item_tids) >= min_count:
-            extensions.append((item, frozenset(item_tids)))
+            extensions.append((item, item_tids))
 
     out: dict[Itemset, int] = {(seed_item,): len(seed_tids)}
     _dfs((seed_item,), seed_tids, extensions, min_count, constraint,
@@ -109,7 +128,7 @@ def mine_containing(index: Mapping[int, set[int] | frozenset[int]],
     return out
 
 
-def count_itemset(index: Mapping[int, set[int] | frozenset[int]],
+def count_itemset(index: Mapping[int, Tidset],
                   itemset: Itemset,
                   *,
                   universe_size: int | None = None) -> int:
@@ -122,25 +141,35 @@ def count_itemset(index: Mapping[int, set[int] | frozenset[int]],
         if universe_size is None:
             raise ValueError("universe_size required to count the empty itemset")
         return universe_size
-    # Intersect starting from the rarest item to keep sets small.
-    tidsets = sorted((index.get(item, frozenset()) for item in itemset),
-                     key=len)
-    result = set(tidsets[0])
+    tidsets = []
+    for item in itemset:
+        tids = index.get(item)
+        if tids is None or not tids:
+            return 0
+        tidsets.append(tids)
+    # Intersect starting from the rarest item to keep intermediates small.
+    tidsets.sort(key=len)
+    result = tidsets[0]
     for tids in tidsets[1:]:
-        result &= tids
+        result = result & tids
         if not result:
             return 0
     return len(result)
 
 
-def tids_of(index: Mapping[int, set[int] | frozenset[int]],
+def tids_of(index: Mapping[int, Tidset],
             itemset: Itemset) -> set[int]:
     """Tids of transactions containing every item of ``itemset``."""
     if not itemset:
         raise ValueError("tids_of requires a non-empty itemset")
-    tidsets = sorted((index.get(item, frozenset()) for item in itemset),
-                     key=len)
-    result = set(tidsets[0])
+    tidsets = []
+    for item in itemset:
+        tids = index.get(item)
+        if tids is None:
+            return set()
+        tidsets.append(tids)
+    tidsets.sort(key=len)
+    result = tidsets[0]
     for tids in tidsets[1:]:
-        result &= tids
-    return result
+        result = result & tids
+    return set(result)

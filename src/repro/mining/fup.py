@@ -17,6 +17,11 @@ classic Fast-UPdate argument those techniques rest on:
 The table therefore stays exactly equal to "all admitted itemsets with
 support >= keep_fraction" after any insert batch — the property every
 equivalence test in this repository checks.
+
+The exact global count in step 2 runs through whatever vertical index
+the engine maintains; with the bitmap substrate
+(:mod:`repro.mining.bitmap`) each such count is one big-int AND chain
+plus a popcount, never a database scan.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro._util import min_count_for
 from repro.errors import MaintenanceError
+from repro.mining.bitmap import BitTidset
 from repro.mining.constraints import CandidateConstraint
 from repro.mining.eclat import count_itemset
 from repro.mining.itemsets import Itemset, Transaction
@@ -46,7 +52,7 @@ class FupReport:
 def fup_update(table: dict[Itemset, int],
                increment: Sequence[Transaction],
                *,
-               index: Mapping[int, set[int] | frozenset[int]],
+               index: Mapping[int, "set[int] | frozenset[int] | BitTidset"],
                new_size: int,
                keep_fraction: float,
                constraint: CandidateConstraint,

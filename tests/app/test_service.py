@@ -103,6 +103,95 @@ class TestUpdateQueue:
         with pytest.raises(SessionError):
             CorrelationService(config=CONFIG, auto_flush_every=0)
 
+    def test_concurrent_submit_does_not_pile_on_inline_flush(self):
+        """Regression: the flush decision is atomic with the depth read.
+
+        While one writer's inline auto-flush is still applying its
+        batch, a second writer's submit must queue and return a
+        truthful depth promptly — not claim a redundant inline flush
+        and block on the write lock behind the first.
+        """
+        service = CorrelationService(config=CONFIG, auto_flush_every=2)
+        service.create("s", make_relation())
+        hosted = service._session("s")
+        in_flush = threading.Event()
+        release = threading.Event()
+        real_apply = hosted.engine.apply
+
+        def slow_apply(event):
+            in_flush.set()
+            assert release.wait(timeout=5)
+            return real_apply(event)
+
+        hosted.engine.apply = slow_apply
+        depths: dict[str, int] = {}
+
+        assert service.submit("s", AddAnnotations.build([(3, "A")])) == 1
+
+        def trigger():   # second event crosses the threshold: flushes
+            depths["trigger"] = service.submit(
+                "s", AddAnnotations.build([(5, "A")]))
+
+        flusher = threading.Thread(target=trigger)
+        flusher.start()
+        assert in_flush.wait(timeout=5), "inline flush never started"
+
+        def bystander():  # submits while the inline flush is running
+            depths["bystander"] = service.submit(
+                "s", AddAnnotations.build([(0, "B")]))
+
+        other = threading.Thread(target=bystander)
+        other.start()
+        other.join(timeout=2)
+        assert not other.is_alive(), (
+            "concurrent submit blocked behind the in-flight inline flush")
+        assert depths["bystander"] == 1  # truthful depth, not a stale 0
+        assert service.pending("s") == 1
+
+        release.set()
+        flusher.join(timeout=5)
+        assert not flusher.is_alive()
+        # The triggering submit re-reads the depth after its flush: the
+        # bystander's event arrived meanwhile, so 0 would be a lie.
+        assert depths["trigger"] == 1
+
+        hosted.engine.apply = real_apply
+        service.flush("s")
+        assert service.pending("s") == 0
+        assert service.verify("s").equivalent
+
+    def test_many_writers_every_event_applied_exactly_once(self):
+        """Multi-writer soak: whatever interleaving of inline flushes
+        happens, each submitted event is applied exactly once."""
+        service = CorrelationService(config=CONFIG, auto_flush_every=1)
+        service.create("s", make_relation())
+        hosted = service._session("s")
+        applied: list[object] = []
+        applied_lock = threading.Lock()
+        real_apply = hosted.engine.apply
+
+        def counting_apply(event):
+            with applied_lock:
+                applied.append(event)
+            return real_apply(event)
+
+        hosted.engine.apply = counting_apply
+        events = [AddAnnotatedTuples.build([((str(i), "2"), ("A",))])
+                  for i in range(16)]
+        threads = [threading.Thread(target=service.submit, args=("s", event))
+                   for event in events]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        service.flush("s")   # drain anything left unclaimed
+
+        assert service.pending("s") == 0
+        assert sorted(id(event) for event in applied) == sorted(
+            id(event) for event in events), "an event was lost or re-applied"
+        assert service.snapshot("s").db_size == 8 + len(events)
+        assert service.verify("s").equivalent
+
     def test_flush_failure_requeues_remainder_and_drops_poison(self, service):
         service.create("s", make_relation())
         good_before = AddAnnotations.build([(3, "A")])

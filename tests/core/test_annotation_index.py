@@ -76,3 +76,59 @@ class TestQueries:
         index.shrink_transaction(0, [annotation_a])
         index.shrink_transaction(2, [annotation_a])
         assert annotation_a not in index
+
+
+class TestReadOnlyView:
+    def test_as_mapping_rejects_mutation(self, setup):
+        _, index, data_x, _, _ = setup
+        view = index.as_mapping()
+        with pytest.raises(TypeError):
+            view[data_x] = frozenset({9999})
+        with pytest.raises((TypeError, AttributeError)):
+            del view[data_x]
+
+    def test_view_values_cannot_corrupt_tids(self, setup):
+        """Regression: mutation through the view must not alter tids()."""
+        _, index, data_x, _, _ = setup
+        before = index.tids(data_x)
+        view = index.as_mapping()
+        tidset = view[data_x]
+        assert not hasattr(tidset, "add")
+        # Materializing and mutating a copy must leave the index alone.
+        leaked = set(tidset)
+        leaked.add(9999)
+        assert index.tids(data_x) == before
+        assert 9999 not in index.tids(data_x)
+
+    def test_view_is_live(self, setup):
+        _, index, data_x, _, _ = setup
+        view = index.as_mapping()
+        index.extend_transaction(7, [data_x])
+        assert 7 in view[data_x]
+
+
+class TestEmptyBucketChurn:
+    def test_shrink_prunes_dead_items(self, setup):
+        """Regression: delete-heavy streams must not iterate dead items."""
+        _, index, data_x, data_y, annotation_a = setup
+        index.shrink_transaction(0, [annotation_a])
+        index.shrink_transaction(2, [annotation_a])
+        assert annotation_a not in index.items()
+        assert index.annotation_frequencies() == {}
+        assert index.frequent_items(1) == sorted([data_x, data_y])
+
+    def test_remove_transaction_churn(self):
+        vocabulary = ItemVocabulary()
+        items = [vocabulary.intern_data(f"v{i}") for i in range(20)]
+        index = VerticalIndex(vocabulary)
+        for tid, item in enumerate(items):
+            index.add_transaction(tid, frozenset({item}))
+        # Delete every transaction: each add/remove cycle must leave no
+        # residue for items()/frequent_items() to walk forever.
+        for tid, item in enumerate(items):
+            index.remove_transaction(tid, frozenset({item}))
+        assert index.items() == []
+        assert index.frequent_items(1) == []
+        # Re-adding after churn works from a clean slate.
+        index.add_transaction(0, frozenset({items[3]}))
+        assert index.items() == [items[3]]

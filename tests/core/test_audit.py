@@ -52,7 +52,8 @@ class TestCorruptionDetection:
     def test_detects_corrupted_index(self):
         manager = mined_manager()
         item = manager.index.items()[0]
-        manager.index.as_mapping()[item].add(9999)
+        # as_mapping() is read-only now, so corrupt the storage directly.
+        manager.index._bitmaps.add(item, 9999)
         report = audit(manager)
         assert not report.consistent
         assert any("index" in finding for finding in report.findings)

@@ -48,4 +48,9 @@ def test_hash_tree_and_scan_counters_agree(encoded):
                                   constraint=constraint, counter="hashtree")
     scan = mine_frequent_itemsets(encoded.transactions, min_count=min_count,
                                   constraint=constraint, counter="scan")
+    vertical = mine_frequent_itemsets(encoded.transactions,
+                                      min_count=min_count,
+                                      constraint=constraint,
+                                      counter="vertical")
     assert tree == scan
+    assert tree == vertical

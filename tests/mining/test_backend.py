@@ -59,9 +59,9 @@ class TestRegistry:
 
 #: The same event script the manager scenario tests run: the paper's
 #: three cases plus both removal extensions.
-def run_lifecycle(backend_name):
+def run_lifecycle(backend_name, counter="auto"):
     eng = engine(make_relation(), min_support=0.25, min_confidence=0.6,
-                 backend=backend_name, validate=True)
+                 backend=backend_name, counter=counter, validate=True)
     eng.mine()
     signatures = [eng.signature()]
     eng.add_annotations([(3, "A"), (5, "A"), (0, "B")])        # Case 3
@@ -76,6 +76,32 @@ def run_lifecycle(backend_name):
     eng.remove_tuples([7, 2])                                  # deletion ext.
     signatures.append(eng.signature())
     return eng, signatures
+
+
+def run_lifecycle_trail(backend_name, counter):
+    """Per-step (pattern table, sorted rules) snapshots over the same
+    lifecycle — the byte-level comparison behind the counter substrate."""
+    eng = engine(make_relation(), min_support=0.25, min_confidence=0.6,
+                 backend=backend_name, counter=counter, validate=True)
+    trail = []
+
+    def snap():
+        trail.append((dict(eng.table.counts),
+                      tuple(eng.rules.sorted_rules())))
+
+    eng.mine()
+    snap()
+    eng.add_annotations([(3, "A"), (5, "A"), (0, "B")])
+    snap()
+    eng.insert_annotated([(("1", "2"), ("A",)), (("4", "3"), ("B",))])
+    snap()
+    eng.insert_unannotated([("4", "9"), ("1", "9")])
+    snap()
+    eng.remove_annotations([(5, "A"), (1, "B")])
+    snap()
+    eng.remove_tuples([7, 2])
+    snap()
+    return trail
 
 
 class TestLifecycleEquivalence:
@@ -100,6 +126,27 @@ class TestLifecycleEquivalence:
                      backend=backend_name, counter="scan")
         with pytest.raises(MiningError, match="counter"):
             eng.mine()
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_vertical_counter_full_lifecycle(self, backend_name):
+        """counter="vertical" runs the whole incremental lifecycle on
+        every backend and still matches its own re-mine."""
+        eng, _signatures = run_lifecycle(backend_name, counter="vertical")
+        verification = eng.verify_against_remine()
+        assert verification.equivalent, verification.explain()
+        assert_equivalent_to_remine(eng)
+
+    def test_vertical_counter_tables_identical_to_horizontal(self):
+        """The acceptance bar for the bitmap substrate: byte-identical
+        pattern tables and rules to the scan/hashtree counters, for all
+        three backends, at every step of the incremental lifecycle."""
+        reference = run_lifecycle_trail("apriori-fup", "scan")
+        assert run_lifecycle_trail("apriori-fup", "hashtree") == reference
+        for backend_name in ALL_BACKENDS:
+            trail = run_lifecycle_trail(backend_name, "vertical")
+            assert trail == reference, (
+                f"backend {backend_name} with counter='vertical' diverged "
+                f"from the horizontal counters")
 
     @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
     def test_max_length_respected(self, backend_name):

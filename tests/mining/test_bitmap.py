@@ -1,0 +1,115 @@
+"""Unit tests for the bitmap-backed vertical counting substrate."""
+
+import random
+
+import pytest
+
+from repro.mining.bitmap import BitmapIndex, BitTidset
+
+TRANSACTIONS = [
+    frozenset({1, 3, 4}),
+    frozenset({2, 3, 5}),
+    frozenset({1, 2, 3, 5}),
+    frozenset({2, 5}),
+]
+
+
+class TestBitTidset:
+    def test_from_tids_round_trip(self):
+        tids = {0, 3, 17, 200}
+        tidset = BitTidset.from_tids(tids)
+        assert set(tidset) == tids
+        assert len(tidset) == 4
+        assert tidset == tids
+
+    def test_membership(self):
+        tidset = BitTidset.from_tids({2, 5})
+        assert 2 in tidset and 5 in tidset
+        assert 0 not in tidset and 64 not in tidset
+        assert -1 not in tidset
+
+    def test_set_algebra_matches_sets(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            left = set(rng.sample(range(130), rng.randint(0, 40)))
+            right = set(rng.sample(range(130), rng.randint(0, 40)))
+            bit_left = BitTidset.from_tids(left)
+            bit_right = BitTidset.from_tids(right)
+            assert set(bit_left & bit_right) == left & right
+            assert set(bit_left | bit_right) == left | right
+            assert set(bit_left - bit_right) == left - right
+            assert bit_left.isdisjoint(bit_right) == left.isdisjoint(right)
+
+    def test_truthiness_and_equality(self):
+        assert not BitTidset()
+        assert BitTidset.from_tids({0})
+        assert BitTidset.from_tids({1, 2}) == BitTidset.from_tids({2, 1})
+        assert BitTidset.from_tids({1}) != BitTidset.from_tids({2})
+        assert hash(BitTidset.from_tids({7})) == hash(BitTidset.from_tids({7}))
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BitTidset(-1)
+
+
+class TestBitmapIndex:
+    def test_from_transactions(self):
+        index = BitmapIndex.from_transactions(TRANSACTIONS)
+        assert index.tidset(3) == {0, 1, 2}
+        assert index.tidset(4) == {0}
+        assert index.frequency(2) == 3
+        assert index.frequency(99) == 0
+
+    def test_count_by_intersection(self):
+        index = BitmapIndex.from_transactions(TRANSACTIONS)
+        assert index.count((2, 5)) == 3
+        assert index.count((1, 4)) == 1
+        assert index.count((4, 5)) == 0
+        assert index.count((9,)) == 0
+        with pytest.raises(ValueError):
+            index.count(())
+
+    def test_tids_of(self):
+        index = BitmapIndex.from_transactions(TRANSACTIONS)
+        assert index.tids_of((2, 5)) == {1, 2, 3}
+        assert index.tids_of((4, 5)) == set()
+        with pytest.raises(ValueError):
+            index.tids_of(())
+
+    def test_discard_prunes_empty_buckets(self):
+        index = BitmapIndex.from_transactions(TRANSACTIONS)
+        assert 4 in index
+        assert index.discard(4, 0) is True
+        assert 4 not in index
+        assert 4 not in index.items()
+        assert index.discard(4, 0) is False  # already gone
+        assert index.frequency(4) == 0
+
+    def test_as_mapping_is_read_only_and_live(self):
+        index = BitmapIndex.from_transactions(TRANSACTIONS)
+        view = index.as_mapping()
+        with pytest.raises(TypeError):
+            view[1] = BitTidset.from_tids({0})
+        with pytest.raises(AttributeError):
+            view[1].add(9)  # values expose no mutators
+        index.add(1, 3)
+        assert 3 in view[1]  # live view reflects maintenance
+
+    def test_matches_set_reference_on_random_databases(self):
+        from repro.mining.eclat import build_vertical_index, count_itemset
+
+        rng = random.Random(29)
+        for _ in range(10):
+            transactions = [
+                frozenset(rng.sample(range(15), rng.randint(0, 8)))
+                for _ in range(rng.randint(1, 50))
+            ]
+            sets = build_vertical_index(transactions)
+            bitmaps = BitmapIndex.from_transactions(transactions)
+            for item, tids in sets.items():
+                assert bitmaps.tidset(item) == tids
+            items = sorted(sets)
+            for _ in range(25):
+                itemset = tuple(sorted(
+                    rng.sample(items, rng.randint(1, min(4, len(items))))))
+                assert bitmaps.count(itemset) == count_itemset(sets, itemset)

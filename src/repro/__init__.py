@@ -26,11 +26,14 @@ from repro.core.events import (
     RemoveTuples,
 )
 from repro.core.config import EngineConfig, EngineConfigBuilder
+from repro.core.deltas import DeltaPlan, EventAudit, compile_plan
 from repro.core.engine import (
     CorrelationEngine,
     VerificationResult,
     engine,
 )
+from repro.core.maintenance import BatchReport, MaintenanceReport
+from repro.errors import DeltaPlanError
 from repro.core.manager import AnnotationRuleManager
 from repro.mining.backend import (
     AprioriFupBackend,
@@ -89,8 +92,12 @@ __all__ = [
     "AprioriFupBackend",
     "AssociationRule",
     "AuditReport",
+    "BatchReport",
     "CorrelationEngine",
     "CorrelationService",
+    "DeltaPlan",
+    "DeltaPlanError",
+    "EventAudit",
     "EclatBackend",
     "EngineConfig",
     "EngineConfigBuilder",
@@ -111,6 +118,7 @@ __all__ = [
     "ItemVocabulary",
     "KeywordMatcher",
     "LeveledRule",
+    "MaintenanceReport",
     "MiningTask",
     "MultiLevelMiner",
     "MissingAnnotationRecommender",
@@ -133,6 +141,7 @@ __all__ = [
     "audit",
     "available_backends",
     "closed_itemsets",
+    "compile_plan",
     "compress_rules",
     "engine",
     "evaluate_rule",

@@ -42,6 +42,7 @@ Please select an operation:
 13. Load session state (JSON snapshot)
 14. Explain a rule (evidence tuples and measures)
 15. Review unexplained annotations (removal suggestions)
+16. Flush queued updates (coalesced batch)
  0. Exit
 """.rstrip()
 
@@ -54,10 +55,12 @@ class CommandLoop:
                  write: Callable[[str], None],
                  *,
                  backend: str = DEFAULT_BACKEND,
-                 counter: str = "auto") -> None:
+                 counter: str = "auto",
+                 auto_flush_every: int | None = None) -> None:
         self._read = read
         self._write = write
-        self.session = Session(backend=backend, counter=counter)
+        self.session = Session(backend=backend, counter=counter,
+                               auto_flush_every=auto_flush_every)
 
     # -- prompting helpers ----------------------------------------------------
 
@@ -103,16 +106,15 @@ class CommandLoop:
                         f"re-run discovery to mine the extended database")
         elif choice == "4":
             path = self._ask("Enter the annotation update file: ")
-            report = self.session.add_annotations_from_file(path)
-            self._write(report.summary())
+            self._report_update(self.session.add_annotations_from_file(path))
         elif choice == "5":
             path = self._ask("Enter the annotated tuples file: ")
-            report = self.session.add_annotated_tuples_from_file(path)
-            self._write(report.summary())
+            self._report_update(
+                self.session.add_annotated_tuples_from_file(path))
         elif choice == "6":
             path = self._ask("Enter the un-annotated tuples file: ")
-            report = self.session.add_unannotated_tuples_from_file(path)
-            self._write(report.summary())
+            self._report_update(
+                self.session.add_unannotated_tuples_from_file(path))
         elif choice == "7":
             self._recommend()
         elif choice == "8":
@@ -149,13 +151,17 @@ class CommandLoop:
             from repro.core import persistence
             path = self._ask("Enter the snapshot file to load: ")
             manager = persistence.load(path)
-            self.session.relation = manager.relation
-            self.session.manager = manager
-            self.session.dataset_path = f"(snapshot) {path}"
+            self.session.restore_snapshot(manager, f"(snapshot) {path}")
             self._write(f"Restored {manager.db_size} tuples and "
                         f"{len(manager.rules)} rule(s) from {path}")
         elif choice == "14":
             self._explain_rule()
+        elif choice == "16":
+            report = self.session.flush()
+            if report is None:
+                self._write("No updates queued.")
+            else:
+                self._write(report.summary())
         elif choice == "15":
             from repro.exploitation.removal import (
                 UnexplainedAnnotationFinder,
@@ -175,6 +181,15 @@ class CommandLoop:
                         self._write(f"  {suggestion.render()}")
         else:
             self._write(f"Unknown option {choice!r}")
+
+    def _report_update(self, report) -> None:
+        """Print what an update-file option did (applied, batched, or
+        just queued behind the ``--auto-flush-every`` threshold)."""
+        if report is None:
+            self._write(f"Queued ({self.session.pending()} pending; "
+                        f"flush with option 16)")
+        else:
+            self._write(report.summary())
 
     def _explain_rule(self) -> None:
         from repro.core.explain import explain_rule, render_evidence
@@ -257,20 +272,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="candidate counting strategy; 'vertical' "
                              "counts by bitmap-tidset intersection "
                              "(default: %(default)s)")
+    parser.add_argument("--auto-flush-every", metavar="N", type=int,
+                        default=None,
+                        help="queue update files and apply them as one "
+                             "coalesced batch once N are pending "
+                             "(default: apply each file immediately)")
     args = parser.parse_args(argv)
 
-    if args.commands:
-        with open(args.commands, encoding="utf-8") as handle:
-            lines = [line.rstrip("\n") for line in handle]
-        loop = CommandLoop(_scripted_reader(lines), print,
-                           backend=args.backend, counter=args.counter)
-    else:
-        def read(prompt: str) -> str:
-            return input(prompt)
-
-        loop = CommandLoop(read, print, backend=args.backend,
-                           counter=args.counter)
     try:
+        if args.commands:
+            with open(args.commands, encoding="utf-8") as handle:
+                lines = [line.rstrip("\n") for line in handle]
+            loop = CommandLoop(_scripted_reader(lines), print,
+                               backend=args.backend, counter=args.counter,
+                               auto_flush_every=args.auto_flush_every)
+        else:
+            def read(prompt: str) -> str:
+                return input(prompt)
+
+            loop = CommandLoop(read, print, backend=args.backend,
+                               counter=args.counter,
+                               auto_flush_every=args.auto_flush_every)
         return loop.run(args.dataset)
     except (ReproError, FileNotFoundError) as error:
         print(f"fatal: {error}", file=sys.stderr)

@@ -16,9 +16,12 @@ Concurrency model, per session:
   mutex and never touches the engine, so producers are not blocked by
   readers (set ``auto_flush_every`` to bound queue growth by flushing
   inline once the queue reaches that depth);
-* :meth:`CorrelationService.flush` drains the queue in submission
-  order inside one write-lock hold, so readers observe either the
-  pre-batch or the post-batch rule set, never a half-applied one;
+* :meth:`CorrelationService.flush` drains the queue inside one
+  write-lock hold and applies it as **one coalesced delta plan**
+  (``engine.apply_batch``) — one maintenance pass, one rule refresh,
+  one invariant check and one revision bump per flush — so readers
+  observe either the pre-batch or the post-batch rule set, never a
+  half-applied one;
 * :class:`RuleSnapshot` results are frozen copies — they stay valid
   (and stale) after the lock is released, which is the point.
 """
@@ -34,7 +37,7 @@ from dataclasses import dataclass, field
 from repro.core.config import EngineConfig
 from repro.core.engine import CorrelationEngine, RuleSignature, VerificationResult
 from repro.core.events import UpdateEvent
-from repro.core.maintenance import MaintenanceReport
+from repro.core.maintenance import BatchReport, MaintenanceReport
 from repro.core.rules import AssociationRule, RuleKind
 from repro.errors import SessionError
 from repro.relation.relation import AnnotatedRelation
@@ -62,6 +65,38 @@ class RuleSnapshot:
 
     def of_kind(self, kind: RuleKind) -> tuple[AssociationRule, ...]:
         return tuple(rule for rule in self.rules if rule.kind is kind)
+
+
+def isolate_poison_event(apply, batch, *, requeue, describe,
+                         noun: str = "event") -> None:
+    """Shared batch-failure fallback: apply ``batch`` one event at a
+    time after a compile-rejected (provably unmutated) ``apply_batch``.
+
+    The documented semantics live here once for every front-end: the
+    valid prefix stays applied, the poison event is dropped (retrying
+    it would fail every flush), and ``requeue(remainder, applied)`` is
+    handed the unapplied tail to put back at the front of its queue.
+    Always raises :class:`SessionError` — naming the poison event, or
+    the compiler/per-event disagreement if everything applied.
+    """
+    applied = 0
+    for position, event in enumerate(batch):
+        try:
+            apply(event)
+            applied += 1
+        except Exception as error:
+            remainder = list(batch[position + 1:])
+            requeue(remainder, applied)
+            raise SessionError(
+                f"{describe} failed on {noun} {position + 1} of "
+                f"{len(batch)} ({event!r}); {applied} applied, "
+                f"{len(remainder)} re-queued, the failing {noun} "
+                f"dropped") from error
+    requeue([], applied)
+    raise SessionError(
+        f"{describe}: batch compilation failed but every {noun} applied "
+        f"individually — plan compiler and per-event application "
+        f"disagree")
 
 
 class ReadWriteLock:
@@ -238,16 +273,27 @@ class CorrelationService:
         # queued during the flush (or a failing batch was re-queued).
         return depth
 
-    def flush(self, name: str) -> tuple[MaintenanceReport, ...]:
-        """Apply every queued event in submission order, atomically with
-        respect to readers; returns one report per event.
+    def flush(self, name: str) -> BatchReport:
+        """Apply every queued event as **one** coalesced batch,
+        atomically with respect to readers.
 
-        If an event fails, the *unapplied remainder* of the batch is
-        re-queued at the front (in order) and the error is re-raised
-        wrapped in :class:`SessionError` naming the poison event — it is
-        dropped, since retrying it would fail every flush.  Events
-        applied before the failure stay applied; call
-        :meth:`CorrelationService.mine` if the engine reports its
+        The whole drain is a single write-lock critical section and a
+        single revision bump: the engine compiles the queue into a
+        delta plan (:meth:`~repro.core.engine.CorrelationEngine.apply_batch`)
+        and runs one maintenance pass, one rule refresh and one
+        invariant check however deep the queue was.  The returned
+        :class:`~repro.core.maintenance.BatchReport` still carries one
+        audit row per submitted event.
+
+        Poison-event isolation is preserved: plan compilation fails
+        *before* any mutation, so on a compile-rejected batch (or any
+        batch failure that provably mutated nothing) the flush falls
+        back to applying the events one at a time.  That fallback keeps
+        the documented semantics — events before the poison stay
+        applied, the poison event is dropped (retrying it would fail
+        every flush), the unapplied remainder is re-queued at the front
+        in order, and a :class:`SessionError` names the poison event.
+        Call :meth:`CorrelationService.mine` if the engine reports its
         incremental state as stale.
         """
         hosted = self._session(name)
@@ -258,24 +304,40 @@ class CorrelationService:
                 # The backlog this claim covered is drained; the next
                 # threshold crossing may claim a fresh inline flush.
                 hosted.flush_claim = None
-            reports = []
-            for position, event in enumerate(batch):
-                try:
-                    reports.append(hosted.engine.apply(event))
-                except Exception as error:
-                    remainder = batch[position + 1:]
-                    with hosted.queue_lock:
-                        hosted.queue.extendleft(reversed(remainder))
-                    if reports:
-                        hosted.revision += 1
-                    raise SessionError(
-                        f"flush of session {name!r} failed on event "
-                        f"{position + 1} of {len(batch)} ({event!r}); "
-                        f"{len(reports)} applied, {len(remainder)} "
-                        f"re-queued, the failing event dropped") from error
-            if reports:
+            if not batch:
+                return BatchReport(db_size=hosted.engine.db_size,
+                                   event="apply-batch[0]")
+            version_before = hosted.engine.relation.version
+            try:
+                report = hosted.engine.apply_batch(batch)
+            except Exception:
+                if hosted.engine.relation.version != version_before:
+                    # The batch died mid-application; per-event replay
+                    # would double-apply the prefix.  Bump the revision
+                    # (readers must notice the mutated state) and
+                    # surface the error — the engine's version guard
+                    # forces a re-mine before further incremental
+                    # updates.
+                    hosted.revision += 1
+                    raise
+                self._flush_per_event(name, hosted, batch)
+            hosted.revision += 1
+        return report
+
+    def _flush_per_event(self, name: str, hosted: _Hosted,
+                         batch: list[UpdateEvent]) -> None:
+        """Fallback path isolating a poison event (documented semantics:
+        prefix stays applied, poison dropped, remainder re-queued)."""
+        def requeue(remainder: list[UpdateEvent], applied: int) -> None:
+            with hosted.queue_lock:
+                hosted.queue.extendleft(reversed(remainder))
+            if applied:
                 hosted.revision += 1
-        return tuple(reports)
+
+        isolate_poison_event(
+            hosted.engine.apply, batch,
+            requeue=requeue,
+            describe=f"flush of session {name!r}")
 
     def mine(self, name: str) -> MaintenanceReport:
         """(Re-)run the initial from-scratch pass for ``name``."""

@@ -15,7 +15,13 @@ import os
 
 from repro.core.config import EngineConfig
 from repro.core.engine import CorrelationEngine
-from repro.core.maintenance import MaintenanceReport
+from repro.core.events import (
+    AddAnnotatedTuples,
+    AddUnannotatedTuples,
+    UpdateEvent,
+)
+from repro.core.maintenance import BatchReport, MaintenanceReport
+from repro.app.service import isolate_poison_event
 from repro.core.rules import AssociationRule, RuleKind
 from repro.core.stats import DEFAULT_MARGIN
 from repro.errors import SessionError
@@ -32,16 +38,30 @@ from repro.relation.relation import AnnotatedRelation
 
 
 class Session:
-    """Mutable application state: one dataset, one mined manager."""
+    """Mutable application state: one dataset, one mined manager.
+
+    With ``auto_flush_every`` set, update files are *queued* as events
+    instead of applied immediately; once the queue reaches that depth
+    (or :meth:`flush` is called from the menu) the whole backlog is
+    applied as one coalesced batch through ``engine.apply_batch`` —
+    the serving facade's write path, surfaced in the standalone app.
+    """
 
     def __init__(self, *, backend: str = DEFAULT_BACKEND,
-                 counter: str = "auto") -> None:
+                 counter: str = "auto",
+                 auto_flush_every: int | None = None) -> None:
+        if auto_flush_every is not None and auto_flush_every < 1:
+            raise SessionError(
+                f"auto_flush_every must be >= 1 or None, "
+                f"got {auto_flush_every}")
         self.relation: AnnotatedRelation | None = None
         self.manager: CorrelationEngine | None = None
         self.generalizer: Generalizer | None = None
         self.dataset_path: str | None = None
         self.backend = backend
         self.counter = counter
+        self.auto_flush_every = auto_flush_every
+        self.pending_updates: list[UpdateEvent] = []
 
     # -- dataset -----------------------------------------------------------
 
@@ -51,7 +71,20 @@ class Session:
         self.dataset_path = os.fspath(path)
         self.manager = None  # thresholds must be re-entered
         self.generalizer = None
+        self.pending_updates.clear()  # queued events named old tids
         return len(self.relation)
+
+    def restore_snapshot(self, manager: CorrelationEngine,
+                         label: str) -> None:
+        """Adopt a restored engine (menu option 13 / programmatic load).
+
+        Owns the queue invariant: any pending updates named tids of the
+        replaced relation, so they are discarded with it.
+        """
+        self.relation = manager.relation
+        self.manager = manager
+        self.dataset_path = label
+        self.pending_updates.clear()
 
     def _require_relation(self) -> AnnotatedRelation:
         if self.relation is None:
@@ -102,25 +135,73 @@ class Session:
 
     # -- updates (menu options 4, 5, 6) -------------------------------------------
 
-    def add_annotations_from_file(self, path: str | os.PathLike
-                                  ) -> MaintenanceReport:
-        """Menu option 4: a Figure 14 δ batch."""
-        manager = self._require_manager()
-        return manager.apply(updates_format.read_updates(path))
+    def _route_update(self, event: UpdateEvent
+                      ) -> MaintenanceReport | BatchReport | None:
+        """Apply immediately, or queue for a coalesced flush.
 
-    def add_annotated_tuples_from_file(self, path: str | os.PathLike
-                                       ) -> MaintenanceReport:
-        """Menu option 5: Case 1 — rows in the Figure 4 dataset format."""
+        Returns ``None`` when the event was queued without triggering
+        the auto-flush threshold — the CLI reports the queue depth.
+        """
         manager = self._require_manager()
+        if self.auto_flush_every is None:
+            return manager.apply(event)
+        self.pending_updates.append(event)
+        if len(self.pending_updates) >= self.auto_flush_every:
+            return self.flush()
+        return None
+
+    def flush(self) -> BatchReport | None:
+        """Apply every queued update as one coalesced batch.
+
+        Returns ``None`` when nothing was queued.  Poison isolation
+        mirrors the serving facade: batch compilation fails before any
+        mutation, so on a rejected batch the events are applied one at
+        a time — the valid prefix stays applied, the poison event is
+        dropped, and the unapplied remainder returns to the front of
+        the queue with the raised :class:`SessionError` naming it.
+        """
+        manager = self._require_manager()
+        if not self.pending_updates:
+            return None
+        batch, self.pending_updates = self.pending_updates, []
+        version_before = manager.relation.version
+        try:
+            return manager.apply_batch(batch)
+        except Exception:
+            if manager.relation.version != version_before:
+                raise  # mutated mid-batch: replay would double-apply
+
+        def requeue(remainder: list[UpdateEvent], applied: int) -> None:
+            self.pending_updates = remainder + self.pending_updates
+
+        isolate_poison_event(manager.apply, batch, requeue=requeue,
+                             describe="flush", noun="update")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def pending(self) -> int:
+        """Updates queued but not yet flushed."""
+        return len(self.pending_updates)
+
+    def add_annotations_from_file(self, path: str | os.PathLike
+                                  ) -> MaintenanceReport | BatchReport | None:
+        """Menu option 4: a Figure 14 δ batch."""
+        return self._route_update(updates_format.read_updates(path))
+
+    def add_annotated_tuples_from_file(
+            self, path: str | os.PathLike
+    ) -> MaintenanceReport | BatchReport | None:
+        """Menu option 5: Case 1 — rows in the Figure 4 dataset format."""
+        self._require_manager()
         rows = list(dataset_format.iter_rows(_read_lines(path)))
         if not rows:
             raise SessionError(f"no tuples found in {os.fspath(path)!r}")
-        return manager.insert_annotated(rows)
+        return self._route_update(AddAnnotatedTuples.build(rows))
 
-    def add_unannotated_tuples_from_file(self, path: str | os.PathLike
-                                         ) -> MaintenanceReport:
+    def add_unannotated_tuples_from_file(
+            self, path: str | os.PathLike
+    ) -> MaintenanceReport | BatchReport | None:
         """Menu option 6: Case 2 — rows must carry no annotations."""
-        manager = self._require_manager()
+        self._require_manager()
         rows = list(dataset_format.iter_rows(_read_lines(path)))
         if not rows:
             raise SessionError(f"no tuples found in {os.fspath(path)!r}")
@@ -129,8 +210,8 @@ class Session:
             raise SessionError(
                 f"{len(annotated)} row(s) in {os.fspath(path)!r} carry "
                 f"annotations — use the annotated-tuples option instead")
-        return manager.insert_unannotated(
-            [values for values, _annotations in rows])
+        return self._route_update(AddUnannotatedTuples.build(
+            [values for values, _annotations in rows]))
 
     # -- exploitation (menu option 7) -----------------------------------------------
 
@@ -163,6 +244,8 @@ class Session:
             "generalizations": (self.generalizer is not None),
             "backend": self.backend,
             "counter": self.counter,
+            "auto_flush_every": self.auto_flush_every,
+            "pending_updates": self.pending(),
             "mined": self.manager is not None,
         }
         if self.manager is not None:

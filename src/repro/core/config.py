@@ -43,6 +43,10 @@ class EngineConfig:
     counter: str = "auto"
     track_candidates: bool = True
     validate: bool = False
+    #: Retain at most this many events in the engine's provenance log
+    #: (``None`` = unbounded).  Long-lived served sessions set a bound
+    #: so the log rotates instead of growing with the write stream.
+    max_log_events: int | None = None
 
     def __post_init__(self) -> None:
         # Thresholds shares its validation; a bad fraction raises here.
@@ -50,6 +54,10 @@ class EngineConfig:
         if self.max_length is not None and self.max_length < 1:
             raise InvalidThresholdError(
                 f"max_length must be >= 1 or None, got {self.max_length}")
+        if self.max_log_events is not None and self.max_log_events < 1:
+            raise InvalidThresholdError(
+                f"max_log_events must be >= 1 or None, "
+                f"got {self.max_log_events}")
         if self.counter not in COUNTER_STRATEGIES:
             raise MiningError(
                 f"unknown counter strategy {self.counter!r}; choose from "
@@ -112,6 +120,10 @@ class EngineConfigBuilder:
 
     def validate(self, enabled: bool = True) -> "EngineConfigBuilder":
         self._values["validate"] = enabled
+        return self
+
+    def max_log_events(self, bound: int | None) -> "EngineConfigBuilder":
+        self._values["max_log_events"] = bound
         return self
 
     # -- terminal --------------------------------------------------------------

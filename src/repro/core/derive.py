@@ -11,7 +11,7 @@ everywhere (the paper's equivalence results hinge on this).
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.errors import MaintenanceError
 from repro.core.pattern_table import FrequentPatternTable
@@ -43,6 +43,36 @@ def iter_rule_shapes(itemset: Itemset,
             yield (RuleKind.ANNOTATION_TO_ANNOTATION, lhs, rhs)
 
 
+def _classify_rule(rule: AssociationRule,
+                   thresholds: Thresholds,
+                   valid: RuleSet,
+                   near_misses: list[AssociationRule]) -> None:
+    if thresholds.is_valid(rule):
+        valid.add(rule)
+    elif thresholds.is_near_miss(rule):
+        near_misses.append(rule)
+
+
+def _derive_for_union(table: FrequentPatternTable,
+                      itemset: Itemset,
+                      union_count: int,
+                      thresholds: Thresholds,
+                      db_size: int,
+                      valid: RuleSet,
+                      near_misses: list[AssociationRule]) -> None:
+    for kind, lhs, rhs in iter_rule_shapes(itemset, table.vocabulary):
+        lhs_count = table.count(lhs)
+        if lhs_count is None:
+            raise MaintenanceError(
+                f"pattern table lost closure: {lhs} missing while "
+                f"{itemset} is stored")
+        rule = AssociationRule(
+            kind=kind, lhs=lhs, rhs=rhs,
+            union_count=union_count, lhs_count=lhs_count,
+            db_size=db_size)
+        _classify_rule(rule, thresholds, valid, near_misses)
+
+
 def derive_rules(table: FrequentPatternTable,
                  thresholds: Thresholds,
                  db_size: int) -> tuple[RuleSet, list[AssociationRule]]:
@@ -53,20 +83,68 @@ def derive_rules(table: FrequentPatternTable,
     """
     valid = RuleSet()
     near_misses: list[AssociationRule] = []
-    vocabulary = table._vocabulary  # same package; table owns the vocab
     for itemset, union_count in table.entries():
-        for kind, lhs, rhs in iter_rule_shapes(itemset, vocabulary):
-            lhs_count = table.count(lhs)
-            if lhs_count is None:
-                raise MaintenanceError(
-                    f"pattern table lost closure: {lhs} missing while "
-                    f"{itemset} is stored")
-            rule = AssociationRule(
-                kind=kind, lhs=lhs, rhs=rhs,
-                union_count=union_count, lhs_count=lhs_count,
-                db_size=db_size)
-            if thresholds.is_valid(rule):
-                valid.add(rule)
-            elif thresholds.is_near_miss(rule):
-                near_misses.append(rule)
+        _derive_for_union(table, itemset, union_count, thresholds, db_size,
+                          valid, near_misses)
+    return valid, near_misses
+
+
+def affected_unions(table: FrequentPatternTable,
+                    dirty: Iterable[Itemset]) -> set[Itemset]:
+    """Every stored-or-pruned union whose rules a dirty set may change.
+
+    A rule reads exactly two table counts: its union's and its LHS's.
+    So a rule is affected iff its union is dirty (added, pruned or
+    recounted) **or** its LHS is.  Unions whose LHS is dirty are found
+    by probing one-item annotation extensions of each dirty LHS-shaped
+    pattern against the table — closure guarantees every extension item
+    is a stored annotation singleton, so the probe set is exact and no
+    full rule-shape enumeration over the table is needed.
+    """
+    vocabulary = table.vocabulary
+    affected: set[Itemset] = set()
+    extensions: list[int] | None = None
+    for pattern in dirty:
+        if len(pattern) >= 2:
+            # As a union (whether still stored or just pruned).
+            affected.add(pattern)
+        # As an LHS: only data-only or annotation-only patterns head
+        # rules, and both extend by exactly one annotation-like item.
+        annotation_items = vocabulary.count_annotation_like(pattern)
+        if annotation_items not in (0, len(pattern)):
+            continue
+        if pattern not in table:
+            continue  # pruned: closure pruned every extension first
+        if extensions is None:
+            extensions = table.annotation_singletons()
+        pattern_set = set(pattern)
+        for item in extensions:
+            if item in pattern_set:
+                continue
+            union = tuple(sorted(pattern + (item,)))
+            if union in table:
+                affected.add(union)
+    return affected
+
+
+def derive_rules_for_unions(table: FrequentPatternTable,
+                            unions: Iterable[Itemset],
+                            thresholds: Thresholds,
+                            db_size: int
+                            ) -> tuple[RuleSet, list[AssociationRule]]:
+    """Like :func:`derive_rules`, restricted to the given union patterns.
+
+    Unions no longer stored (pruned by maintenance) are skipped — their
+    rules simply cease to exist.  This is the re-derivation half of the
+    dirty-scoped refresh; untouched rules are revalidated arithmetically
+    by the engine without ever reading the table.
+    """
+    valid = RuleSet()
+    near_misses: list[AssociationRule] = []
+    for itemset in unions:
+        union_count = table.count(itemset)
+        if union_count is None:
+            continue
+        _derive_for_union(table, itemset, union_count, thresholds, db_size,
+                          valid, near_misses)
     return valid, near_misses

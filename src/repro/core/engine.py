@@ -8,9 +8,13 @@ exposes exactly the lifecycle of the paper's application:
 
 * :meth:`mine` — the initial, from-scratch pass, run by whichever
   :class:`~repro.mining.backend.MiningBackend` the config selects;
-* :meth:`apply` — route an update event (the paper's three cases plus
-  the deletion extensions) through the incremental algorithms of
-  Figures 12 and 13;
+* :meth:`apply_batch` — coalesce an ordered batch of update events
+  into one :class:`~repro.core.deltas.DeltaPlan` and run it through
+  the incremental algorithms of Figures 12 and 13 with **one**
+  relation/index update, one maintenance walk per case, one
+  (dirty-scoped) rule refresh and one invariant check;
+* :meth:`apply` — the single-event case of :meth:`apply_batch`,
+  returning the per-event :class:`MaintenanceReport` shape;
 * :meth:`rules` / :meth:`rules_of_kind` — the current correlations;
 * :meth:`signature` — a vocabulary-independent snapshot used by every
   equivalence check against full re-mining.
@@ -28,13 +32,24 @@ maintenance over unseen mutations would silently desynchronize counts.
 
 from __future__ import annotations
 
+import itertools
 import time
 from collections.abc import Iterable, Sequence
 
 from repro.core.annotation_index import VerticalIndex
 from repro.core.candidate_store import CandidateRuleStore
 from repro.core.config import EngineConfig
-from repro.core.derive import derive_rules
+from repro.core.deltas import (
+    DeltaPlan,
+    PlannedInsert,
+    compile_plan,
+    event_label,
+)
+from repro.core.derive import (
+    affected_unions,
+    derive_rules,
+    derive_rules_for_unions,
+)
 from repro.core.discovery import complete_table, discover_with_seeds
 from repro.core.events import (
     AddAnnotatedTuples,
@@ -46,6 +61,7 @@ from repro.core.events import (
     UpdateEvent,
 )
 from repro.core.maintenance import (
+    BatchReport,
     MaintenanceReport,
     TupleDelta,
     decay_for_deleted_tuples,
@@ -53,11 +69,12 @@ from repro.core.maintenance import (
     refresh_for_added_items,
 )
 from repro.core.pattern_table import FrequentPatternTable
-from repro.core.rules import AssociationRule, RuleKind, RuleSet
-from repro.errors import MaintenanceError
+from repro.core.rules import AssociationRule, RuleKey, RuleKind, RuleSet
+from repro.errors import MaintenanceError, SchemaError
 from repro.mining.backend import MiningBackend, get_backend
 from repro.mining.constraints import CombinedRelevanceConstraint
-from repro.mining.itemsets import ItemVocabulary, TransactionDatabase
+from repro.mining.itemsets import Itemset, ItemVocabulary, TransactionDatabase
+from repro.relation.annotation import Annotation
 from repro.relation.relation import AnnotatedRelation
 from repro.relation.transactions import encode_tuple
 
@@ -99,8 +116,13 @@ class CorrelationEngine:
         self.table = FrequentPatternTable(self.vocabulary)
         self.constraint = CombinedRelevanceConstraint(self.vocabulary)
         self.candidates = CandidateRuleStore(enabled=config.track_candidates)
-        self.log = EventLog()
+        self.log = EventLog(max_events=config.max_log_events)
         self._rules = RuleSet()
+        #: Full current near-miss set, keyed — maintained alongside the
+        #: rules so the dirty-scoped refresh can revalidate untouched
+        #: near misses arithmetically (independent of the candidate
+        #: store, which may be disabled).
+        self._near_misses: dict[RuleKey, AssociationRule] = {}
         self._mined = False
         self._relation_version = -1
 
@@ -216,44 +238,126 @@ class CorrelationEngine:
     # -- event routing ---------------------------------------------------------
 
     def apply(self, event: UpdateEvent) -> MaintenanceReport:
-        """Route an update through the matching incremental algorithm."""
+        """Route one update event — the single-element batch case."""
+        batch = self.apply_batch([event])
+        report = MaintenanceReport(event=event_label(event),
+                                   db_size=batch.db_size)
+        if batch.case_reports:
+            case = batch.case_reports[0]
+            report.patterns_touched = case.patterns_touched
+            report.patterns_added = case.patterns_added
+            report.patterns_pruned = case.patterns_pruned
+            report.tuples_scanned = case.tuples_scanned
+        report.rules_added = batch.rules_added
+        report.rules_dropped = batch.rules_dropped
+        report.rules_updated = batch.rules_updated
+        report.table_size = batch.table_size
+        report.candidate_count = batch.candidate_count
+        report.duration_seconds = batch.duration_seconds
+        report.validation_seconds = batch.validation_seconds
+        return report
+
+    def apply_batch(self, events: Sequence[UpdateEvent]) -> BatchReport:
+        """Coalesce ``events`` into one delta plan and apply it.
+
+        The plan is compiled — and every compile-detectable failure
+        raised — *before* any state is mutated, so a
+        :class:`~repro.errors.DeltaPlanError` from this method leaves
+        the engine untouched (the serving facade relies on this to fall
+        back to per-event application around poison events).  The batch
+        runs one maintenance walk per case over the merged deltas, then
+        **one** dirty-scoped rule refresh and **one** invariant check.
+        """
         self._require_mined()
+        if not events:
+            raise MaintenanceError("apply_batch needs at least one event")
         if self.relation.version != self._relation_version:
             raise MaintenanceError(
                 "relation was modified outside the engine; incremental "
                 "state is stale — re-run mine()")
+        plan = compile_plan(
+            events,
+            next_tid=self.relation.tid_range,
+            is_live=self.relation.is_live,
+            annotations_of=lambda tid: self.relation.tuple(tid).annotation_ids,
+            validate_row=self._validate_insert_row,
+            validate_annotation=Annotation,
+        )
+        return self._apply_plan(plan)
+
+    def _validate_insert_row(self, values: Sequence[str]) -> None:
+        """Mirror of ``relation.insert``'s row validation, run at plan
+        compile time so a malformed row is rejected before any state is
+        mutated (same exception per-event application would raise)."""
+        if self.relation.schema is not None:
+            self.relation.schema.validate_row(values)
+        elif not values:
+            raise SchemaError("a tuple needs at least one data value")
+
+    def _apply_plan(self, plan: DeltaPlan) -> BatchReport:
         started = time.perf_counter()
-        if isinstance(event, AddAnnotatedTuples):
-            report = self._apply_inserts(event.rows, "add-annotated-tuples")
-        elif isinstance(event, AddUnannotatedTuples):
-            rows = tuple((values, frozenset()) for values in event.rows)
-            report = self._apply_inserts(rows, "add-unannotated-tuples")
-        elif isinstance(event, AddAnnotations):
-            report = self._apply_annotations(event)
-        elif isinstance(event, RemoveAnnotations):
-            report = self._apply_annotation_removal(event)
-        elif isinstance(event, RemoveTuples):
-            report = self._apply_tuple_removal(event)
+        batch = BatchReport(db_size=self.db_size)
+        batch.audits = list(plan.audits)
+        batch.plan_stats = plan.stats
+        # Name single-event batches after their event so validation
+        # failures carry the same context per-event application did.
+        if len(plan.audits) == 1:
+            batch.event = plan.audits[0].event
         else:
-            raise MaintenanceError(f"unknown update event {event!r}")
-        self._refresh_rules(report)
-        report.duration_seconds = time.perf_counter() - started
-        self.log.record(event)
+            batch.event = f"apply-batch[{len(plan.audits)}]"
+        dirty: set[Itemset] = set()
+        if plan.inserts:
+            batch.case_reports.append(self._plan_inserts(plan.inserts, dirty))
+        if plan.annotation_adds:
+            batch.case_reports.append(
+                self._plan_annotation_adds(plan.annotation_adds, dirty))
+        if plan.annotation_removes:
+            batch.case_reports.append(
+                self._plan_annotation_removes(plan.annotation_removes, dirty))
+        if plan.deletions:
+            batch.case_reports.append(
+                self._plan_tuple_removals(plan.deletions, dirty))
+        batch.db_size = self.db_size
+        batch.patterns_dirty = len(dirty)
+        self._refresh_rules_scoped(batch, dirty)
+        batch.duration_seconds = time.perf_counter() - started
+        for event in plan.events:
+            self.log.record(event)
+        # Validate *before* syncing the version counter: a failed
+        # invariant check leaves the engine stale, so the guard at the
+        # top of apply_batch forces a re-mine instead of letting
+        # incremental maintenance continue over a corrupt table.
+        self._finish(batch)
         self._relation_version = self.relation.version
-        self._finish(report)
-        return report
+        return batch
 
     # -- Cases 1 and 2: tuple inserts (backend increment path) ------------------
 
-    def _apply_inserts(self,
-                       rows: Sequence[tuple[Sequence[str], frozenset[str]]],
-                       label: str) -> MaintenanceReport:
+    def _plan_inserts(self, inserts: Sequence[PlannedInsert],
+                      dirty: set[Itemset]) -> MaintenanceReport:
         increment = []
-        for values, annotation_ids in rows:
-            tid = self.relation.insert(values, annotation_ids)
+        for planned in inserts:
+            tid = self.relation.insert(planned.values, planned.annotations)
+            if tid != planned.tid:
+                raise MaintenanceError(
+                    f"tid drift: plan says {planned.tid}, "
+                    f"relation says {tid}")
+            if planned.elided:
+                # Born dead (inserted and deleted within the batch): it
+                # consumes its tid so later tids match per-event
+                # application, but never reaches the mining substrate.
+                self.relation.delete(tid)
+                db_tid = self.database.add(frozenset())
+                if db_tid != tid:
+                    raise MaintenanceError(
+                        f"tid drift: relation says {tid}, database "
+                        f"says {db_tid}")
+                continue
             if self.generalizer is not None:
                 self.relation.set_labels(
-                    tid, self.generalizer.labels_for(frozenset(annotation_ids)))
+                    tid,
+                    self.generalizer.labels_for(
+                        frozenset(planned.annotations)))
             transaction = encode_tuple(self.relation, tid, self.vocabulary)
             db_tid = self.database.add(transaction)
             if db_tid != tid:
@@ -262,6 +366,11 @@ class CorrelationEngine:
             self.index.add_transaction(tid, transaction)
             increment.append(transaction)
 
+        report = MaintenanceReport(event="insert-tuples",
+                                   db_size=self.db_size)
+        report.tuples_scanned = len(increment)
+        if not increment:
+            return report  # every insert was elided: |DB| net unchanged
         fup_report = self._backend.apply_increment(
             self.table.counts,
             increment,
@@ -272,19 +381,21 @@ class CorrelationEngine:
             max_length=self.max_length,
             counter=self.counter,
         )
-        report = MaintenanceReport(event=label, db_size=self.db_size)
         report.patterns_touched = fup_report.refreshed
         report.patterns_added = fup_report.added
         report.patterns_pruned = fup_report.pruned
-        report.tuples_scanned = len(increment)
+        dirty |= fup_report.touched
+        dirty.update(fup_report.added)
+        dirty.update(fup_report.pruned)
         return report
 
     # -- Case 3: the δ batch of new annotations ---------------------------------
 
-    def _apply_annotations(self, event: AddAnnotations) -> MaintenanceReport:
+    def _plan_annotation_adds(self, adds: dict[int, list[str]],
+                              dirty: set[Itemset]) -> MaintenanceReport:
         deltas: list[TupleDelta] = []
         seeds: set[int] = set()
-        for tid, annotation_ids in event.by_tid().items():
+        for tid, annotation_ids in adds.items():
             new_items = set()
             for annotation_id in annotation_ids:
                 if self.relation.annotate(tid, annotation_id):
@@ -311,7 +422,8 @@ class CorrelationEngine:
         report.tuples_scanned = len(deltas)
         # Figure 12: refresh stored patterns, touching only δ tuples.
         report.patterns_touched = refresh_for_added_items(
-            self.table, deltas, index=self._counting_index())
+            self.table, deltas, index=self._counting_index(),
+            touched_out=dirty)
         # Figure 13: seeded discovery through the annotation index.
         report.patterns_added = discover_with_seeds(
             self.table, self.index, seeds,
@@ -320,14 +432,15 @@ class CorrelationEngine:
             max_length=self.max_length,
             validate=self.validate,
         )
+        dirty.update(report.patterns_added)
         return report
 
     # -- extensions: removals ----------------------------------------------------
 
-    def _apply_annotation_removal(self, event: RemoveAnnotations
-                                  ) -> MaintenanceReport:
+    def _plan_annotation_removes(self, removes: dict[int, list[str]],
+                                 dirty: set[Itemset]) -> MaintenanceReport:
         deltas: list[TupleDelta] = []
-        for tid, annotation_ids in event.by_tid().items():
+        for tid, annotation_ids in removes.items():
             before = self.database.transaction(tid)
             removed_items = set()
             for annotation_id in annotation_ids:
@@ -354,15 +467,18 @@ class CorrelationEngine:
                                    db_size=self.db_size)
         report.tuples_scanned = len(deltas)
         report.patterns_touched = decay_for_removed_items(
-            self.table, deltas, index=self._counting_index())
+            self.table, deltas, index=self._counting_index(),
+            touched_out=dirty)
         # Counts only fell and |DB| is unchanged: nothing new can appear.
         report.patterns_pruned = self.table.prune_below(
             self.thresholds.keep_count(self.db_size))
+        dirty.update(report.patterns_pruned)
         return report
 
-    def _apply_tuple_removal(self, event: RemoveTuples) -> MaintenanceReport:
+    def _plan_tuple_removals(self, tids: Sequence[int],
+                             dirty: set[Itemset]) -> MaintenanceReport:
         old_transactions = []
-        for tid in event.tids:
+        for tid in tids:
             self.relation.delete(tid)
             old = self.database.clear_transaction(tid)
             self.index.remove_transaction(tid, old)
@@ -372,7 +488,8 @@ class CorrelationEngine:
                                    db_size=self.db_size)
         report.tuples_scanned = len(old_transactions)
         report.patterns_touched = decay_for_deleted_tuples(
-            self.table, old_transactions, index=self._counting_index())
+            self.table, old_transactions, index=self._counting_index(),
+            touched_out=dirty)
         floor = self.thresholds.keep_count(self.db_size)
         report.patterns_pruned = self.table.prune_below(floor)
         # |DB| fell, so patterns whose counts never changed may now
@@ -383,13 +500,53 @@ class CorrelationEngine:
             constraint=self.constraint,
             max_length=self.max_length,
         )
+        dirty.update(report.patterns_pruned)
+        dirty.update(report.patterns_added)
         return report
 
     # -- rule refresh & verification -----------------------------------------------
 
     def _refresh_rules(self, report: MaintenanceReport) -> None:
+        """Full derivation over the whole table (initial ``mine()``)."""
         new_rules, near_misses = derive_rules(self.table, self.thresholds,
                                               self.db_size)
+        self._commit_rules(report, new_rules, near_misses)
+
+    def _refresh_rules_scoped(self, report, dirty: set[Itemset]) -> None:
+        """Re-derive rules only where ``dirty`` patterns can reach.
+
+        Rules whose union was added, pruned or recounted — or whose LHS
+        was — are re-enumerated from the table
+        (:func:`~repro.core.derive.affected_unions` finds exactly those
+        unions).  Every other rule's two counts are untouched, so its
+        validity under the (possibly new) ``db_size`` is a pure
+        arithmetic recheck: no table lookups, no shape enumeration.
+        Rules that were neither valid nor near-miss stay untracked:
+        their confidence is unchanged and the table floor already
+        guarantees the support band, so no comparison can flip for
+        them without their counts changing.
+        """
+        db_size = self.db_size
+        thresholds = self.thresholds
+        affected = affected_unions(self.table, dirty)
+        new_rules, near_misses = derive_rules_for_unions(
+            self.table, affected, thresholds, db_size)
+        for rule in itertools.chain(self._rules, self._near_misses.values()):
+            if rule.union_itemset in affected:
+                continue
+            if rule.db_size != db_size:
+                rule = rule.with_counts(db_size=db_size)
+            if thresholds.is_valid(rule):
+                new_rules.add(rule)
+            elif thresholds.is_near_miss(rule):
+                near_misses.append(rule)
+        self._commit_rules(report, new_rules, near_misses)
+
+    def _commit_rules(self, report, new_rules: RuleSet,
+                      near_misses: list[AssociationRule]) -> None:
+        """Install a refreshed rule set; ``report`` may be a
+        :class:`MaintenanceReport` or a :class:`BatchReport` (both carry
+        the rule-statistics fields)."""
         old_rules = self._rules
         added_keys = new_rules.keys() - old_rules.keys()
         dropped_keys = old_rules.keys() - new_rules.keys()
@@ -408,6 +565,7 @@ class CorrelationEngine:
         self.candidates.refresh(near_misses, promoted_keys=promoted,
                                 demoted=demoted)
         self._rules = new_rules
+        self._near_misses = {rule.key: rule for rule in near_misses}
         report.table_size = len(self.table)
         report.candidate_count = len(self.candidates)
 

@@ -15,6 +15,7 @@ algorithm:
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
@@ -137,12 +138,46 @@ UpdateEvent = (AddAnnotatedTuples | AddUnannotatedTuples | AddAnnotations
 
 @dataclass
 class EventLog:
-    """Ordered record of applied events (provenance / replay)."""
+    """Ordered record of applied events (provenance / replay).
 
-    events: list[UpdateEvent] = field(default_factory=list)
+    By default the log grows without bound, which is what replay and
+    the short-lived application sessions want.  Long-lived *served*
+    sessions set ``max_events`` to rotate instead: once full, recording
+    a new event drops the oldest one and :attr:`dropped` counts how
+    many rotated out, so provenance consumers can tell a complete log
+    from a windowed one.
+    """
+
+    #: Stored as a list when unbounded, a ``deque(maxlen=...)`` when
+    #: bounded (O(1) rotation).
+    events: "list[UpdateEvent] | deque[UpdateEvent]" = field(
+        default_factory=list)
+    #: Retain at most this many events (``None`` = unbounded).
+    max_events: int | None = None
+    #: Events rotated out of a bounded log since its creation.
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None and self.max_events < 1:
+            raise MaintenanceError(
+                f"EventLog max_events must be >= 1 or None, "
+                f"got {self.max_events}")
+        if self.max_events is not None:
+            # Bounded logs rotate on every record once full, so the
+            # storage must evict in O(1), not O(max_events).  A longer
+            # pre-seeded list rotates here too — count what fell out.
+            self.dropped += max(0, len(self.events) - self.max_events)
+            self.events = deque(self.events, maxlen=self.max_events)
 
     def record(self, event: UpdateEvent) -> None:
+        if self.max_events is not None and len(self.events) == self.max_events:
+            self.dropped += 1  # the deque evicts the oldest on append
         self.events.append(event)
+
+    @property
+    def complete(self) -> bool:
+        """False once a bounded log has rotated events out."""
+        return self.dropped == 0
 
     def __len__(self) -> int:
         return len(self.events)

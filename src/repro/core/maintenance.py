@@ -22,10 +22,11 @@ same table because stored counts are exact before and after.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.annotation_index import VerticalIndex
+from repro.core.deltas import EventAudit, PlanStats
 from repro.core.pattern_table import FrequentPatternTable
 from repro.core.rules import AssociationRule, RuleKey
 from repro.mining.itemsets import Itemset, Transaction
@@ -75,9 +76,66 @@ class MaintenanceReport:
                 f"{self.duration_seconds * 1000:.2f} ms")
 
 
+@dataclass
+class BatchReport:
+    """What one coalesced batch of update events did.
+
+    ``apply_batch`` runs the whole delta plan through one relation/index
+    update, one maintenance walk per case, and **one** rule refresh —
+    so rule- and table-level statistics live here, at batch granularity,
+    while :attr:`case_reports` carries the per-case maintenance detail
+    and :attr:`audits` the per-event provenance rows the serving layer
+    and the event log still account for individually.
+    """
+
+    db_size: int
+    #: Report label (mirrors ``MaintenanceReport.event`` so validation
+    #: failures can name what was being applied).
+    event: str = "apply-batch"
+    #: Per-case maintenance reports, in application order (inserts,
+    #: annotation adds, annotation removes, tuple deletes) — only the
+    #: cases the plan actually exercised appear.
+    case_reports: list[MaintenanceReport] = field(default_factory=list)
+    #: One provenance row per submitted event, in submission order.
+    audits: list[EventAudit] = field(default_factory=list)
+    plan_stats: PlanStats = field(default_factory=PlanStats)
+    duration_seconds: float = 0.0
+    validation_seconds: float = 0.0
+    #: Distinct patterns the dirty-scoped rule refresh re-derived from.
+    patterns_dirty: int = 0
+    rules_added: list[AssociationRule] = field(default_factory=list)
+    rules_dropped: list[RuleKey] = field(default_factory=list)
+    rules_updated: int = 0
+    table_size: int = 0
+    candidate_count: int = 0
+
+    @property
+    def events(self) -> int:
+        return len(self.audits)
+
+    def __len__(self) -> int:
+        return len(self.audits)
+
+    def __iter__(self) -> Iterator[EventAudit]:
+        return iter(self.audits)
+
+    def summary(self) -> str:
+        saved = (self.plan_stats.pairs_cancelled
+                 + self.plan_stats.pairs_collapsed
+                 + self.plan_stats.pairs_folded_into_inserts
+                 + self.plan_stats.inserts_elided)
+        return (f"batch of {self.events} event(s): db={self.db_size} "
+                f"rules +{len(self.rules_added)}/-{len(self.rules_dropped)} "
+                f"(~{self.rules_updated} updated), "
+                f"{self.patterns_dirty} dirty pattern(s), "
+                f"{saved} op(s) coalesced away, "
+                f"{self.duration_seconds * 1000:.2f} ms")
+
+
 def _recount_touched(table: FrequentPatternTable,
                      index: VerticalIndex,
-                     touched: Iterable[Itemset]) -> int:
+                     touched: Iterable[Itemset],
+                     touched_out: set[Itemset] | None = None) -> int:
     """Set each touched pattern to its exact bitmap-intersection count.
 
     ``index`` must already reflect the update batch, so the
@@ -87,13 +145,31 @@ def _recount_touched(table: FrequentPatternTable,
     patterns = set(touched)
     for itemset in patterns:
         table.counts[itemset] = index.count(itemset)
+    if touched_out is not None:
+        touched_out |= patterns
     return len(patterns)
+
+
+def _adjust_counts(table: FrequentPatternTable,
+                   deltas: Sequence[TupleDelta],
+                   *,
+                   delta: int,
+                   touched_out: set[Itemset] | None) -> int:
+    """The horizontal walk: ``count += delta`` per (pattern, δ tuple)."""
+    touched = 0
+    for tuple_delta in deltas:
+        touched += increment_counts(
+            table.counts, tuple_delta.after,
+            required_items=tuple_delta.changed_items, delta=delta,
+            touched_out=touched_out)
+    return touched
 
 
 def refresh_for_added_items(table: FrequentPatternTable,
                             deltas: Sequence[TupleDelta],
                             *,
-                            index: VerticalIndex | None = None) -> int:
+                            index: VerticalIndex | None = None,
+                            touched_out: set[Itemset] | None = None) -> int:
     """Figure 12: bump counts of stored patterns newly satisfied by δ.
 
     Touches only the δ tuples.  A stored pattern gains one occurrence
@@ -101,7 +177,9 @@ def refresh_for_added_items(table: FrequentPatternTable,
     (so it cannot have been satisfied before the batch).
     Returns the number of (pattern, tuple) increments performed — or,
     with ``index`` (the vertical counting substrate), the number of
-    distinct patterns recounted by bitmap intersection.
+    distinct patterns recounted by bitmap intersection.  With
+    ``touched_out``, the identities of the touched patterns are
+    collected there (the dirty set of the scoped rule refresh).
     """
     if index is not None:
         return _recount_touched(table, index, (
@@ -109,18 +187,15 @@ def refresh_for_added_items(table: FrequentPatternTable,
             for delta in deltas
             for itemset in iter_table_subsets(
                 table.counts, delta.after,
-                required_items=delta.changed_items)))
-    touched = 0
-    for delta in deltas:
-        touched += increment_counts(table.counts, delta.after,
-                                    required_items=delta.changed_items)
-    return touched
+                required_items=delta.changed_items)), touched_out)
+    return _adjust_counts(table, deltas, delta=1, touched_out=touched_out)
 
 
 def decay_for_removed_items(table: FrequentPatternTable,
                             deltas: Sequence[TupleDelta],
                             *,
-                            index: VerticalIndex | None = None) -> int:
+                            index: VerticalIndex | None = None,
+                            touched_out: set[Itemset] | None = None) -> int:
     """Inverse walk for annotation removal.
 
     ``delta.after`` must hold the tuple's item set *before* the removal
@@ -133,27 +208,25 @@ def decay_for_removed_items(table: FrequentPatternTable,
             for delta in deltas
             for itemset in iter_table_subsets(
                 table.counts, delta.after,
-                required_items=delta.changed_items)))
-    touched = 0
-    for delta in deltas:
-        touched += increment_counts(table.counts, delta.after,
-                                    required_items=delta.changed_items,
-                                    delta=-1)
-    return touched
+                required_items=delta.changed_items)), touched_out)
+    return _adjust_counts(table, deltas, delta=-1, touched_out=touched_out)
 
 
 def decay_for_deleted_tuples(table: FrequentPatternTable,
                              old_transactions: Sequence[Transaction],
                              *,
-                             index: VerticalIndex | None = None) -> int:
+                             index: VerticalIndex | None = None,
+                             touched_out: set[Itemset] | None = None) -> int:
     """Remove a deleted tuple's contribution from every stored pattern."""
     if index is not None:
         return _recount_touched(table, index, (
             itemset
             for transaction in old_transactions
-            for itemset in iter_table_subsets(table.counts, transaction)))
+            for itemset in iter_table_subsets(table.counts, transaction)),
+            touched_out)
     touched = 0
     for transaction in old_transactions:
-        touched += increment_counts(table.counts, transaction, delta=-1)
+        touched += increment_counts(table.counts, transaction, delta=-1,
+                                    touched_out=touched_out)
     return touched
 

@@ -48,6 +48,24 @@ class FrequentPatternTable:
 
     # -- reading -------------------------------------------------------------
 
+    @property
+    def vocabulary(self) -> ItemVocabulary:
+        """The vocabulary this table classifies its patterns against."""
+        return self._vocabulary
+
+    def annotation_singletons(self) -> list[int]:
+        """Stored single-item patterns that are annotation-like.
+
+        Downward closure means any stored rule body ``LHS ∪ {a}`` has
+        ``(a,)`` stored too — so this list is a complete probe set for
+        "which unions may extend this LHS", which the dirty-scoped rule
+        refresh uses to find affected rules without enumerating every
+        stored pattern's rule shapes.
+        """
+        return [itemset[0] for itemset in self.counts
+                if len(itemset) == 1
+                and self._vocabulary.is_annotation_like(itemset[0])]
+
     def count(self, itemset: Itemset) -> int | None:
         return self.counts.get(itemset)
 

@@ -50,6 +50,17 @@ class MaintenanceError(ReproError):
     """Incremental maintenance detected an inconsistent internal state."""
 
 
+class DeltaPlanError(MaintenanceError):
+    """A batch of update events could not be coalesced into a delta plan.
+
+    Raised by the plan compiler *before any state is mutated* — e.g. an
+    event targets an unknown tuple, or annotates a tuple that an earlier
+    event in the same batch deleted.  Callers (the serving facade) use
+    this guarantee to fall back to per-event application, which isolates
+    the poison event with the documented re-queue/drop semantics.
+    """
+
+
 class FormatError(ReproError):
     """A paper file format could not be parsed."""
 

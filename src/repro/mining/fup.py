@@ -44,7 +44,11 @@ class FupReport:
     """What an insert batch did to the itemset table."""
 
     new_size: int
+    #: Number of (pattern, transaction) count refreshes performed.
     refreshed: int = 0
+    #: Distinct pre-existing entries whose counts step 1 refreshed —
+    #: the dirty set consumed by the engine's scoped rule refresh.
+    touched: set[Itemset] = field(default_factory=set)
     added: list[Itemset] = field(default_factory=list)
     pruned: list[Itemset] = field(default_factory=list)
 
@@ -82,7 +86,8 @@ def fup_update(table: dict[Itemset, int],
     # Step 1: refresh counts of existing entries by scanning the increment.
     for transaction in increment:
         report.refreshed += increment_counts(
-            table, constraint.project(transaction))
+            table, constraint.project(transaction),
+            touched_out=report.touched)
 
     # Step 2: find itemsets frequent inside the increment; any genuinely
     # new table entry must be among them (FUP argument above).

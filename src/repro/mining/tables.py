@@ -54,16 +54,21 @@ def increment_counts(table: dict[Itemset, int],
                      transaction: Transaction,
                      *,
                      required_items: frozenset[int] | None = None,
-                     delta: int = 1) -> int:
+                     delta: int = 1,
+                     touched_out: set[Itemset] | None = None) -> int:
     """Add ``delta`` to every table itemset contained in ``transaction``.
 
-    Returns the number of table entries touched.
+    Returns the number of table entries touched; with ``touched_out``,
+    also collects their identities there (the dirty set consumed by the
+    engine's scoped rule refresh).
     """
     touched = 0
     for itemset in iter_table_subsets(table, transaction,
                                       required_items=required_items):
         table[itemset] += delta
         touched += 1
+        if touched_out is not None:
+            touched_out.add(itemset)
     return touched
 
 

@@ -26,6 +26,34 @@ from repro.relation.relation import AnnotatedRelation
 from repro.synth.generator import value_token
 
 
+def apply_to_relation(relation: AnnotatedRelation,
+                      event: UpdateEvent) -> None:
+    """Apply ``event`` to a bare relation (no mining state).
+
+    Lets callers pre-draw a whole event sequence against a *shadow*
+    copy of a relation — each draw sees the effect of the previous
+    events — and then replay the recorded sequence against engines
+    under test or benchmark (per-event vs. one coalesced batch).
+    """
+    if isinstance(event, AddAnnotatedTuples):
+        for values, annotations in event.rows:
+            relation.insert(values, annotations)
+    elif isinstance(event, AddUnannotatedTuples):
+        for values in event.rows:
+            relation.insert(values)
+    elif isinstance(event, AddAnnotations):
+        for tid, annotation_id in event.additions:
+            relation.annotate(tid, annotation_id)
+    elif isinstance(event, RemoveAnnotations):
+        for tid, annotation_id in event.removals:
+            relation.detach(tid, annotation_id)
+    elif isinstance(event, RemoveTuples):
+        for tid in event.tids:
+            relation.delete(tid)
+    else:
+        raise MiningError(f"unknown stream event {event!r}")
+
+
 @dataclass(frozen=True)
 class StreamConfig:
     """Mix and sizing of a random event stream."""
@@ -43,6 +71,13 @@ class StreamConfig:
     values_per_column: int = 12
     annotation_pool_size: int = 6
     seed: int = 13
+    #: Annotation traffic locality: with probability ``hot_tuple_bias``
+    #: an annotation add/remove targets one of the first
+    #: ``hot_tuple_count`` live tuples instead of a uniform draw —
+    #: the "trending records get annotated by many curators at once"
+    #: shape of served write streams.  0 disables the hot set.
+    hot_tuple_count: int = 0
+    hot_tuple_bias: float = 0.0
 
     def __post_init__(self) -> None:
         weights = (self.weight_add_annotations,
@@ -54,6 +89,9 @@ class StreamConfig:
             raise MiningError("stream weights must be >= 0, not all zero")
         if self.batch_size < 1:
             raise MiningError("batch_size must be >= 1")
+        if self.hot_tuple_count < 0 or not 0.0 <= self.hot_tuple_bias <= 1.0:
+            raise MiningError(
+                "hot_tuple_count must be >= 0 and hot_tuple_bias in [0, 1]")
 
 
 @dataclass
@@ -137,12 +175,22 @@ class EventStream:
         return AddUnannotatedTuples.build(
             [self._random_values() for _ in range(self.config.batch_size)])
 
+    def _pick_tid(self, candidates: list[int]) -> int:
+        """A target tuple, biased toward the hot set when configured."""
+        config = self.config
+        if (config.hot_tuple_count and config.hot_tuple_bias
+                and self._rng.random() < config.hot_tuple_bias):
+            hot = candidates[:config.hot_tuple_count]
+            if hot:
+                return self._rng.choice(hot)
+        return self._rng.choice(candidates)
+
     def _add_annotations(self, live: list[int]) -> AddAnnotations | None:
         if not live:
             return None
         pairs = []
         for _ in range(self.config.batch_size):
-            tid = self._rng.choice(live)
+            tid = self._pick_tid(live)
             annotation_id = self._rng.choice(self._annotation_pool)
             if not self.relation.tuple(tid).has_annotation(annotation_id):
                 pairs.append((tid, annotation_id))
@@ -156,7 +204,7 @@ class EventStream:
             return None
         pairs = []
         for _ in range(min(self.config.batch_size, len(annotated))):
-            tid = self._rng.choice(annotated)
+            tid = self._pick_tid(annotated)
             annotation_id = self._rng.choice(
                 sorted(self.relation.tuple(tid).annotation_ids))
             pairs.append((tid, annotation_id))

@@ -165,6 +165,74 @@ class TestExtendedMenu:
         assert "mined: True" in text
 
 
+class TestBatchedUpdates:
+    def run_batched(self, files, answers, auto_flush_every):
+        answers = iter(answers)
+        output = []
+        loop = CommandLoop(lambda prompt: next(answers, "0"),
+                           output.append,
+                           auto_flush_every=auto_flush_every)
+        code = loop.run(files["data.txt"])
+        return code, output
+
+    def test_updates_queue_until_threshold_then_flush_inline(self, files):
+        code, output = self.run_batched(files, [
+            "1", "0.25", "0.6",
+            "4", files["updates.txt"],      # queued (depth 1)
+            "5", files["annotated.txt"],    # depth 2: coalesced flush
+            "0",
+        ], auto_flush_every=2)
+        text = "\n".join(str(line) for line in output)
+        assert code == 0
+        assert "Queued (1 pending" in text
+        assert "batch of 2 event(s)" in text
+
+    def test_flush_menu_action_drains_the_queue(self, files):
+        code, output = self.run_batched(files, [
+            "1", "0.25", "0.6",
+            "4", files["updates.txt"],
+            "16",                            # explicit flush
+            "16",                            # nothing left
+            "0",
+        ], auto_flush_every=10)
+        text = "\n".join(str(line) for line in output)
+        assert code == 0
+        assert "batch of 1 event(s)" in text
+        assert "No updates queued." in text
+
+    def test_poison_update_keeps_valid_prefix_and_tail(self, files,
+                                                       tmp_path):
+        """A queued update referencing an unknown tuple is isolated:
+        the valid updates before it apply, the tail stays queued."""
+        poison = tmp_path / "poison.txt"
+        poison.write_text("9999: Annot_9\n")
+        code, output = self.run_batched(files, [
+            "1", "0.25", "0.6",
+            "4", files["updates.txt"],      # valid, queued
+            "4", str(poison),               # poison, queued
+            "4", files["updates.txt"],      # valid, queued
+            "16",                            # flush: poison isolated
+            "9",
+            "0",
+        ], auto_flush_every=10)
+        text = "\n".join(str(line) for line in output)
+        assert code == 0
+        assert "failed on update 2 of 3" in text
+        assert "1 applied, 1 re-queued" in text
+        assert "pending_updates: 1" in text
+
+    def test_status_reports_queue_depth(self, files):
+        code, output = self.run_batched(files, [
+            "1", "0.25", "0.6",
+            "4", files["updates.txt"],
+            "9",
+            "0",
+        ], auto_flush_every=5)
+        text = "\n".join(str(line) for line in output)
+        assert "pending_updates: 1" in text
+        assert "auto_flush_every: 5" in text
+
+
 class TestMainEntryPoint:
     def test_main_with_commands_file(self, files, tmp_path, capsys):
         script = tmp_path / "ops.txt"
@@ -173,6 +241,27 @@ class TestMainEntryPoint:
         captured = capsys.readouterr()
         assert code == 0
         assert "==>" in captured.out
+
+    def test_main_accepts_auto_flush_every(self, files, tmp_path, capsys):
+        script = tmp_path / "ops.txt"
+        script.write_text("1\n0.25\n0.6\n"
+                          f"4\n{files['updates.txt']}\n16\n0\n")
+        code = main([files["data.txt"], "--commands", str(script),
+                     "--auto-flush-every", "8"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Queued (1 pending" in captured.out
+        assert "batch of 1 event(s)" in captured.out
+
+    def test_main_bad_auto_flush_fails_gracefully(self, files, tmp_path,
+                                                  capsys):
+        script = tmp_path / "ops.txt"
+        script.write_text("0\n")
+        code = main([files["data.txt"], "--commands", str(script),
+                     "--auto-flush-every", "0"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "auto_flush_every" in captured.err
 
     def test_main_missing_dataset_fails_gracefully(self, tmp_path, capsys):
         script = tmp_path / "ops.txt"

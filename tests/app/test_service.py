@@ -7,7 +7,11 @@ import pytest
 
 from repro.app.service import CorrelationService, ReadWriteLock, RuleSnapshot
 from repro.core.config import EngineConfig
-from repro.core.events import AddAnnotatedTuples, AddAnnotations
+from repro.core.events import (
+    AddAnnotatedTuples,
+    AddAnnotations,
+    AddUnannotatedTuples,
+)
 from repro.core.rules import RuleKind
 from repro.errors import MiningError, SessionError
 from tests.conftest import make_relation
@@ -78,17 +82,30 @@ class TestUpdateQueue:
         service.submit("s", AddAnnotations.build([(3, "A")]))
         service.submit("s", AddAnnotatedTuples.build(
             [(("1", "2"), ("A",))]))
-        reports = service.flush("s")
-        assert [report.event for report in reports] == [
+        report = service.flush("s")
+        assert [audit.event for audit in report] == [
             "add-annotations", "add-annotated-tuples"]
         snap = service.snapshot("s")
         assert snap.revision == 2 and snap.pending_events == 0
         assert snap.db_size == 9
         assert service.verify("s").equivalent
 
+    def test_flush_returns_one_batch_report(self, service):
+        service.create("s", make_relation())
+        for _ in range(3):
+            service.submit("s", AddAnnotations.build([(3, "A")]))
+        report = service.flush("s")
+        assert report.events == 3
+        # Duplicate submissions of an already-present pair coalesce away.
+        assert (report.plan_stats.pairs_collapsed
+                + report.plan_stats.pairs_cancelled) >= 2
+        assert "batch of 3 event(s)" in report.summary()
+        # One flush == one revision bump, however deep the queue was.
+        assert service.snapshot("s").revision == 2
+
     def test_flush_empty_queue_is_a_noop(self, service):
         service.create("s", make_relation())
-        assert service.flush("s") == ()
+        assert len(service.flush("s")) == 0
         assert service.snapshot("s").revision == 1
 
     def test_auto_flush_threshold(self):
@@ -116,14 +133,14 @@ class TestUpdateQueue:
         hosted = service._session("s")
         in_flush = threading.Event()
         release = threading.Event()
-        real_apply = hosted.engine.apply
+        real_apply_batch = hosted.engine.apply_batch
 
-        def slow_apply(event):
+        def slow_apply_batch(events):
             in_flush.set()
             assert release.wait(timeout=5)
-            return real_apply(event)
+            return real_apply_batch(events)
 
-        hosted.engine.apply = slow_apply
+        hosted.engine.apply_batch = slow_apply_batch
         depths: dict[str, int] = {}
 
         assert service.submit("s", AddAnnotations.build([(3, "A")])) == 1
@@ -155,7 +172,7 @@ class TestUpdateQueue:
         # bystander's event arrived meanwhile, so 0 would be a lie.
         assert depths["trigger"] == 1
 
-        hosted.engine.apply = real_apply
+        hosted.engine.apply_batch = real_apply_batch
         service.flush("s")
         assert service.pending("s") == 0
         assert service.verify("s").equivalent
@@ -168,14 +185,14 @@ class TestUpdateQueue:
         hosted = service._session("s")
         applied: list[object] = []
         applied_lock = threading.Lock()
-        real_apply = hosted.engine.apply
+        real_apply_batch = hosted.engine.apply_batch
 
-        def counting_apply(event):
+        def counting_apply_batch(events):
             with applied_lock:
-                applied.append(event)
-            return real_apply(event)
+                applied.extend(events)
+            return real_apply_batch(events)
 
-        hosted.engine.apply = counting_apply
+        hosted.engine.apply_batch = counting_apply_batch
         events = [AddAnnotatedTuples.build([((str(i), "2"), ("A",))])
                   for i in range(16)]
         threads = [threading.Thread(target=service.submit, args=("s", event))
@@ -205,6 +222,101 @@ class TestUpdateQueue:
         assert service.pending("s") == 1
         snap = service.snapshot("s")
         assert snap.revision == 2 and snap.pending_events == 1
+
+    def test_malformed_insert_row_gets_poison_isolation(self, service):
+        """A schema-invalid row compiles out before mutation, so the
+        per-event fallback preserves the re-queue/drop semantics."""
+        service.create("s", make_relation())
+        service.submit("s", AddAnnotations.build([(3, "A")]))
+        service.submit("s", AddUnannotatedTuples(rows=((),)))  # empty row
+        service.submit("s", AddAnnotations.build([(5, "A")]))
+        with pytest.raises(SessionError, match="event 2 of 3"):
+            service.flush("s")
+        assert service.pending("s") == 1   # the tail survived
+        service.flush("s")
+        assert service.verify("s").equivalent
+
+    def test_invalid_annotation_id_gets_poison_isolation(self, service):
+        """An empty annotation id is caught at compile time, so the
+        fallback isolates it instead of losing the queued tail."""
+        service.create("s", make_relation())
+        service.submit("s", AddAnnotatedTuples.build(
+            [(("1", "2"), ("A",))]))
+        service.submit("s", AddAnnotations(additions=((3, ""),)))
+        service.submit("s", AddAnnotations.build([(5, "A")]))
+        with pytest.raises(SessionError, match="event 2 of 3"):
+            service.flush("s")
+        assert service.pending("s") == 1
+        service.flush("s")
+        assert service.verify("s").equivalent
+
+    def test_flush_failure_requeue_preserves_submission_order(self, service):
+        """The unapplied remainder returns to the *front* of the queue
+        in submission order, ahead of anything submitted meanwhile."""
+        service.create("s", make_relation())
+        poison = AddAnnotations.build([(999, "A")])
+        tail = [AddAnnotations.build([(tid, "A")]) for tid in (3, 5, 6)]
+        service.submit("s", poison)
+        for event in tail:
+            service.submit("s", event)
+        with pytest.raises(SessionError, match="event 1 of 4"):
+            service.flush("s")
+        late = AddAnnotations.build([(0, "B")])
+        service.submit("s", late)
+        hosted = service._session("s")
+        with hosted.queue_lock:
+            assert list(hosted.queue) == tail + [late]
+        # Draining the re-queued remainder works and verifies clean.
+        service.flush("s")
+        assert service.pending("s") == 0
+        assert service.verify("s").equivalent
+
+    def test_threaded_flushes_bump_revision_once_per_nonempty_flush(self):
+        """However many events a flush drains, it bumps the revision
+        exactly once; concurrent submitters never add extra bumps."""
+        service = CorrelationService(config=CONFIG)
+        service.create("s", make_relation())
+        hosted = service._session("s")
+        batches: list[int] = []
+        batch_lock = threading.Lock()
+        real_apply_batch = hosted.engine.apply_batch
+
+        def recording_apply_batch(events):
+            with batch_lock:
+                batches.append(len(events))
+            return real_apply_batch(events)
+
+        hosted.engine.apply_batch = recording_apply_batch
+        stop = threading.Event()
+        submitted = []
+
+        def writer(offset):
+            for index in range(8):
+                event = AddAnnotations.build([(offset, "A")])
+                service.submit("s", event)
+                submitted.append(event)
+
+        def flusher():
+            while not stop.is_set():
+                service.flush("s")
+
+        writers = [threading.Thread(target=writer, args=(tid,))
+                   for tid in (0, 3, 5)]
+        background = threading.Thread(target=flusher)
+        background.start()
+        for thread in writers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=10)
+        stop.set()
+        background.join(timeout=10)
+        service.flush("s")   # drain any unflushed tail
+
+        assert service.pending("s") == 0
+        assert sum(batches) == len(submitted) == 24
+        # create() bumped once; each non-empty flush exactly once more.
+        assert service.snapshot("s").revision == 1 + len(batches)
+        assert service.verify("s").equivalent
 
     def test_failed_create_does_not_squat_the_name(self, service):
         with pytest.raises(MiningError):

@@ -73,3 +73,30 @@ class TestEventLog:
         log.record(second)
         assert len(log) == 2
         assert list(log) == [first, second]
+
+    def test_unbounded_by_default(self):
+        log = EventLog()
+        for tid in range(100):
+            log.record(AddAnnotations.build([(tid, "A")]))
+        assert len(log) == 100
+        assert log.dropped == 0 and log.complete
+
+    def test_bounded_log_rotates_oldest_first(self):
+        log = EventLog(max_events=3)
+        events = [AddAnnotations.build([(tid, "A")]) for tid in range(5)]
+        for event in events:
+            log.record(event)
+        assert len(log) == 3
+        assert list(log) == events[2:]
+        assert log.dropped == 2
+        assert not log.complete
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(MaintenanceError):
+            EventLog(max_events=0)
+
+    def test_preseeded_overflow_counts_as_dropped(self):
+        events = [AddAnnotations.build([(tid, "A")]) for tid in range(5)]
+        log = EventLog(events=list(events), max_events=3)
+        assert list(log) == events[2:]
+        assert log.dropped == 2 and not log.complete

@@ -11,7 +11,11 @@ from repro.core.events import (
 )
 from repro.errors import MiningError
 from repro.relation.relation import AnnotatedRelation
-from repro.synth.streams import EventStream, StreamConfig
+from repro.synth.streams import (
+    EventStream,
+    StreamConfig,
+    apply_to_relation,
+)
 from repro.synth.workloads import dev_scale
 
 
@@ -111,3 +115,50 @@ class TestTake:
         events = list(stream.take(15, apply=apply))
         assert len(events) == 15
         assert len(applied) == 15
+
+
+class TestApplyToRelation:
+    def test_replays_a_drawn_stream_identically(self):
+        workload = dev_scale(n_tuples=40)
+        original = workload.relation
+        shadow = original.copy()
+        stream = EventStream(shadow, StreamConfig(seed=11))
+        events = list(stream.take(
+            15, apply=lambda event: apply_to_relation(shadow, event)))
+        replay = original.copy()
+        for event in events:
+            apply_to_relation(replay, event)
+        assert replay.live_count == shadow.live_count
+        assert replay.tid_range == shadow.tid_range
+        for tid in replay.tids():
+            assert (replay.tuple(tid).annotation_ids
+                    == shadow.tuple(tid).annotation_ids)
+
+    def test_rejects_unknown_events(self):
+        with pytest.raises(MiningError):
+            apply_to_relation(dev_scale(n_tuples=10).relation, object())
+
+
+class TestHotTupleBias:
+    def test_biased_stream_concentrates_annotation_targets(self):
+        workload = dev_scale(n_tuples=60)
+        shadow = workload.relation.copy()
+        config = StreamConfig(
+            seed=5, batch_size=2,
+            weight_add_annotations=1.0, weight_insert_annotated=0,
+            weight_insert_unannotated=0, weight_remove_annotations=0,
+            weight_remove_tuples=0,
+            hot_tuple_count=5, hot_tuple_bias=0.9)
+        stream = EventStream(shadow, config)
+        tids = [tid
+                for event in stream.take(
+                    30, apply=lambda e: apply_to_relation(shadow, e))
+                for tid, _annotation in event.additions]
+        hot_hits = sum(1 for tid in tids if tid < 5)
+        assert hot_hits / len(tids) > 0.6, "hot set not preferred"
+
+    def test_bad_hot_config_rejected(self):
+        with pytest.raises(MiningError):
+            StreamConfig(hot_tuple_count=-1)
+        with pytest.raises(MiningError):
+            StreamConfig(hot_tuple_bias=1.5)

@@ -25,7 +25,14 @@ from repro.core.events import (
     RemoveAnnotations,
     RemoveTuples,
 )
+from repro.core.catalog import (
+    CatalogQuery,
+    CatalogStats,
+    QueryExplain,
+    RuleCatalog,
+)
 from repro.core.config import EngineConfig, EngineConfigBuilder
+from repro.errors import CatalogError
 from repro.core.deltas import DeltaPlan, EventAudit, compile_plan
 from repro.core.engine import (
     CorrelationEngine,
@@ -71,7 +78,11 @@ from repro.exploitation.recommender import (
 )
 from repro.exploitation.insert_advisor import InsertAdvisor
 from repro.exploitation.curation import CurationSession
-from repro.exploitation.quality import QualityReport, score_recommendations
+from repro.exploitation.quality import (
+    QualityReport,
+    rule_yield,
+    score_recommendations,
+)
 from repro.exploitation.removal import (
     RemovalSuggestion,
     UnexplainedAnnotationFinder,
@@ -93,6 +104,9 @@ __all__ = [
     "AssociationRule",
     "AuditReport",
     "BatchReport",
+    "CatalogError",
+    "CatalogQuery",
+    "CatalogStats",
     "CorrelationEngine",
     "CorrelationService",
     "DeltaPlan",
@@ -103,6 +117,8 @@ __all__ = [
     "EngineConfigBuilder",
     "FPGrowthBackend",
     "MiningBackend",
+    "QueryExplain",
+    "RuleCatalog",
     "RuleSnapshot",
     "VerificationResult",
     "ConceptHierarchy",
@@ -152,5 +168,6 @@ __all__ = [
     "register_backend",
     "remine",
     "render_evidence",
+    "rule_yield",
     "score_recommendations",
 ]

@@ -43,6 +43,8 @@ Please select an operation:
 14. Explain a rule (evidence tuples and measures)
 15. Review unexplained annotations (removal suggestions)
 16. Flush queued updates (coalesced batch)
+17. Show top rules by a metric (paged)
+18. Show rules predicting an annotation
  0. Exit
 """.rstrip()
 
@@ -162,6 +164,10 @@ class CommandLoop:
                 self._write("No updates queued.")
             else:
                 self._write(report.summary())
+        elif choice == "17":
+            self._top_rules()
+        elif choice == "18":
+            self._rules_for_annotation()
         elif choice == "15":
             from repro.exploitation.removal import (
                 UnexplainedAnnotationFinder,
@@ -190,6 +196,63 @@ class CommandLoop:
                         f"flush with option 16)")
         else:
             self._write(report.summary())
+
+    def _top_rules(self) -> None:
+        """Menu option 17: metric-ordered rule listing with paging,
+        served from the catalog's presorted orderings."""
+        from repro.core.catalog import METRICS
+
+        manager = self.session.manager
+        if manager is None:
+            self._write("Error: no rules mined yet")
+            return
+        metric = self._ask(f"Metric ({'/'.join(METRICS)}) "
+                           f"[confidence]: ") or "confidence"
+        # Validate here, not just in the query: the per-rule metric
+        # display below reads the attribute, and "canonical" (a valid
+        # ordering, not a rule statistic) must be rejected too.
+        if metric not in METRICS:
+            self._write(f"Error: unknown ordering metric {metric!r}; "
+                        f"choose from {', '.join(METRICS)}")
+            return
+        raw = self._ask("Rules per page [10]: ")
+        try:
+            per_page = int(raw) if raw else 10
+            raw = self._ask("Page number [1]: ")
+            page = int(raw) if raw else 1
+        except ValueError:
+            self._write(f"Error: not a number: {raw!r}")
+            return
+        if per_page < 1 or page < 1:
+            self._write("Error: page and size must be >= 1")
+            return
+        offset = (page - 1) * per_page
+        rules = self.session.rules_page(offset=offset, limit=per_page,
+                                        by=metric)
+        total = len(manager.rules)
+        if not rules:
+            self._write(f"No rules on page {page} (total {total}).")
+            return
+        self._write(f"Rules {offset + 1}..{offset + len(rules)} of "
+                    f"{total}, best {metric} first:")
+        for rule in rules:
+            self._write(f"  {rule.render(manager.vocabulary)}"
+                        f"  [{metric} {getattr(rule, metric):.4f}]")
+
+    def _rules_for_annotation(self) -> None:
+        """Menu option 18: the catalog's by-RHS index as a command."""
+        manager = self.session.manager
+        if manager is None:
+            self._write("Error: no rules mined yet")
+            return
+        token = self._ask("Annotation id: ")
+        rules = self.session.rules_for_annotation(token)
+        if not rules:
+            self._write(f"No rules predict {token!r}.")
+            return
+        self._write(f"{len(rules)} rule(s) predict {token!r}:")
+        for rule in rules:
+            self._write(f"  {rule.render(manager.vocabulary)}")
 
     def _explain_rule(self) -> None:
         from repro.core.explain import explain_rule, render_evidence

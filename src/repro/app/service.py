@@ -22,8 +22,14 @@ Concurrency model, per session:
   one invariant check and one revision bump per flush — so readers
   observe either the pre-batch or the post-batch rule set, never a
   half-applied one;
-* :class:`RuleSnapshot` results are frozen copies — they stay valid
-  (and stale) after the lock is released, which is the point.
+* :class:`RuleSnapshot` results are frozen views — they stay valid
+  (and stale) after the lock is released, which is the point.  They
+  are *memoized per revision*: while no flush intervenes, repeated
+  ``snapshot()`` calls return the same object (sharing one rules tuple
+  and one :class:`~repro.core.catalog.RuleCatalog`), so a hot
+  unchanged-revision read path copies nothing and serves indexed
+  queries (top-k by metric, by-item, by-RHS) straight from the
+  catalog.
 """
 
 from __future__ import annotations
@@ -32,8 +38,9 @@ import threading
 from collections import deque
 from collections.abc import Iterator
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.core.catalog import CatalogQuery, RuleCatalog
 from repro.core.config import EngineConfig
 from repro.core.engine import CorrelationEngine, RuleSignature, VerificationResult
 from repro.core.events import UpdateEvent
@@ -45,17 +52,31 @@ from repro.relation.relation import AnnotatedRelation
 
 @dataclass(frozen=True)
 class RuleSnapshot:
-    """An immutable, point-in-time view of one session's rule set."""
+    """An immutable, point-in-time view of one session's rule set.
+
+    A snapshot is a thin view over the engine's revision-memoized
+    :class:`~repro.core.catalog.RuleCatalog`: ``rules`` *is* the
+    catalog's rule tuple (shared, never re-copied per snapshot), and
+    indexed lookups / composable queries go through :attr:`catalog`.
+    """
 
     session: str
     backend: str
     db_size: int
-    #: Monotone per-session counter: bumped by ``mine`` and each flush.
+    #: Monotone per-session *flush* counter: bumped by ``mine`` and
+    #: each flush.  Not the engine's rule revision — a per-event
+    #: fallback flush bumps this once while the engine advances once
+    #: per applied event.  For comparisons against
+    #: ``Recommendation.revision`` / ``AuditEntry.revision`` (which
+    #: carry the engine number) use ``snapshot.catalog.revision``.
     revision: int
     rules: tuple[AssociationRule, ...]
     signature: frozenset[RuleSignature]
     #: Events queued but not yet applied when the snapshot was taken.
     pending_events: int
+    #: The indexed query view this snapshot serves from (``None`` only
+    #: for a session created with ``mine=False`` and never mined).
+    catalog: RuleCatalog | None = None
 
     def __len__(self) -> int:
         return len(self.rules)
@@ -64,7 +85,16 @@ class RuleSnapshot:
         return iter(self.rules)
 
     def of_kind(self, kind: RuleKind) -> tuple[AssociationRule, ...]:
+        if self.catalog is not None:
+            return self.catalog.of_kind(kind)
         return tuple(rule for rule in self.rules if rule.kind is kind)
+
+    def query(self) -> CatalogQuery:
+        """A composable query over this snapshot's catalog."""
+        if self.catalog is None:
+            raise SessionError(
+                f"session {self.session!r} has no mined rules to query")
+        return self.catalog.query()
 
 
 def isolate_poison_event(apply, batch, *, requeue, describe,
@@ -163,6 +193,9 @@ class _Hosted:
     #: failed claimant release only its *own* claim, never one a later
     #: writer legitimately took after the drain.
     flush_claim: object | None = None
+    #: The last snapshot built, reused verbatim while the revision (and
+    #: queue depth) hold still — unchanged-revision reads are O(1).
+    snapshot_cache: RuleSnapshot | None = None
 
 
 class CorrelationService:
@@ -350,7 +383,13 @@ class CorrelationService:
     # -- reads ----------------------------------------------------------------
 
     def snapshot(self, name: str) -> RuleSnapshot:
-        """A frozen view of the current rules (shared read lock)."""
+        """A frozen view of the current rules (shared read lock).
+
+        Memoized per revision: while nothing flushed, repeated calls
+        return the *same* snapshot object (or, if only the pending
+        count moved, a copy that still shares the rules tuple and
+        catalog) — an unchanged-revision read copies no rules.
+        """
         hosted = self._session(name)
         return self._snapshot_locked(hosted)
 
@@ -358,6 +397,31 @@ class CorrelationService:
               kind: RuleKind | None = None) -> tuple[AssociationRule, ...]:
         snap = self.snapshot(name)
         return snap.rules if kind is None else snap.of_kind(kind)
+
+    def catalog(self, name: str) -> RuleCatalog:
+        """The session's indexed query view (shared read lock); at an
+        unchanged revision this is a cache hit, not a rebuild."""
+        hosted = self._session(name)
+        with hosted.lock.read():
+            if not hosted.engine.is_mined:
+                raise SessionError(
+                    f"session {name!r} has no mined rules to query — "
+                    f"call mine() first")
+            return hosted.engine.catalog()
+
+    def query(self, name: str) -> CatalogQuery:
+        """A composable rule query over the session's catalog."""
+        return self.catalog(name).query()
+
+    def top_rules(self, name: str, n: int, *,
+                  by: str = "confidence",
+                  kind: RuleKind | None = None
+                  ) -> tuple[AssociationRule, ...]:
+        """The ``n`` best rules by a metric — a presorted-index slice."""
+        query = self.query(name)
+        if kind is not None:
+            query = query.of_kind(kind)
+        return query.top(n, by=by)
 
     def pending(self, name: str) -> int:
         """Events submitted but not yet flushed."""
@@ -374,15 +438,40 @@ class CorrelationService:
     def _snapshot_locked(self, hosted: _Hosted) -> RuleSnapshot:
         with hosted.lock.read():
             engine = hosted.engine
+            mined = engine.is_mined
+            # The engine-side memo is the staleness authority: a rule
+            # set replaced by a mine/flush that later failed validation
+            # changes the engine's catalog identity without bumping the
+            # session revision, and the cached snapshot must not
+            # outlive it.  On the hot path this is one memo hit and an
+            # identity compare.
+            current = engine.catalog() if mined else None
             with hosted.queue_lock:
                 pending = len(hosted.queue)
-            mined = engine.is_mined
-            return RuleSnapshot(
+                cached = hosted.snapshot_cache
+                if (cached is not None
+                        and cached.revision == hosted.revision
+                        and cached.catalog is current):
+                    if cached.pending_events != pending:
+                        # Only the queue depth moved: refresh that one
+                        # field; the rules tuple, signature and catalog
+                        # are shared with the cached snapshot, not
+                        # copied.
+                        cached = replace(cached, pending_events=pending)
+                        hosted.snapshot_cache = cached
+                    return cached
+            snap = RuleSnapshot(
                 session=hosted.name,
                 backend=engine.backend_name,
                 db_size=engine.db_size,
                 revision=hosted.revision,
-                rules=(tuple(engine.rules.sorted_rules()) if mined else ()),
+                # The catalog's canonical tuple is the snapshot's rule
+                # view — shared, never re-copied per call.
+                rules=current.rules if mined else (),
                 signature=engine.signature() if mined else frozenset(),
                 pending_events=pending,
+                catalog=current,
             )
+            with hosted.queue_lock:
+                hosted.snapshot_cache = snap
+            return snap

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import os
 
+from repro.core.catalog import RuleCatalog
 from repro.core.config import EngineConfig
 from repro.core.engine import CorrelationEngine
 from repro.core.events import (
@@ -24,7 +25,7 @@ from repro.core.maintenance import BatchReport, MaintenanceReport
 from repro.app.service import isolate_poison_event
 from repro.core.rules import AssociationRule, RuleKind
 from repro.core.stats import DEFAULT_MARGIN
-from repro.errors import SessionError
+from repro.errors import ItemKindError, SessionError, VocabularyError
 from repro.mining.backend import DEFAULT_BACKEND
 from repro.exploitation.ranking import rank
 from repro.exploitation.recommender import (
@@ -32,6 +33,7 @@ from repro.exploitation.recommender import (
     Recommendation,
 )
 from repro.generalization.engine import Generalizer
+from repro.mining.itemsets import Item, ItemKind
 from repro.io import dataset_format, generalization_format, rules_format
 from repro.io import updates_format
 from repro.relation.relation import AnnotatedRelation
@@ -129,9 +131,55 @@ class Session:
 
     def rules_of_kind(self, kind: RuleKind) -> list[AssociationRule]:
         manager = self._require_manager()
-        return sorted(manager.rules_of_kind(kind),
-                      key=lambda rule: (-rule.confidence, -rule.support,
-                                        rule.lhs, rule.rhs))
+        return list(manager.catalog().query().of_kind(kind)
+                    .order_by("confidence").all())
+
+    # -- rule queries (menu options 17 and 18) --------------------------------
+
+    def catalog(self) -> RuleCatalog:
+        """The indexed rule catalog — memoized per engine revision."""
+        return self._require_manager().catalog()
+
+    def top_rules(self, n: int, *, by: str = "confidence",
+                  kind: RuleKind | None = None) -> list[AssociationRule]:
+        """The ``n`` best rules by a metric (presorted-index slice)."""
+        query = self.catalog().query()
+        if kind is not None:
+            query = query.of_kind(kind)
+        return list(query.top(n, by=by))
+
+    def rules_page(self, *, offset: int = 0, limit: int | None = 20,
+                   by: str = "confidence",
+                   kind: RuleKind | None = None) -> list[AssociationRule]:
+        """One page of the metric-ordered rule listing."""
+        query = self.catalog().query().order_by(by)
+        if kind is not None:
+            query = query.of_kind(kind)
+        return list(query.page(offset, limit).all())
+
+    def rules_for_annotation(self, annotation_token: str, *,
+                             limit: int | None = None
+                             ) -> list[AssociationRule]:
+        """Rules predicting ``annotation_token``, best confidence
+        first — one by-RHS index probe.  The token may name a raw
+        annotation or a generalization label; one the mined vocabulary
+        never saw predicts nothing: empty list."""
+        manager = self._require_manager()
+        # ItemKindError covers malformed tokens (e.g. empty string) the
+        # Item constructor rejects before any vocabulary lookup.
+        try:
+            rhs = manager.vocabulary.find_annotation(annotation_token)
+        except (VocabularyError, ItemKindError):
+            try:
+                rhs = manager.vocabulary.id_of(
+                    Item(ItemKind.LABEL, annotation_token))
+            except (VocabularyError, ItemKindError):
+                return []
+        query = (manager.catalog().query().with_rhs(rhs)
+                 .order_by("confidence"))
+        if limit is not None:
+            query = query.page(0, limit)
+        return list(query.all())
 
     # -- updates (menu options 4, 5, 6) -------------------------------------------
 
@@ -257,6 +305,7 @@ class Session:
                     RuleKind.ANNOTATION_TO_ANNOTATION)),
                 "patterns": len(self.manager.table),
                 "candidates": len(self.manager.candidates),
+                "revision": self.manager.revision,
                 "min_support": self.manager.thresholds.min_support,
                 "min_confidence": self.manager.thresholds.min_confidence,
             })

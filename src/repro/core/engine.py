@@ -16,6 +16,9 @@ exposes exactly the lifecycle of the paper's application:
 * :meth:`apply` — the single-event case of :meth:`apply_batch`,
   returning the per-event :class:`MaintenanceReport` shape;
 * :meth:`rules` / :meth:`rules_of_kind` — the current correlations;
+* :meth:`catalog` — the revision-memoized
+  :class:`~repro.core.catalog.RuleCatalog` (indexed lookups, metric
+  orderings, composable queries) the serving read path answers from;
 * :meth:`signature` — a vocabulary-independent snapshot used by every
   equivalence check against full re-mining.
 
@@ -38,6 +41,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.core.annotation_index import VerticalIndex
 from repro.core.candidate_store import CandidateRuleStore
+from repro.core.catalog import RuleCatalog
 from repro.core.config import EngineConfig
 from repro.core.deltas import (
     DeltaPlan,
@@ -125,6 +129,17 @@ class CorrelationEngine:
         self._near_misses: dict[RuleKey, AssociationRule] = {}
         self._mined = False
         self._relation_version = -1
+        #: Monotone rule-state revision: bumped once by ``mine()`` and
+        #: once per ``apply_batch`` — the key the read path's catalog
+        #: cache is invalidated by (exactly once per flushed batch).
+        self._revision = 0
+        self._catalog: RuleCatalog | None = None
+        #: The rule-set-built catalog ``_catalog`` was stamped from —
+        #: a rule-set replacement (even one whose batch later failed
+        #: validation, leaving ``_revision`` unbumped) must invalidate
+        #: the memo, or reads would serve rules the engine no longer
+        #: holds.
+        self._catalog_base: RuleCatalog | None = None
 
     # -- properties ----------------------------------------------------------
 
@@ -169,11 +184,52 @@ class CorrelationEngine:
         return self._rules
 
     def rules_of_kind(self, kind: RuleKind) -> list[AssociationRule]:
-        return self.rules.of_kind(kind)
+        return list(self.catalog().of_kind(kind))
 
     @property
     def is_mined(self) -> bool:
         return self._mined
+
+    @property
+    def revision(self) -> int:
+        """Monotone counter of committed rule-state changes."""
+        return self._revision
+
+    # -- the serving read path -------------------------------------------------
+
+    def catalog(self) -> RuleCatalog:
+        """The indexed, immutable query view of the current rules.
+
+        Memoized by :attr:`revision` *and* rule-set identity: a flush
+        invalidates it exactly once per batch, and every read at an
+        unchanged revision returns the *same* catalog object —
+        concurrent readers share one set of indexes.  The indexes
+        themselves are built (lazily, once) by the rule set and only
+        re-stamped with the engine revision here, so the engine and
+        :meth:`RuleSet.catalog` never hold duplicate index builds.
+        (The memo is a benign race under concurrent first reads: both
+        derive equal catalogs and one wins the slot.)
+        """
+        self._require_mined()
+        base: RuleCatalog = self._rules.catalog()
+        cached = self._catalog
+        if (cached is None or self._catalog_base is not base
+                or cached.revision != self._revision):
+            cached = base.with_revision(self._revision)
+            self._catalog = cached
+            self._catalog_base = base
+        return cached
+
+    def adopt_revision(self, revision: int) -> None:
+        """Install a restored revision counter (persistence only):
+        the restored engine's catalog is then keyed exactly as the
+        saved engine's was."""
+        if revision < 0:
+            raise MaintenanceError(
+                f"revision must be >= 0, got {revision}")
+        self._revision = revision
+        self._catalog = None
+        self._catalog_base = None
 
     # -- initial mining --------------------------------------------------------
 
@@ -209,6 +265,10 @@ class CorrelationEngine:
 
         report = MaintenanceReport(event="mine", db_size=self.db_size)
         self._refresh_rules(report)
+        # The rule state is committed: bump the revision even if the
+        # invariant check below fails — readers are already served the
+        # new rules, and staleness consumers key on this number.
+        self._revision += 1
         report.duration_seconds = time.perf_counter() - started
         self._finish(report)
         return report
@@ -320,6 +380,11 @@ class CorrelationEngine:
         batch.db_size = self.db_size
         batch.patterns_dirty = len(dirty)
         self._refresh_rules_scoped(batch, dirty)
+        # One revision bump per batch, committed *with* the rule state:
+        # a batch that installs new rules and then fails the invariant
+        # check below must still advance the number that advice
+        # staleness (Recommendation.revision and friends) keys on.
+        self._revision += 1
         batch.duration_seconds = time.perf_counter() - started
         for event in plan.events:
             self.log.record(event)

@@ -12,6 +12,13 @@ a session can resume where it stopped.
 The snapshot stores *tokens*, not interned ids: vocabularies are
 rebuilt on load, so snapshots are portable across processes and
 library versions that change interning order.
+
+Format version 2 additionally records the engine's rule-state
+``revision`` and the shape of its read-path catalog
+(:class:`~repro.core.catalog.CatalogStats`): :func:`restore` adopts
+the revision, pre-builds the catalog (so a restored engine serves its
+first read from warm indexes) and verifies the rebuilt shape against
+the saved one.  Version-1 documents (without those fields) still load.
 """
 
 from __future__ import annotations
@@ -27,7 +34,9 @@ from repro.relation.annotation import Annotation
 from repro.relation.relation import AnnotatedRelation
 from repro.relation.schema import Schema
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions :func:`restore` accepts; 1 lacks the revision/catalog keys.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def snapshot(manager: CorrelationEngine) -> dict:
@@ -80,6 +89,8 @@ def snapshot(manager: CorrelationEngine) -> dict:
         "annotations": annotations,
         "pattern_table": table,
         "events_applied": len(manager.log),
+        "engine_revision": manager.revision,
+        "catalog": manager.catalog().stats.as_dict(),
     }
 
 
@@ -104,10 +115,10 @@ def restore(document: dict, *, generalizer=None) -> CorrelationEngine:
     of silently desynchronizing future incremental updates.
     """
     version = document.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise FormatError(
             f"unsupported snapshot format_version {version!r} "
-            f"(expected {FORMAT_VERSION})")
+            f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})")
 
     schema_names = document.get("schema")
     schema = Schema(schema_names) if schema_names else None
@@ -140,6 +151,18 @@ def restore(document: dict, *, generalizer=None) -> CorrelationEngine:
     ))
     manager.mine()
     _verify_table(manager, document)
+    revision = document.get("engine_revision")
+    if version >= 2 and (revision is None
+                         or document.get("catalog") is None):
+        # A v2 writer always records both; their absence is truncation,
+        # not an older format — restoring would silently regress the
+        # revision counter every continuity consumer keys on.
+        raise FormatError(
+            "format_version 2 snapshot is missing its engine_revision/"
+            "catalog keys — snapshot corrupted or edited")
+    if revision is not None:
+        manager.adopt_revision(revision)
+    _verify_catalog(manager, document)
     return manager
 
 
@@ -149,6 +172,29 @@ def load(path: str | os.PathLike, *, generalizer=None
     with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
     return restore(document, generalizer=generalizer)
+
+
+def _verify_catalog(manager: CorrelationEngine, document: dict) -> None:
+    """Rebuild the read-path catalog (warming it for the first query)
+    and check its shape against the saved stats — a snapshot that
+    restores to a differently shaped read state fails loudly."""
+    expected = document.get("catalog")
+    if expected is None:
+        return  # version-1 document: nothing recorded to verify
+    actual = manager.catalog().stats.as_dict()
+    # Every current stat must match the saved value; a saved entry
+    # *missing* a stat is corruption too (keys only a newer writer
+    # knows, present in the document but not in ``actual``, pass).
+    mismatched = sorted(
+        key for key, value in actual.items()
+        if expected.get(key) != value)
+    if mismatched:
+        details = ", ".join(
+            f"{key}: saved {expected.get(key)} != restored {actual[key]}"
+            for key in mismatched)
+        raise FormatError(
+            f"snapshot catalog stats disagree with the restored "
+            f"engine ({details}) — snapshot corrupted or edited")
 
 
 def _verify_table(manager: CorrelationEngine, document: dict) -> None:

@@ -123,49 +123,65 @@ class AssociationRule:
 
 
 class RuleSet:
-    """A keyed collection of rules with an item -> rules inverted index.
+    """A keyed collection of rules with indexed lookups.
 
-    The inverted index answers "which rules mention item i" — the lookup
-    the maintenance algorithms use to touch only rules affected by a
-    batch of new annotations.
+    Lookups (:meth:`mentioning` / :meth:`with_rhs` / :meth:`of_kind`)
+    are served by a lazily built
+    :class:`~repro.core.catalog.RuleCatalog` that is invalidated by
+    mutation and rebuilt on the next query — so a burst of queries
+    between mutations pays for the indexes once.  Hot read paths
+    should not query a RuleSet at all: they should take the engine's
+    revision-memoized ``catalog()`` directly, which survives across
+    rule-set replacements and is shared by all readers.
     """
 
     def __init__(self, rules: Iterable[AssociationRule] = ()) -> None:
         self._rules: dict[RuleKey, AssociationRule] = {}
-        self._by_item: dict[int, set[RuleKey]] = {}
+        self._version = 0
+        self._catalog = None
         for rule in rules:
             self.add(rule)
 
     def add(self, rule: AssociationRule) -> None:
-        previous = self._rules.get(rule.key)
         self._rules[rule.key] = rule
-        if previous is None:
-            for item in rule.union_itemset:
-                self._by_item.setdefault(item, set()).add(rule.key)
+        self._version += 1
 
     def discard(self, key: RuleKey) -> AssociationRule | None:
         rule = self._rules.pop(key, None)
         if rule is not None:
-            for item in rule.union_itemset:
-                bucket = self._by_item.get(item)
-                if bucket is not None:
-                    bucket.discard(key)
-                    if not bucket:
-                        del self._by_item[item]
+            self._version += 1
         return rule
 
     def get(self, key: RuleKey) -> AssociationRule | None:
         return self._rules.get(key)
 
+    def catalog(self):
+        """An indexed, immutable view of the current rules, keyed by
+        this set's mutation counter and rebuilt only after changes."""
+        from repro.core.catalog import RuleCatalog  # local: avoid cycle
+
+        cached = self._catalog
+        if cached is None or cached.revision != self._version:
+            cached = RuleCatalog(self._rules.values(),
+                                 revision=self._version)
+            self._catalog = cached
+        return cached
+
     def mentioning(self, item: int) -> list[AssociationRule]:
-        """Rules whose LHS or RHS contains ``item``."""
-        return [self._rules[key] for key in self._by_item.get(item, ())]
+        """Rules whose LHS or RHS contains ``item``.
+
+        Deprecated in hot paths — query the engine's ``catalog()``
+        instead, which is memoized across rule-set replacements.
+        """
+        return list(self.catalog().mentioning(item))
 
     def of_kind(self, kind: RuleKind) -> list[AssociationRule]:
-        return [rule for rule in self._rules.values() if rule.kind is kind]
+        """Deprecated in hot paths — prefer ``catalog().of_kind``."""
+        return list(self.catalog().of_kind(kind))
 
     def with_rhs(self, rhs: int) -> list[AssociationRule]:
-        return [rule for rule in self.mentioning(rhs) if rule.rhs == rhs]
+        """Deprecated in hot paths — prefer ``catalog().with_rhs``."""
+        return list(self.catalog().with_rhs(rhs))
 
     def keys(self) -> set[RuleKey]:
         return set(self._rules)
@@ -180,11 +196,9 @@ class RuleSet:
         return key in self._rules
 
     def sorted_rules(self) -> list[AssociationRule]:
-        """Deterministic order: kind, LHS length, LHS items, RHS."""
-        return sorted(
-            self._rules.values(),
-            key=lambda rule: (rule.kind.value, len(rule.lhs), rule.lhs,
-                              rule.rhs))
+        """Deterministic order: kind, LHS length, LHS items, RHS (the
+        canonical listing order the catalog stores)."""
+        return list(self.catalog().rules)
 
     def same_rules(self, other: "RuleSet") -> bool:
         """Structural equality including counts (equivalence checks)."""

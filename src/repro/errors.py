@@ -61,6 +61,10 @@ class DeltaPlanError(MaintenanceError):
     """
 
 
+class CatalogError(ReproError):
+    """A rule-catalog query was composed or executed inconsistently."""
+
+
 class FormatError(ReproError):
     """A paper file format could not be parsed."""
 

@@ -270,3 +270,61 @@ class TestMainEntryPoint:
         captured = capsys.readouterr()
         assert code == 1
         assert "fatal:" in captured.err
+
+
+class TestQueryCommands:
+    def test_top_rules_paged(self, files):
+        code, output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "17", "confidence", "2", "1",
+            "17", "confidence", "2", "2",
+            "0",
+        ])
+        text = "\n".join(str(line) for line in output)
+        assert code == 0
+        assert "Rules 1..2 of" in text
+        assert "Rules 3..4 of" in text
+        assert "[confidence" in text
+
+    def test_top_rules_defaults_and_bad_metric(self, files):
+        code, output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "17", "", "", "",
+            "17", "coolness", "5", "1",
+            "17", "canonical", "5", "1",
+            "0",
+        ])
+        text = "\n".join(str(line) for line in output)
+        assert "best confidence first" in text
+        assert "Error: unknown ordering metric 'coolness'" in text
+        # "canonical" is a query ordering but not a rule statistic —
+        # the menu must reject it instead of crashing on display.
+        assert "Error: unknown ordering metric 'canonical'" in text
+
+    def test_top_rules_empty_page(self, files):
+        code, output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "17", "lift", "10", "99",
+            "17", "lift", "2", "1",
+            "0",
+        ])
+        text = "\n".join(str(line) for line in output)
+        assert "No rules on page 99" in text
+        assert "[lift" in text  # rows annotate the sorted metric
+
+    def test_rules_predicting_an_annotation(self, files):
+        code, output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "18", "Annot_1",
+            "18", "Nope",
+            "0",
+        ])
+        text = "\n".join(str(line) for line in output)
+        assert "rule(s) predict 'Annot_1'" in text
+        assert "==> Annot_1" in text
+        assert "No rules predict 'Nope'" in text
+
+    def test_query_commands_need_mined_rules(self, files):
+        code, output = run_cli(files, ["17", "0"])
+        text = "\n".join(str(line) for line in output)
+        assert "Error: no rules mined yet" in text

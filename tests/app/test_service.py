@@ -442,3 +442,100 @@ class TestConcurrentReadsDuringFlush:
         assert service.snapshot("hot").revision == 6
         assert service.verify("hot").equivalent
         assert max(observed_revisions, default=0) <= 6
+
+
+class TestSnapshotMemoization:
+    """The serving read path: unchanged-revision reads copy nothing."""
+
+    def test_same_revision_snapshot_is_the_same_object(self, service):
+        service.create("main", make_relation())
+        first = service.snapshot("main")
+        assert service.snapshot("main") is first
+        assert service.snapshot("main") is first
+
+    def test_pending_change_shares_rules_and_catalog(self, service):
+        service.create("main", make_relation())
+        first = service.snapshot("main")
+        service.submit("main", AddAnnotations.build([(3, "A")]))
+        second = service.snapshot("main")
+        assert second is not first
+        assert second.pending_events == 1
+        # Same revision: the heavy parts are shared, never re-copied.
+        assert second.rules is first.rules
+        assert second.catalog is first.catalog
+        assert second.signature is first.signature
+
+    def test_flush_invalidates_the_cached_snapshot(self, service):
+        service.create("main", make_relation())
+        before = service.snapshot("main")
+        service.submit("main", AddAnnotations.build([(3, "A")]))
+        service.flush("main")
+        after = service.snapshot("main")
+        assert after is not before
+        assert after.revision == before.revision + 1
+        assert after.catalog is not before.catalog
+        assert service.snapshot("main") is after
+
+    def test_snapshot_serves_catalog_queries(self, service):
+        snap = service.create("main", make_relation())
+        assert snap.catalog is not None
+        top = snap.query().top(3, by="lift")
+        assert len(top) == min(3, len(snap))
+        assert snap.of_kind(RuleKind.DATA_TO_ANNOTATION) == \
+            snap.catalog.of_kind(RuleKind.DATA_TO_ANNOTATION)
+
+
+class TestServiceQueries:
+    def test_catalog_is_stable_across_reads(self, service):
+        service.create("main", make_relation())
+        catalog = service.catalog("main")
+        assert service.catalog("main") is catalog
+        assert service.query("main").all() == catalog.rules
+
+    def test_top_rules_matches_catalog_ordering(self, service):
+        service.create("main", make_relation())
+        catalog = service.catalog("main")
+        assert service.top_rules("main", 2, by="support") == \
+            catalog.top(2, by="support")
+        narrowed = service.top_rules(
+            "main", 2, by="confidence", kind=RuleKind.DATA_TO_ANNOTATION)
+        assert all(r.kind is RuleKind.DATA_TO_ANNOTATION for r in narrowed)
+
+    def test_unmined_session_has_no_catalog(self, service):
+        service.create("raw", make_relation(), mine=False)
+        with pytest.raises(SessionError, match="no mined rules"):
+            service.catalog("raw")
+        snap = service.snapshot("raw")
+        assert snap.catalog is None
+        with pytest.raises(SessionError, match="no mined rules"):
+            snap.query()
+
+
+class TestSnapshotCacheStaleness:
+    def test_failed_remine_does_not_serve_stale_snapshots(
+            self, service, monkeypatch):
+        """A re-mine that replaces the rules and then dies in the
+        invariant check bumps no revision — the cached snapshot must
+        still be dropped, or readers see rules the engine no longer
+        holds."""
+        from repro.errors import MaintenanceError
+
+        service.create("main", make_relation(),
+                       config=EngineConfig(min_support=0.25,
+                                           min_confidence=0.6,
+                                           validate=True))
+        stale = service.snapshot("main")
+        engine = service._session("main").engine
+
+        def boom(*args, **kwargs):
+            raise MaintenanceError("forced validation failure")
+        monkeypatch.setattr(engine.table, "check_invariants", boom)
+        with pytest.raises(MaintenanceError, match="forced validation"):
+            service.mine("main")
+        monkeypatch.undo()
+
+        snap = service.snapshot("main")
+        assert snap is not stale
+        assert snap.catalog is service.catalog("main")
+        assert snap.rules == service.catalog("main").rules
+        assert service.snapshot("main") is snap  # memo works again

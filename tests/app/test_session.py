@@ -164,3 +164,71 @@ class TestOutputs:
         status = session.status()
         assert status["mined"] is True
         assert status["rules"] == status["d2a_rules"] + status["a2a_rules"]
+
+
+class TestRuleQueries:
+    """Menu options 17/18 behind the session API: catalog-served."""
+
+    @pytest.fixture
+    def mined(self, session):
+        session.mine(0.25, 0.6)
+        return session
+
+    def test_catalog_memoized_until_update(self, mined, files):
+        catalog = mined.catalog()
+        assert mined.catalog() is catalog
+        mined.add_annotations_from_file(files["updates.txt"])
+        assert mined.catalog() is not catalog
+
+    def test_top_rules_ordering(self, mined):
+        top = mined.top_rules(3, by="confidence")
+        assert len(top) == 3
+        assert top[0].confidence >= top[1].confidence >= top[2].confidence
+        by_lift = mined.top_rules(2, by="lift")
+        assert by_lift == list(mined.catalog().top(2, by="lift"))
+
+    def test_rules_page_partitions_the_listing(self, mined):
+        total = len(mined.manager.rules)
+        pages = []
+        offset = 0
+        while True:
+            page = mined.rules_page(offset=offset, limit=2, by="support")
+            if not page:
+                break
+            pages.extend(page)
+            offset += 2
+        assert len(pages) == total
+        assert pages == list(mined.catalog().ordered_by("support"))
+
+    def test_rules_for_annotation(self, mined):
+        rules = mined.rules_for_annotation("Annot_1")
+        assert rules
+        annot_1 = mined.manager.vocabulary.find_annotation("Annot_1")
+        assert all(rule.rhs == annot_1 for rule in rules)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+        assert mined.rules_for_annotation("Annot_1", limit=1) == rules[:1]
+        assert mined.rules_for_annotation("NoSuchAnnotation") == []
+        assert mined.rules_for_annotation("") == []
+
+    def test_queries_require_a_mined_manager(self, session):
+        with pytest.raises(SessionError):
+            session.top_rules(3)
+        with pytest.raises(SessionError):
+            session.rules_for_annotation("Annot_1")
+
+    def test_status_reports_revision(self, mined, files):
+        assert mined.status()["revision"] == 1
+        mined.add_annotations_from_file(files["updates.txt"])
+        assert mined.status()["revision"] == 2
+
+    def test_rules_for_a_generalization_label(self, session, files):
+        from repro.mining.itemsets import Item, ItemKind
+
+        session.load_generalizations(files["gen.txt"])
+        session.mine(0.25, 0.6)
+        rules = session.rules_for_annotation("Concept_X")
+        assert rules, "expected rules predicting the label"
+        label_id = session.manager.vocabulary.id_of(
+            Item(ItemKind.LABEL, "Concept_X"))
+        assert all(rule.rhs == label_id for rule in rules)

@@ -1,0 +1,289 @@
+"""RuleCatalog: indexes, metric orderings, query planning, explain."""
+
+import pytest
+
+from repro.core.catalog import (
+    METRICS,
+    CatalogQuery,
+    RuleCatalog,
+    metric_key,
+)
+from repro.core.events import AddAnnotations
+from repro.core.rules import AssociationRule, RuleKind
+from repro.errors import CatalogError
+from tests.conftest import make_relation
+
+
+def rule(kind=RuleKind.DATA_TO_ANNOTATION, lhs=(0,), rhs=2,
+         union=3, lhs_count=4, db_size=10):
+    return AssociationRule(kind=kind, lhs=lhs, rhs=rhs, union_count=union,
+                           lhs_count=lhs_count, db_size=db_size)
+
+
+@pytest.fixture
+def rules():
+    return [
+        rule(lhs=(0,), rhs=2, union=4, lhs_count=6),
+        rule(lhs=(0, 1), rhs=2, union=3, lhs_count=4),
+        rule(lhs=(1,), rhs=3, union=5, lhs_count=8),
+        rule(kind=RuleKind.ANNOTATION_TO_ANNOTATION, lhs=(2,), rhs=3,
+             union=2, lhs_count=4),
+    ]
+
+
+@pytest.fixture
+def catalog(rules):
+    return RuleCatalog(rules, revision=5)
+
+
+class TestRuleCatalog:
+    def test_canonical_listing_order(self, catalog):
+        listed = [(r.kind, r.lhs, r.rhs) for r in catalog.rules]
+        assert listed == sorted(
+            listed, key=lambda entry: (entry[0].value, len(entry[1]),
+                                       entry[1], entry[2]))
+        assert len(catalog) == 4
+        assert list(catalog) == list(catalog.rules)
+
+    def test_revision_and_stats(self, catalog):
+        assert catalog.revision == 5
+        stats = catalog.stats
+        assert stats.revision == 5
+        assert stats.rule_count == 4
+        assert stats.d2a_rules == 3 and stats.a2a_rules == 1
+        assert stats.rhs_index_entries == 2  # rhs 2 and rhs 3
+        assert stats.as_dict()["rule_count"] == 4
+
+    def test_key_lookup(self, catalog, rules):
+        assert catalog.get(rules[0].key) == rules[0]
+        assert rules[0].key in catalog
+        missing = (RuleKind.DATA_TO_ANNOTATION, (9,), 2)
+        assert catalog.get(missing) is None and missing not in catalog
+
+    def test_index_lookups_match_brute_force(self, catalog, rules):
+        for item in catalog.items():
+            expected = [r for r in catalog.rules if item in r.union_itemset]
+            assert list(catalog.mentioning(item)) == expected
+        for rhs in catalog.rhs_items():
+            expected = [r for r in catalog.rules if r.rhs == rhs]
+            assert list(catalog.with_rhs(rhs)) == expected
+        for kind in RuleKind:
+            expected = [r for r in catalog.rules if r.kind is kind]
+            assert list(catalog.of_kind(kind)) == expected
+
+    def test_missing_buckets_are_empty(self, catalog):
+        assert catalog.mentioning(99) == ()
+        assert catalog.with_rhs(99) == ()
+
+    def test_metric_orderings_are_presorted(self, catalog):
+        for metric in METRICS:
+            ordering = catalog.ordered_by(metric)
+            assert list(ordering) == sorted(catalog.rules,
+                                            key=metric_key(metric))
+            assert catalog.top(2, by=metric) == ordering[:2]
+        assert catalog.top(100) == catalog.ordered_by("confidence")
+
+    def test_unknown_metric_rejected(self, catalog):
+        with pytest.raises(CatalogError, match="unknown ordering metric"):
+            catalog.ordered_by("coolness")
+        with pytest.raises(CatalogError):
+            catalog.top(-1)
+
+    def test_duplicate_keys_rejected(self, rules):
+        with pytest.raises(CatalogError, match="duplicate rule keys"):
+            RuleCatalog(rules + [rules[0].with_counts(union_count=1)])
+
+    def test_empty_catalog(self):
+        empty = RuleCatalog()
+        assert len(empty) == 0
+        assert empty.items() == () and empty.rhs_items() == ()
+        assert empty.top(3) == ()
+        assert empty.query().all() == ()
+
+
+class TestCatalogQuery:
+    def test_refinement_is_immutable(self, catalog):
+        base = catalog.query()
+        narrowed = base.of_kind(RuleKind.DATA_TO_ANNOTATION)
+        assert isinstance(narrowed, CatalogQuery)
+        assert narrowed is not base
+        assert len(base.all()) == 4 and len(narrowed.all()) == 3
+
+    def test_combined_filters(self, catalog):
+        results = (catalog.query().mentioning(0)
+                   .of_kind(RuleKind.DATA_TO_ANNOTATION).all())
+        assert [r.lhs for r in results] == [(0,), (0, 1)]
+        results = catalog.query().mentioning(0).mentioning(1).all()
+        assert [r.lhs for r in results] == [(0, 1)]
+
+    def test_metric_floors(self, catalog):
+        strict = catalog.query().min_confidence(0.7).all()
+        assert all(r.confidence >= 0.7 for r in strict)
+        assert {r.key for r in strict} == {
+            r.key for r in catalog.rules if r.confidence >= 0.7}
+        assert catalog.query().min_support(2.0).all() == ()
+
+    def test_where_predicate(self, catalog):
+        singles = catalog.query().where(
+            lambda r: len(r.lhs) == 1, label="singleton-lhs")
+        assert all(len(r.lhs) == 1 for r in singles.all())
+        assert "singleton-lhs" in singles.explain().filters
+
+    def test_conflicting_requirements_rejected(self, catalog):
+        with pytest.raises(CatalogError, match="exactly one RHS"):
+            catalog.query().with_rhs(2).with_rhs(3)
+        with pytest.raises(CatalogError, match="can match nothing"):
+            (catalog.query().of_kind(RuleKind.DATA_TO_ANNOTATION)
+             .of_kind(RuleKind.ANNOTATION_TO_ANNOTATION))
+
+    def test_ordering_and_top(self, catalog):
+        by_lift = catalog.query().order_by("lift").all()
+        assert list(by_lift) == list(catalog.ordered_by("lift"))
+        assert catalog.query().top(2, by="lift") == by_lift[:2]
+        # top() on a filtered query re-sorts the narrow match set.
+        top_d2a = (catalog.query().of_kind(RuleKind.DATA_TO_ANNOTATION)
+                   .top(2, by="support"))
+        brute = sorted((r for r in catalog.rules
+                        if r.kind is RuleKind.DATA_TO_ANNOTATION),
+                       key=metric_key("support"))[:2]
+        assert list(top_d2a) == brute
+
+    def test_paging_partitions_the_ordering(self, catalog):
+        ordered = catalog.query().order_by("confidence")
+        pages = [ordered.page(offset, 2).all() for offset in (0, 2, 4)]
+        rejoined = [r for page in pages for r in page]
+        assert rejoined == list(catalog.ordered_by("confidence"))
+        assert ordered.page(99, 5).all() == ()
+        with pytest.raises(CatalogError):
+            ordered.page(-1, 5)
+        with pytest.raises(CatalogError):
+            ordered.page(0, -5)
+
+    def test_top_respects_an_existing_window(self, catalog):
+        ordered = catalog.query().order_by("lift")
+        windowed = ordered.page(1, 2)
+        assert windowed.top(5) == ordered.all()[1:3]  # narrow, not widen
+        assert windowed.top(1) == ordered.all()[1:2]
+        assert ordered.top(2) == ordered.all()[:2]
+
+    def test_count_ignores_window_and_first(self, catalog):
+        windowed = catalog.query().order_by("confidence").page(1, 2)
+        assert windowed.count() == 4
+        assert len(windowed.all()) == 2
+        best = catalog.query().order_by("confidence").first()
+        assert best == catalog.ordered_by("confidence")[0]
+        assert catalog.query().with_rhs(99).first() is None
+
+    def test_explain_reports_index_selection(self, catalog):
+        assert catalog.query().with_rhs(2).explain().index == "rhs"
+        # RHS beats item and kind when several constraints compete.
+        competing = (catalog.query().with_rhs(2).mentioning(0)
+                     .of_kind(RuleKind.DATA_TO_ANNOTATION).explain())
+        assert competing.index == "rhs"
+        assert "mentions=0" in competing.filters
+        assert "kind=data-to-annotation" in competing.filters
+        assert catalog.query().mentioning(1).explain().index == "item"
+        kind_only = catalog.query().of_kind(
+            RuleKind.ANNOTATION_TO_ANNOTATION).explain()
+        assert kind_only.index == "kind"
+        presorted = catalog.query().order_by("lift").explain()
+        assert presorted.index == "ordering:lift" and presorted.presorted
+        assert catalog.query().explain().index == "full"
+
+    def test_explain_probes_the_rarest_item_bucket(self, catalog):
+        # Item 3 (2 rules) is rarer than item 2 (3 rules): the planner
+        # must probe the smaller bucket and re-check the other item.
+        explain = catalog.query().mentioning(2).mentioning(3).explain()
+        assert explain.index == "item"
+        assert explain.candidates == 2
+        assert "mentions=2" in explain.filters
+
+    def test_explain_counts(self, catalog):
+        explain = (catalog.query().of_kind(RuleKind.DATA_TO_ANNOTATION)
+                   .min_confidence(0.7).page(0, 1).explain())
+        assert explain.candidates == 3
+        assert explain.matched == len(
+            catalog.query().of_kind(RuleKind.DATA_TO_ANNOTATION)
+            .min_confidence(0.7).page(0, None).all())
+        assert explain.returned <= 1
+        assert "confidence>=0.7" in explain.filters
+        assert explain.describe().startswith("index=kind")
+
+
+class TestEngineCatalog:
+    def test_memoized_per_revision(self, mined_manager):
+        first = mined_manager.catalog()
+        assert mined_manager.catalog() is first
+        assert first.revision == mined_manager.revision == 1
+        assert first.rules == tuple(mined_manager.rules.sorted_rules())
+
+    def test_batch_invalidates_exactly_once(self, mined_manager):
+        before = mined_manager.catalog()
+        revision_before = mined_manager.revision
+        mined_manager.apply_batch([
+            AddAnnotations.build([(3, "A")]),
+            AddAnnotations.build([(7, "B")]),
+        ])
+        assert mined_manager.revision == revision_before + 1
+        after = mined_manager.catalog()
+        assert after is not before
+        assert after.revision == mined_manager.revision
+        assert mined_manager.catalog() is after
+
+    def test_adopt_revision_rekeys_the_catalog(self, mined_manager):
+        mined_manager.adopt_revision(41)
+        assert mined_manager.revision == 41
+        assert mined_manager.catalog().revision == 41
+        with pytest.raises(Exception, match="revision must be >= 0"):
+            mined_manager.adopt_revision(-1)
+
+    def test_unmined_engine_has_no_catalog(self):
+        from repro.core.engine import engine as make_engine
+        from repro.errors import MaintenanceError
+
+        fresh = make_engine(make_relation(), min_support=0.25,
+                            min_confidence=0.6)
+        with pytest.raises(MaintenanceError):
+            fresh.catalog()
+
+
+class TestCatalogConsistencyUnderFailure:
+    def test_failed_validation_does_not_serve_stale_rules(
+            self, mined_manager, monkeypatch):
+        """A batch that mutates the rules and then dies in the
+        invariant check leaves the revision unbumped — the catalog
+        must still follow the installed rule set, not the dead one."""
+        from repro.errors import MaintenanceError
+
+        stale = mined_manager.catalog()
+        def boom(*args, **kwargs):
+            raise MaintenanceError("forced validation failure")
+        monkeypatch.setattr(mined_manager.table, "check_invariants", boom)
+        with pytest.raises(MaintenanceError, match="forced validation"):
+            mined_manager.apply_batch([AddAnnotations.build([(3, "B")])])
+
+        current = mined_manager.catalog()
+        assert current is not stale
+        assert current.rules == tuple(mined_manager.rules.sorted_rules())
+        assert mined_manager.catalog() is current  # memo still works
+        # The numeric revision advanced with the installed rules, so
+        # advice stamped pre-batch correctly reads as stale.
+        assert mined_manager.revision == 2
+        assert current.revision == 2
+
+    def test_engine_catalog_shares_the_rulesets_indexes(self,
+                                                        mined_manager):
+        base = mined_manager.rules.catalog()
+        stamped = mined_manager.catalog()
+        assert stamped.revision == mined_manager.revision
+        assert stamped.rules is base.rules
+        for metric in METRICS:
+            assert stamped.ordered_by(metric) is base.ordered_by(metric)
+
+    def test_repeated_executions_keep_one_explain_record(self, catalog):
+        query = catalog.query().order_by("lift")
+        for _ in range(50):
+            query.all()
+        assert len(query._last_explain) == 1
+        assert query.explain().index == "ordering:lift"
+        assert len(query._last_explain) == 1

@@ -101,3 +101,67 @@ class TestFiles:
         restored = load(path)
         assert restored.signature() == manager.signature()
         assert restored.thresholds == manager.thresholds
+
+
+class TestRevisionRoundTrip:
+    """Format v2: engine revision + catalog stats survive save/load."""
+
+    def test_snapshot_records_revision_and_catalog_stats(self):
+        manager = mined_manager()
+        manager.add_annotations([(3, "A")])
+        document = snapshot(manager)
+        assert document["format_version"] == 2
+        assert document["engine_revision"] == manager.revision == 2
+        stats = document["catalog"]
+        assert stats == manager.catalog().stats.as_dict()
+        assert stats["rule_count"] == len(manager.rules)
+
+    def test_restore_adopts_revision_and_warms_the_catalog(self):
+        manager = mined_manager()
+        manager.add_annotations([(3, "A")])
+        manager.add_annotations([(5, "B")])
+        restored = restore(snapshot(manager))
+        assert restored.revision == manager.revision == 3
+        catalog = restored.catalog()
+        assert catalog.revision == 3
+        assert catalog.stats == manager.catalog().stats
+        # Warm: the restore itself built it; the first read is a hit.
+        assert restored.catalog() is catalog
+
+    def test_restore_rejects_corrupted_catalog_stats(self):
+        document = snapshot(mined_manager())
+        document["catalog"]["rule_count"] += 1
+        with pytest.raises(FormatError, match="catalog stats disagree"):
+            restore(document)
+
+    def test_restore_rejects_truncated_catalog_stats(self):
+        document = snapshot(mined_manager())
+        del document["catalog"]["rule_count"]
+        with pytest.raises(FormatError, match="catalog stats disagree"):
+            restore(document)
+        document["catalog"] = {}
+        with pytest.raises(FormatError, match="catalog stats disagree"):
+            restore(document)
+
+    def test_restore_rejects_v2_documents_missing_the_new_keys(self):
+        for key in ("engine_revision", "catalog"):
+            document = snapshot(mined_manager())
+            del document[key]
+            with pytest.raises(FormatError, match="missing its"):
+                restore(document)
+
+    def test_restore_tolerates_future_catalog_stats(self):
+        document = snapshot(mined_manager())
+        document["catalog"]["stat_from_the_future"] = 7
+        restored = restore(document)
+        assert restored.revision == document["engine_revision"]
+
+    def test_version_1_documents_still_load(self):
+        manager = mined_manager()
+        document = snapshot(manager)
+        document["format_version"] = 1
+        del document["engine_revision"]
+        del document["catalog"]
+        restored = restore(document)
+        assert restored.signature() == manager.signature()
+        assert restored.revision == 1  # just the restore's own mine()

@@ -1,0 +1,125 @@
+"""Catalog queries == brute-force linear scans, on any maintained state.
+
+The catalog is pure read-path machinery: whatever rule set incremental
+maintenance produced, every indexed answer must equal the answer a
+linear scan over ``engine.rules`` gives.  This suite drives randomized
+event streams through every backend × counting substrate, then checks
+the full query surface — by-item, by-RHS, by-kind, metric top-k,
+pagination, and composed filters — against brute force over the same
+rules with the same tie-breaks.
+"""
+
+import random
+
+import pytest
+
+from repro.core.catalog import METRICS, metric_key
+from repro.core.engine import engine
+from repro.core.rules import RuleKind
+from repro.mining.backend import available_backends
+from repro.synth.streams import EventStream, StreamConfig, apply_to_relation
+from tests.conftest import make_relation
+
+COUNTERS = ("auto", "vertical")
+SEEDS = (5, 23)
+
+
+def drawn_events(relation, count, seed):
+    shadow = relation.copy()
+    stream = EventStream(shadow, StreamConfig(seed=seed, batch_size=3))
+    return list(stream.take(
+        count, apply=lambda event: apply_to_relation(shadow, event)))
+
+
+def maintained_engine(backend, counter, seed):
+    relation = make_relation()
+    events = drawn_events(relation, count=8, seed=seed)
+    eng = engine(relation, min_support=0.25, min_confidence=0.6,
+                 backend=backend, counter=counter, validate=True)
+    eng.mine()
+    eng.apply_batch(events)
+    return eng
+
+
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("counter", COUNTERS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_every_catalog_query_equals_linear_scan(backend, counter, seed):
+    eng = maintained_engine(backend, counter, seed)
+    catalog = eng.catalog()
+    rules = list(eng.rules)
+    context = f"(backend={backend}, counter={counter}, seed={seed})"
+    assert len(catalog) == len(rules), context
+
+    all_items = sorted({item for rule in rules
+                        for item in rule.union_itemset})
+    assert list(catalog.items()) == all_items, context
+    for item in all_items + [max(all_items, default=0) + 10]:
+        brute = [rule for rule in catalog.rules
+                 if item in rule.union_itemset]
+        assert list(catalog.mentioning(item)) == brute, context
+        assert list(catalog.query().mentioning(item).all()) == brute, context
+
+    all_rhs = sorted({rule.rhs for rule in rules})
+    assert list(catalog.rhs_items()) == all_rhs, context
+    for rhs in all_rhs:
+        brute = [rule for rule in catalog.rules if rule.rhs == rhs]
+        assert list(catalog.with_rhs(rhs)) == brute, context
+        assert list(catalog.query().with_rhs(rhs).all()) == brute, context
+
+    for kind in RuleKind:
+        brute = [rule for rule in catalog.rules if rule.kind is kind]
+        assert list(catalog.of_kind(kind)) == brute, context
+
+    for metric in METRICS:
+        brute = sorted(rules, key=metric_key(metric))
+        assert list(catalog.ordered_by(metric)) == brute, context
+        for n in (0, 1, 3, len(rules) + 5):
+            assert list(catalog.top(n, by=metric)) == brute[:n], context
+
+
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("counter", COUNTERS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_paged_and_composed_queries_equal_linear_scan(backend, counter,
+                                                      seed):
+    eng = maintained_engine(backend, counter, seed)
+    catalog = eng.catalog()
+    rules = list(eng.rules)
+    rng = random.Random(seed * 13 + 1)
+    context = f"(backend={backend}, counter={counter}, seed={seed})"
+
+    # Random pages over each metric ordering re-join into the whole.
+    for metric in METRICS:
+        brute = sorted(rules, key=metric_key(metric))
+        page_size = rng.randint(1, max(1, len(rules) // 2))
+        rejoined = []
+        for offset in range(0, len(rules) + page_size, page_size):
+            rejoined.extend(
+                catalog.query().order_by(metric)
+                .page(offset, page_size).all())
+        assert rejoined == brute, context
+
+    # Composed filter + ordering + window, vs the same pipeline by hand.
+    floor = rng.choice((0.0, 0.6, 0.8, 1.0))
+    for kind in RuleKind:
+        for metric in METRICS:
+            query = (catalog.query().of_kind(kind).min_confidence(floor)
+                     .order_by(metric).page(1, 2))
+            brute = sorted(
+                (rule for rule in rules
+                 if rule.kind is kind and rule.confidence >= floor),
+                key=metric_key(metric))[1:3]
+            assert list(query.all()) == brute, context
+            assert query.count() == sum(
+                1 for rule in rules
+                if rule.kind is kind and rule.confidence >= floor), context
+
+    # explain() must name a real index and truthful candidate counts.
+    if rules:
+        probe = rng.choice(rules)
+        explain = (catalog.query().with_rhs(probe.rhs)
+                   .order_by("lift").explain())
+        assert explain.index == "rhs", context
+        assert explain.candidates == len(catalog.with_rhs(probe.rhs)), context
+        assert explain.matched == explain.candidates, context

@@ -1,0 +1,148 @@
+"""E11 — sharded mining: shard-count scaling with exact-merge checks.
+
+The sharded engine's claim is twofold: (1) *exactness* — for every
+shard count the merged rules are byte-identical to the monolithic
+engine's (the SON two-phase protocol); (2) *speed* — the partitioned
+substrate (one bulk tokenization pass, per-shard bitmap indexes built
+in one sweep, vertical phase-1 mines on a thread pool) makes the
+4-shard initial mine at least 2x faster than the monolithic engine's
+per-tuple encode + configured-backend mine at fig7 scale.
+
+The shard-count axis includes 1, so the table separates what the
+substrate buys from what partitioning buys.  The speedup target binds
+at full scale only (CI smoke shrinks via ``REPRO_SHARD_TUPLES``);
+signature equality is asserted at *every* scale and shard count — that
+is the part that must never regress.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.engine import engine
+from repro.shard import ShardedEngine
+from repro.synth import workloads
+from repro.synth.streams import EventStream, StreamConfig, apply_to_relation
+from benchmarks._harness import fmt_ms, record, time_once
+
+N_TUPLES = int(os.environ.get("REPRO_SHARD_TUPLES", "8000"))
+SHARD_COUNTS = (1, 2, 4, 8)
+FULL_SCALE = N_TUPLES >= 4000
+TARGET_SPEEDUP = 2.0
+ROUNDS = 5
+
+#: The >= 2x acceptance target binds on the acceptance configuration —
+#: fig7 scale on the default backend.  Other REPRO_BACKEND axes are
+#: measured and recorded (and their signatures always asserted), but a
+#: faster monolithic baseline is not held to the same multiple.
+from repro.mining.backend import DEFAULT_BACKEND  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def shard_workload():
+    return workloads.paper_scale(n_tuples=N_TUPLES, seed=13)
+
+
+def _mono(relation, workload, backend):
+    manager = engine(relation,
+                     min_support=workload.min_support,
+                     min_confidence=workload.min_confidence,
+                     backend=backend)
+    manager.mine()
+    return manager
+
+
+def _sharded(relation, workload, backend, shards):
+    manager = ShardedEngine(relation,
+                            min_support=workload.min_support,
+                            min_confidence=workload.min_confidence,
+                            backend=backend, shards=shards)
+    manager.mine()
+    return manager
+
+
+def _best_of(workload, fn, rounds=ROUNDS):
+    """Best-of-N with the relation copy *outside* the timed region —
+    both sides of the comparison would otherwise pay the same copy,
+    diluting the measured ratio."""
+    times, result = [], None
+    for _ in range(rounds):
+        relation = workload.relation.copy()
+        elapsed, result = time_once(lambda: fn(relation))
+        times.append(elapsed)
+    return min(times), result
+
+
+def test_shard_scaling_initial_mine(benchmark, shard_workload,
+                                    backend_name):
+    mono_seconds, mono = _best_of(
+        shard_workload,
+        lambda relation: _mono(relation, shard_workload, backend_name))
+    reference = mono.signature()
+
+    binding = FULL_SCALE and backend_name == DEFAULT_BACKEND
+    rows = [f"tuples={N_TUPLES} backend={backend_name} "
+            f"(workers = shard count)",
+            f"monolithic   {fmt_ms(mono_seconds)}        1.00x  baseline",
+            "shards       initial-mine   speedup  identical"]
+    speedups = {}
+    for shards in SHARD_COUNTS:
+        seconds, manager = _best_of(
+            shard_workload,
+            lambda relation: _sharded(relation, shard_workload,
+                                      backend_name, shards))
+        identical = manager.signature() == reference
+        speedups[shards] = mono_seconds / seconds if seconds else float("inf")
+        rows.append(f"{shards:6d}  {fmt_ms(seconds)} {speedups[shards]:9.2f}x"
+                    f"  {identical}")
+        assert identical, (
+            f"{shards}-shard merge diverged from the monolithic rules")
+        assert len(manager.rules) == len(mono.rules)
+
+    # Headline measurement: the 4-shard mine under pytest-benchmark.
+    relation = shard_workload.relation.copy()
+    benchmark.pedantic(
+        lambda: _sharded(relation, shard_workload, backend_name, 4),
+        rounds=1, iterations=1)
+    rows.append(f"target: >= {TARGET_SPEEDUP}x at 4 shards "
+                f"(binding on this axis: {binding})")
+    record("E11_shard_scaling", rows)
+    if binding:
+        assert speedups[4] >= TARGET_SPEEDUP, (
+            f"4-shard initial mine only {speedups[4]:.2f}x faster than "
+            f"monolithic (target {TARGET_SPEEDUP}x)")
+
+
+def test_shard_scaling_incremental_flush(shard_workload, backend_name):
+    """A routed flush stays exact and within a small multiple of the
+    monolithic flush (it adds one global re-merge per batch)."""
+    shadow = shard_workload.relation.copy()
+    stream = EventStream(shadow, StreamConfig(
+        seed=83, batch_size=3,
+        weight_add_annotations=6.0,
+        weight_insert_annotated=2.0,
+        weight_remove_annotations=1.0,
+        weight_remove_tuples=0.5,
+    ))
+    events = list(stream.take(
+        40, apply=lambda event: apply_to_relation(shadow, event)))
+
+    mono = _mono(shard_workload.relation.copy(), shard_workload,
+                 backend_name)
+    mono_seconds, _ = time_once(lambda: mono.apply_batch(events))
+    sharded = _sharded(shard_workload.relation.copy(), shard_workload,
+                       backend_name, 4)
+    sharded_seconds, report = time_once(
+        lambda: sharded.apply_batch(events))
+
+    assert sharded.signature() == mono.signature(), (
+        "routed flush diverged from the monolithic flush")
+    record("E11_shard_flush", [
+        f"tuples={N_TUPLES} events={len(events)} backend={backend_name}",
+        f"monolithic flush : {fmt_ms(mono_seconds)}",
+        f"4-shard flush    : {fmt_ms(sharded_seconds)} "
+        f"({report.shards_touched} shard(s) touched, one re-merge)",
+        "signature: sharded == monolithic",
+    ])

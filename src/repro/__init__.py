@@ -36,9 +36,11 @@ from repro.errors import CatalogError
 from repro.core.deltas import DeltaPlan, EventAudit, compile_plan
 from repro.core.engine import (
     CorrelationEngine,
+    EncodedSubstrate,
     VerificationResult,
     engine,
 )
+from repro.shard import ShardedEngine, modulo_partitioner
 from repro.core.maintenance import BatchReport, MaintenanceReport
 from repro.errors import DeltaPlanError
 from repro.core.manager import AnnotationRuleManager
@@ -111,6 +113,7 @@ __all__ = [
     "CorrelationService",
     "DeltaPlan",
     "DeltaPlanError",
+    "EncodedSubstrate",
     "EventAudit",
     "EclatBackend",
     "EngineConfig",
@@ -150,6 +153,7 @@ __all__ = [
     "RuleSet",
     "Schema",
     "Session",
+    "ShardedEngine",
     "Thresholds",
     "TimelineRecorder",
     "UnexplainedAnnotationFinder",
@@ -163,6 +167,7 @@ __all__ = [
     "evaluate_rule",
     "explain_rule",
     "maximal_itemsets",
+    "modulo_partitioner",
     "persistence",
     "query",
     "register_backend",

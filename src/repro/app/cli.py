@@ -58,11 +58,13 @@ class CommandLoop:
                  *,
                  backend: str = DEFAULT_BACKEND,
                  counter: str = "auto",
-                 auto_flush_every: int | None = None) -> None:
+                 auto_flush_every: int | None = None,
+                 shards: int = 1) -> None:
         self._read = read
         self._write = write
         self.session = Session(backend=backend, counter=counter,
-                               auto_flush_every=auto_flush_every)
+                               auto_flush_every=auto_flush_every,
+                               shards=shards)
 
     # -- prompting helpers ----------------------------------------------------
 
@@ -340,7 +342,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="queue update files and apply them as one "
                              "coalesced batch once N are pending "
                              "(default: apply each file immediately)")
+    parser.add_argument("--shards", metavar="N", type=int, default=1,
+                        help="hash-partition the relation into N shard "
+                             "engines mined concurrently and merged "
+                             "exactly (default: 1, monolithic)")
     args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
 
     try:
         if args.commands:
@@ -348,14 +356,16 @@ def main(argv: list[str] | None = None) -> int:
                 lines = [line.rstrip("\n") for line in handle]
             loop = CommandLoop(_scripted_reader(lines), print,
                                backend=args.backend, counter=args.counter,
-                               auto_flush_every=args.auto_flush_every)
+                               auto_flush_every=args.auto_flush_every,
+                               shards=args.shards)
         else:
             def read(prompt: str) -> str:
                 return input(prompt)
 
             loop = CommandLoop(read, print, backend=args.backend,
                                counter=args.counter,
-                               auto_flush_every=args.auto_flush_every)
+                               auto_flush_every=args.auto_flush_every,
+                               shards=args.shards)
         return loop.run(args.dataset)
     except (ReproError, FileNotFoundError) as error:
         print(f"fatal: {error}", file=sys.stderr)

@@ -42,7 +42,12 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.catalog import CatalogQuery, RuleCatalog
 from repro.core.config import EngineConfig
-from repro.core.engine import CorrelationEngine, RuleSignature, VerificationResult
+from repro.core.engine import (
+    CorrelationEngine,
+    RuleSignature,
+    VerificationResult,
+    engine as build_engine,
+)
 from repro.core.events import UpdateEvent
 from repro.core.maintenance import BatchReport, MaintenanceReport
 from repro.core.rules import AssociationRule, RuleKind
@@ -229,8 +234,10 @@ class CorrelationService:
         with self._registry_lock:
             if name in self._hosted:
                 raise SessionError(f"session {name!r} already exists")
+        # The factory dispatches on ``config.shards``, so a session over
+        # a sharded engine is served through the identical facade.
         hosted = _Hosted(name=name,
-                         engine=CorrelationEngine(relation, config))
+                         engine=build_engine(relation, config))
         # Mine before publishing: a failed mine must not leave a broken
         # session squatting on the name (nobody can reach it yet, so no
         # write lock is needed).

@@ -15,7 +15,7 @@ import os
 
 from repro.core.catalog import RuleCatalog
 from repro.core.config import EngineConfig
-from repro.core.engine import CorrelationEngine
+from repro.core.engine import CorrelationEngine, engine as build_engine
 from repro.core.events import (
     AddAnnotatedTuples,
     AddUnannotatedTuples,
@@ -51,11 +51,14 @@ class Session:
 
     def __init__(self, *, backend: str = DEFAULT_BACKEND,
                  counter: str = "auto",
-                 auto_flush_every: int | None = None) -> None:
+                 auto_flush_every: int | None = None,
+                 shards: int = 1) -> None:
         if auto_flush_every is not None and auto_flush_every < 1:
             raise SessionError(
                 f"auto_flush_every must be >= 1 or None, "
                 f"got {auto_flush_every}")
+        if shards < 1:
+            raise SessionError(f"shards must be >= 1, got {shards}")
         self.relation: AnnotatedRelation | None = None
         self.manager: CorrelationEngine | None = None
         self.generalizer: Generalizer | None = None
@@ -63,6 +66,7 @@ class Session:
         self.backend = backend
         self.counter = counter
         self.auto_flush_every = auto_flush_every
+        self.shards = shards
         self.pending_updates: list[UpdateEvent] = []
 
     # -- dataset -----------------------------------------------------------
@@ -125,8 +129,9 @@ class Session:
                   .counter(self.counter)
                   .generalizer(self.generalizer)
                   .max_length(max_length)
+                  .shards(self.shards)
                   .build())
-        self.manager = CorrelationEngine(relation, config)
+        self.manager = build_engine(relation, config)
         return self.manager.mine()
 
     def rules_of_kind(self, kind: RuleKind) -> list[AssociationRule]:
@@ -292,6 +297,12 @@ class Session:
             "generalizations": (self.generalizer is not None),
             "backend": self.backend,
             "counter": self.counter,
+            # The live manager's actual layout wins over the session
+            # default: a restored v3 snapshot installs its own shard
+            # count (menu option 13), which the next mine() replaces
+            # with the session setting again.
+            "shards": (getattr(self.manager, "shard_count", 1)
+                       if self.manager is not None else self.shards),
             "auto_flush_every": self.auto_flush_every,
             "pending_updates": self.pending(),
             "mined": self.manager is not None,

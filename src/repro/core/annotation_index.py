@@ -32,6 +32,17 @@ class VerticalIndex:
         self._vocabulary = vocabulary
         self._bitmaps = BitmapIndex()
 
+    @classmethod
+    def from_transactions(cls, vocabulary: ItemVocabulary,
+                          transactions) -> "VerticalIndex":
+        """Bulk-build from a transaction list (tid == position) via the
+        bitmap substrate's one-pass constructor — the partitioned
+        encode path uses this instead of per-tuple ``add_transaction``
+        calls."""
+        index = cls(vocabulary)
+        index._bitmaps = BitmapIndex.from_transactions(transactions)
+        return index
+
     # -- maintenance --------------------------------------------------------
 
     def add_transaction(self, tid: int, items: Transaction) -> None:
@@ -52,6 +63,11 @@ class VerticalIndex:
         self.shrink_transaction(tid, items)
 
     # -- queries -------------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> ItemVocabulary:
+        """The vocabulary this index's items are interned in."""
+        return self._vocabulary
 
     def tids(self, item: int) -> frozenset[int]:
         return frozenset(self._bitmaps.tidset(item))

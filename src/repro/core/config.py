@@ -47,6 +47,17 @@ class EngineConfig:
     #: (``None`` = unbounded).  Long-lived served sessions set a bound
     #: so the log rotates instead of growing with the write stream.
     max_log_events: int | None = None
+    #: Number of hash partitions the relation is mined and maintained
+    #: in.  1 (the default) builds the classic monolithic
+    #: :class:`~repro.core.engine.CorrelationEngine`; >= 2 makes the
+    #: :func:`~repro.core.engine.engine` factory (and the serving
+    #: facade) build a :class:`~repro.shard.ShardedEngine` whose rules
+    #: are byte-identical to the monolithic ones (SON-style exact
+    #: merge).
+    shards: int = 1
+    #: Worker threads for the concurrent phase-1 shard mines (``None``
+    #: = min(shards, cpu count)).  Only consulted when ``shards >= 2``.
+    shard_workers: int | None = None
 
     def __post_init__(self) -> None:
         # Thresholds shares its validation; a bad fraction raises here.
@@ -58,6 +69,13 @@ class EngineConfig:
             raise InvalidThresholdError(
                 f"max_log_events must be >= 1 or None, "
                 f"got {self.max_log_events}")
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise InvalidThresholdError(
+                f"shards must be an int >= 1, got {self.shards!r}")
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise InvalidThresholdError(
+                f"shard_workers must be >= 1 or None, "
+                f"got {self.shard_workers}")
         if self.counter not in COUNTER_STRATEGIES:
             raise MiningError(
                 f"unknown counter strategy {self.counter!r}; choose from "
@@ -124,6 +142,14 @@ class EngineConfigBuilder:
 
     def max_log_events(self, bound: int | None) -> "EngineConfigBuilder":
         self._values["max_log_events"] = bound
+        return self
+
+    def shards(self, count: int) -> "EngineConfigBuilder":
+        self._values["shards"] = count
+        return self
+
+    def shard_workers(self, workers: int | None) -> "EngineConfigBuilder":
+        self._values["shard_workers"] = workers
         return self
 
     # -- terminal --------------------------------------------------------------

@@ -281,3 +281,87 @@ def compile_plan(events: Sequence[UpdateEvent],
                   else plan.annotation_removes)
         bucket.setdefault(tid, []).append(annotation_id)
     return plan
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPlacement:
+    """Where one planned insert lands in a partitioned engine."""
+
+    tid: int        #: Global tid the plan assigned.
+    shard: int      #: Partition the tuple hashes to.
+    local_tid: int  #: Tid inside that partition's relation.
+
+
+def split_plan(plan: DeltaPlan,
+               *,
+               locate: Callable[[int], tuple[int, int]],
+               place: Callable[[int], int],
+               next_local_tid: Callable[[int], int],
+               shard_count: int,
+               ) -> tuple[list[list[UpdateEvent]], list[ShardPlacement]]:
+    """Split a compiled plan into per-shard sub-plans.
+
+    Each sub-plan is an ordered event list over the shard's *local* tid
+    space, ready for that shard engine's own ``apply_batch`` (which
+    re-compiles it — cheap, and it keeps every engine-level guard).
+    ``locate(tid)`` maps a pre-existing global tid to ``(shard,
+    local_tid)``; ``place(tid)`` picks the shard of a newly planned
+    global tid; ``next_local_tid(shard)`` is the local tid the shard's
+    next insert will receive.  Returns the sub-plans plus one
+    :class:`ShardPlacement` per planned insert (elided ones included —
+    they consume a local tid just like a global one) so the caller can
+    extend its tid maps.
+
+    The global plan is already coalesced and validated, so the split is
+    a pure re-addressing pass: net annotation ops target pre-existing
+    tuples only (ops on pending inserts were folded into their rows),
+    and a shard's sub-plan replays insert rows, pair ops and deletions
+    in the global plan's order.
+    """
+    inserts: list[list[tuple[tuple[str, ...], frozenset[str]]]] = \
+        [[] for _ in range(shard_count)]
+    adds: list[list[tuple[int, str]]] = [[] for _ in range(shard_count)]
+    removes: list[list[tuple[int, str]]] = [[] for _ in range(shard_count)]
+    deletions: list[list[int]] = [[] for _ in range(shard_count)]
+    placements: list[ShardPlacement] = []
+
+    pending: list[int] = [0] * shard_count
+    for planned in plan.inserts:
+        shard = place(planned.tid)
+        if not 0 <= shard < shard_count:
+            raise DeltaPlanError(
+                f"partitioner placed tid {planned.tid} on shard {shard}, "
+                f"outside 0..{shard_count - 1}")
+        local_tid = next_local_tid(shard) + pending[shard]
+        pending[shard] += 1
+        placements.append(ShardPlacement(
+            tid=planned.tid, shard=shard, local_tid=local_tid))
+        inserts[shard].append((planned.values,
+                               frozenset(planned.annotations)))
+        if planned.elided:
+            deletions[shard].append(local_tid)
+    for tid, annotation_ids in plan.annotation_adds.items():
+        shard, local_tid = locate(tid)
+        adds[shard].extend((local_tid, annotation_id)
+                           for annotation_id in annotation_ids)
+    for tid, annotation_ids in plan.annotation_removes.items():
+        shard, local_tid = locate(tid)
+        removes[shard].extend((local_tid, annotation_id)
+                              for annotation_id in annotation_ids)
+    for tid in plan.deletions:
+        shard, local_tid = locate(tid)
+        deletions[shard].append(local_tid)
+
+    sub_plans: list[list[UpdateEvent]] = []
+    for shard in range(shard_count):
+        events: list[UpdateEvent] = []
+        if inserts[shard]:
+            events.append(AddAnnotatedTuples.build(inserts[shard]))
+        if adds[shard]:
+            events.append(AddAnnotations.build(adds[shard]))
+        if removes[shard]:
+            events.append(RemoveAnnotations.build(removes[shard]))
+        if deletions[shard]:
+            events.append(RemoveTuples.build(deletions[shard]))
+        sub_plans.append(events)
+    return sub_plans, placements

@@ -38,6 +38,7 @@ from __future__ import annotations
 import itertools
 import time
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 
 from repro.core.annotation_index import VerticalIndex
 from repro.core.candidate_store import CandidateRuleStore
@@ -89,13 +90,49 @@ RuleSignature = tuple[str, tuple[str, ...], str, int, int, int]
 def engine(relation: AnnotatedRelation | None = None,
            config: EngineConfig | None = None,
            **overrides) -> "CorrelationEngine":
-    """Build a :class:`CorrelationEngine` — the one-call public entry.
+    """Build a correlation engine — the one-call public entry.
 
     ``overrides`` are :class:`EngineConfig` fields; they either build a
     config from scratch (``repro.engine(rel, min_support=0.2,
     min_confidence=0.6, backend="eclat")``) or refine a given one.
+
+    With ``shards >= 2`` in the config the factory returns a
+    :class:`~repro.shard.ShardedEngine` — a drop-in
+    :class:`CorrelationEngine` subclass that partitions the relation by
+    tid, mines/maintains the partitions independently, and merges them
+    exactly (identical rules and ``signature()``).
     """
-    return CorrelationEngine(relation, config, **overrides)
+    if config is None:
+        config = EngineConfig(**overrides)
+    elif overrides:
+        config = config.replace(**overrides)
+    if config.shards > 1:
+        from repro.shard import ShardedEngine  # local: shard imports us
+
+        return ShardedEngine(relation, config)
+    return CorrelationEngine(relation, config)
+
+
+@dataclass(frozen=True)
+class EncodedSubstrate:
+    """A pre-built mining substrate :meth:`CorrelationEngine.mine` can
+    adopt instead of encoding the relation tuple by tuple.
+
+    The sharded path builds one per partition in a single bulk pass
+    (token -> id caching, no per-occurrence ``Item`` construction), so
+    shard mines skip the engine's per-tuple encode loop entirely.  The
+    database and index must be built against the engine's *own*
+    vocabulary and aligned with its relation (transaction index == tid,
+    tombstones encoded as empty transactions, index covering exactly
+    the database's transactions).  :meth:`CorrelationEngine.mine`
+    verifies the vocabulary identity of both halves and the
+    database/relation alignment; index/database agreement is the
+    builder's contract (:func:`repro.shard.partition.build_substrate`
+    derives both from one transaction list).
+    """
+
+    database: TransactionDatabase
+    index: VerticalIndex
 
 
 class CorrelationEngine:
@@ -104,6 +141,8 @@ class CorrelationEngine:
     def __init__(self,
                  relation: AnnotatedRelation | None = None,
                  config: EngineConfig | None = None,
+                 *,
+                 vocabulary: ItemVocabulary | None = None,
                  **overrides) -> None:
         if config is None:
             config = EngineConfig(**overrides)
@@ -114,7 +153,12 @@ class CorrelationEngine:
         self.thresholds = config.thresholds()
         self._backend: MiningBackend = get_backend(config.backend)
 
-        self.vocabulary = ItemVocabulary()
+        # A caller-supplied vocabulary lets several engines share one
+        # interning space — the sharded engine gives every partition
+        # (and its own merged table) the same vocabulary so itemset ids
+        # are comparable across shards without translation.
+        self.vocabulary = vocabulary if vocabulary is not None \
+            else ItemVocabulary()
         self.database = TransactionDatabase(self.vocabulary)
         self.index = VerticalIndex(self.vocabulary)
         self.table = FrequentPatternTable(self.vocabulary)
@@ -233,32 +277,74 @@ class CorrelationEngine:
 
     # -- initial mining --------------------------------------------------------
 
-    def mine(self) -> MaintenanceReport:
+    def mine(self, *,
+             substrate: EncodedSubstrate | None = None) -> MaintenanceReport:
         """From-scratch pass: encode, apply generalizations, run the
-        backend's constrained miner at the margined floor, derive rules."""
+        backend's constrained miner at the margined floor, derive rules.
+
+        A pre-built :class:`EncodedSubstrate` (the sharded bulk-encode
+        path) replaces the per-tuple encode loop; its caller owns label
+        application, so the generalizer pass is skipped with it too.
+        """
         started = time.perf_counter()
-        if self.generalizer is not None:
-            for row in self.relation:
-                self.relation.set_labels(
-                    row.tid, self.generalizer.labels_for(row.annotation_ids))
+        if substrate is not None:
+            if (substrate.database.vocabulary is not self.vocabulary
+                    or substrate.index.vocabulary is not self.vocabulary):
+                raise MaintenanceError(
+                    "substrate was encoded against a different vocabulary "
+                    "than this engine's")
+            if len(substrate.database) != self.relation.tid_range:
+                raise MaintenanceError(
+                    f"substrate covers {len(substrate.database)} "
+                    f"transactions but the relation has tid range "
+                    f"{self.relation.tid_range}")
+            self.database = substrate.database
+            self.index = substrate.index
+        else:
+            if self.generalizer is not None:
+                for row in self.relation:
+                    self.relation.set_labels(
+                        row.tid,
+                        self.generalizer.labels_for(row.annotation_ids))
 
-        self.database = TransactionDatabase(self.vocabulary)
-        self.index = VerticalIndex(self.vocabulary)
-        for tid in range(self.relation.tid_range):
-            if self.relation.is_live(tid):
-                transaction = encode_tuple(self.relation, tid, self.vocabulary)
-            else:
-                transaction = frozenset()
-            self.database.add(transaction)
-            self.index.add_transaction(tid, transaction)
+            self.database = TransactionDatabase(self.vocabulary)
+            self.index = VerticalIndex(self.vocabulary)
+            for tid in range(self.relation.tid_range):
+                if self.relation.is_live(tid):
+                    transaction = encode_tuple(self.relation, tid,
+                                               self.vocabulary)
+                else:
+                    transaction = frozenset()
+                self.database.add(transaction)
+                self.index.add_transaction(tid, transaction)
 
-        counts = self._backend.mine_initial(
-            self.database.transactions,
-            min_count=self.thresholds.keep_count(self.db_size),
-            constraint=self.constraint,
-            counter=self.counter,
-            max_length=self.max_length,
-        )
+        if substrate is not None:
+            # A pre-encoded substrate mines on its native vertical
+            # path: the bitmap index is already built, and every
+            # backend honours the identical table contract (each
+            # constraint-admitted itemset at/above the floor with its
+            # exact count), so the result is the same table the
+            # configured backend would produce.  The backend choice
+            # still governs all incremental maintenance.
+            from repro.mining.eclat import (  # local: avoid miner cycle
+                mine_frequent_itemsets_vertical,
+            )
+
+            counts = mine_frequent_itemsets_vertical(
+                self.database.transactions,
+                min_count=self.thresholds.keep_count(self.db_size),
+                constraint=self.constraint,
+                max_length=self.max_length,
+                index=self.index.as_mapping(),
+            )
+        else:
+            counts = self._backend.mine_initial(
+                self.database.transactions,
+                min_count=self.thresholds.keep_count(self.db_size),
+                constraint=self.constraint,
+                counter=self.counter,
+                max_length=self.max_length,
+            )
         self.table.replace(counts)
         self._mined = True
         self._relation_version = self.relation.version
@@ -302,12 +388,14 @@ class CorrelationEngine:
         batch = self.apply_batch([event])
         report = MaintenanceReport(event=event_label(event),
                                    db_size=batch.db_size)
-        if batch.case_reports:
-            case = batch.case_reports[0]
-            report.patterns_touched = case.patterns_touched
-            report.patterns_added = case.patterns_added
-            report.patterns_pruned = case.patterns_pruned
-            report.tuples_scanned = case.tuples_scanned
+        # One event exercises one case, but a sharded engine emits one
+        # case report per *touched shard* — aggregate them all so the
+        # per-event statistics match per-event application everywhere.
+        for case in batch.case_reports:
+            report.patterns_touched += case.patterns_touched
+            report.patterns_added += case.patterns_added
+            report.patterns_pruned += case.patterns_pruned
+            report.tuples_scanned += case.tuples_scanned
         report.rules_added = batch.rules_added
         report.rules_dropped = batch.rules_dropped
         report.rules_updated = batch.rules_updated

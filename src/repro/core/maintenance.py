@@ -103,6 +103,9 @@ class BatchReport:
     validation_seconds: float = 0.0
     #: Distinct patterns the dirty-scoped rule refresh re-derived from.
     patterns_dirty: int = 0
+    #: Partitions a sharded engine routed sub-plans to (0 on the
+    #: monolithic engine).
+    shards_touched: int = 0
     rules_added: list[AssociationRule] = field(default_factory=list)
     rules_dropped: list[RuleKey] = field(default_factory=list)
     rules_updated: int = 0

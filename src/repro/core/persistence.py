@@ -19,6 +19,14 @@ Format version 2 additionally records the engine's rule-state
 the revision, pre-builds the catalog (so a restored engine serves its
 first read from warm indexes) and verifies the rebuilt shape against
 the saved one.  Version-1 documents (without those fields) still load.
+
+Format version 3 adds the shard layout of a partitioned engine
+(:class:`~repro.shard.ShardedEngine`): shard count, worker setting and
+the tid -> shard assignment.  :func:`restore` rebuilds a sharded engine
+with the identical layout, so the partition a session was running with
+survives a restart bit for bit (future inserts on a restored custom
+layout fall back to the default modulo scheme).  Monolithic snapshots
+simply omit the key; version-1 and -2 documents still load.
 """
 
 from __future__ import annotations
@@ -34,9 +42,10 @@ from repro.relation.annotation import Annotation
 from repro.relation.relation import AnnotatedRelation
 from repro.relation.schema import Schema
 
-FORMAT_VERSION = 2
-#: Versions :func:`restore` accepts; 1 lacks the revision/catalog keys.
-SUPPORTED_VERSIONS = (1, 2)
+FORMAT_VERSION = 3
+#: Versions :func:`restore` accepts; 1 lacks the revision/catalog keys,
+#: 2 lacks the shard layout.
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def snapshot(manager: CorrelationEngine) -> dict:
@@ -72,7 +81,7 @@ def snapshot(manager: CorrelationEngine) -> dict:
         }
         for itemset, count in sorted(manager.table.entries())
     ]
-    return {
+    document = {
         "format_version": FORMAT_VERSION,
         "thresholds": {
             "min_support": manager.thresholds.min_support,
@@ -92,6 +101,15 @@ def snapshot(manager: CorrelationEngine) -> dict:
         "engine_revision": manager.revision,
         "catalog": manager.catalog().stats.as_dict(),
     }
+    from repro.shard import ShardedEngine  # local: shard imports core
+
+    if isinstance(manager, ShardedEngine):
+        document["shards"] = {
+            "count": manager.shard_count,
+            "workers": manager.config.shard_workers,
+            "assignment": manager.assignment(),
+        }
+    return document
 
 
 def _token_ref(manager: CorrelationEngine, item_id: int) -> list:
@@ -141,14 +159,19 @@ def restore(document: dict, *, generalizer=None) -> CorrelationEngine:
         relation.delete(tid)
 
     thresholds = document["thresholds"]
-    manager = CorrelationEngine(relation, EngineConfig(
+    config = EngineConfig(
         min_support=thresholds["min_support"],
         min_confidence=thresholds["min_confidence"],
         margin=thresholds["margin"],
         backend=document.get("backend", DEFAULT_BACKEND),
         max_length=document.get("max_length"),
         generalizer=generalizer,
-    ))
+    )
+    sharding = document.get("shards")
+    if sharding is not None:
+        manager = _restore_sharded(relation, config, sharding)
+    else:
+        manager = CorrelationEngine(relation, config)
     manager.mine()
     _verify_table(manager, document)
     revision = document.get("engine_revision")
@@ -164,6 +187,42 @@ def restore(document: dict, *, generalizer=None) -> CorrelationEngine:
         manager.adopt_revision(revision)
     _verify_catalog(manager, document)
     return manager
+
+
+def _restore_sharded(relation: AnnotatedRelation, config: EngineConfig,
+                     sharding: dict) -> CorrelationEngine:
+    """Rebuild a sharded engine with the snapshot's exact shard layout."""
+    from repro.shard import ShardedEngine  # local: shard imports core
+
+    count = sharding.get("count")
+    if not isinstance(count, int) or count < 1:
+        raise FormatError(
+            f"snapshot shard layout has invalid count {count!r}")
+    assignment = sharding.get("assignment")
+    if not isinstance(assignment, list):
+        raise FormatError("snapshot shard layout is missing its "
+                          "tid assignment")
+    if any(shard is not None and not (isinstance(shard, int)
+                                      and 0 <= shard < count)
+           for shard in assignment):
+        raise FormatError(
+            f"snapshot shard assignment names shards outside 0..{count - 1}")
+    workers = sharding.get("workers")
+    if workers is not None and not (isinstance(workers, int)
+                                    and workers >= 1):
+        raise FormatError(
+            f"snapshot shard layout has invalid workers {workers!r}")
+
+    def partitioner(tid: int) -> int:
+        if tid < len(assignment) and assignment[tid] is not None:
+            return assignment[tid]
+        return tid % count
+
+    return ShardedEngine(
+        relation,
+        config.replace(shards=count,
+                       shard_workers=sharding.get("workers")),
+        partitioner=partitioner)
 
 
 def load(path: str | os.PathLike, *, generalizer=None

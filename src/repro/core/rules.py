@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, replace
 import enum
+import warnings
 
 from repro.errors import ItemKindError
 from repro.mining.itemsets import ItemVocabulary, Itemset, canonical
@@ -170,18 +171,30 @@ class RuleSet:
     def mentioning(self, item: int) -> list[AssociationRule]:
         """Rules whose LHS or RHS contains ``item``.
 
-        Deprecated in hot paths — query the engine's ``catalog()``
-        instead, which is memoized across rule-set replacements.
+        Deprecated — query the engine's ``catalog()`` instead, which is
+        memoized across rule-set replacements.
         """
+        self._warn_deprecated("mentioning")
         return list(self.catalog().mentioning(item))
 
     def of_kind(self, kind: RuleKind) -> list[AssociationRule]:
-        """Deprecated in hot paths — prefer ``catalog().of_kind``."""
+        """Deprecated — prefer ``catalog().of_kind``."""
+        self._warn_deprecated("of_kind")
         return list(self.catalog().of_kind(kind))
 
     def with_rhs(self, rhs: int) -> list[AssociationRule]:
-        """Deprecated in hot paths — prefer ``catalog().with_rhs``."""
+        """Deprecated — prefer ``catalog().with_rhs``."""
+        self._warn_deprecated("with_rhs")
         return list(self.catalog().with_rhs(rhs))
+
+    @staticmethod
+    def _warn_deprecated(name: str) -> None:
+        # stacklevel 3: point past this helper and the deprecated
+        # method at the caller that should migrate.
+        warnings.warn(
+            f"RuleSet.{name}() is deprecated; query the engine's "
+            f"revision-memoized catalog() instead (RuleCatalog.{name})",
+            DeprecationWarning, stacklevel=3)
 
     def keys(self) -> set[RuleKey]:
         return set(self._rules)

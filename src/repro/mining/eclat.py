@@ -65,17 +65,24 @@ def mine_frequent_itemsets_vertical(transactions: Sequence[Transaction],
                                     *,
                                     min_count: int,
                                     constraint: CandidateConstraint | None = None,
-                                    max_length: int | None = None
+                                    max_length: int | None = None,
+                                    index: Mapping[int, Tidset] | None = None,
                                     ) -> dict[Itemset, int]:
     """Eclat over a horizontal database; same contract as the Apriori miner.
 
     The database is indexed into bitmaps first, so every intersection in
-    the depth-first search is one big-int ``&`` plus a popcount.
+    the depth-first search is one big-int ``&`` plus a popcount.  A
+    caller that already maintains that index (the partitioned-substrate
+    mine path) passes it via ``index`` and skips the rebuild; it must
+    cover exactly ``transactions`` *after* the constraint's projection
+    (the engine-side constraint projects nothing, so its maintained
+    index qualifies as-is).
     """
     constraint = constraint if constraint is not None else UnrestrictedConstraint()
-    projected = [constraint.project(transaction)
-                 for transaction in transactions]
-    index = BitmapIndex.from_transactions(projected).as_mapping()
+    if index is None:
+        projected = [constraint.project(transaction)
+                     for transaction in transactions]
+        index = BitmapIndex.from_transactions(projected).as_mapping()
     out: dict[Itemset, int] = {}
     extensions = [
         (item, tids)

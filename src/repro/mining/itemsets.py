@@ -166,6 +166,22 @@ class TransactionDatabase:
 
     # -- construction ------------------------------------------------------
 
+    @classmethod
+    def from_encoded(cls, vocabulary: ItemVocabulary,
+                     transactions: Iterable[Transaction]
+                     ) -> "TransactionDatabase":
+        """Trusted bulk constructor for already-encoded transactions.
+
+        The caller guarantees every id was issued by ``vocabulary`` and
+        every transaction is a frozenset — the contract of a bulk
+        encoder that interned the ids itself.  Skipping the per-id
+        validation of :meth:`add` is what makes partition-substrate
+        construction scale with tokens, not with vocabulary probes.
+        """
+        database = cls(vocabulary)
+        database._transactions = list(transactions)
+        return database
+
     def add(self, item_ids: Iterable[int]) -> int:
         """Append a transaction of already-interned ids; returns its tid."""
         transaction = frozenset(item_ids)

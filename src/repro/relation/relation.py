@@ -205,6 +205,29 @@ class AnnotatedRelation:
 
     # -- copying -------------------------------------------------------------
 
+    def subset(self, tids: Iterable[int]) -> "AnnotatedRelation":
+        """A fresh relation holding copies of the given live tuples.
+
+        Tuples are renumbered densely in the order of ``tids`` (the
+        shard-local tid space of a partitioned engine).  The annotation
+        registry is copied whole so annotation metadata survives;
+        triggers, like in :meth:`copy`, do not carry over.
+        """
+        clone = AnnotatedRelation(self.schema, name=self.name)
+        for annotation in self.registry:
+            clone.registry.register(annotation)
+        for local_tid, tid in enumerate(tids):
+            row = self.tuple(tid)
+            clone._tuples.append(AnnotatedTuple(
+                tid=local_tid,
+                values=row.values,
+                annotations=dict(row.annotations),
+                labels=set(row.labels),
+                alive=True,
+            ))
+        clone._live = len(clone._tuples)
+        return clone
+
     def copy(self) -> "AnnotatedRelation":
         """Deep copy of data, annotations and labels (not triggers).
 

@@ -1,0 +1,43 @@
+"""Sharded mining and serving: partitioned engines with exact merge.
+
+``repro.shard`` scales the correlation engine horizontally: the
+relation is hash-partitioned by tid into shard-local engines that mine
+and maintain their slices independently, and a SON-style two-phase
+merge reconstructs the exact global answer — the sharded rules and
+``signature()`` are byte-identical to a monolithic engine's on every
+backend, counter and event stream.
+
+Entry points:
+
+* :class:`ShardedEngine` — the drop-in engine; usually built through
+  ``repro.engine(relation, shards=N)`` or an
+  :class:`~repro.core.config.EngineConfig` with ``shards >= 2``, which
+  the serving facade (:class:`~repro.app.service.CorrelationService`,
+  :class:`~repro.app.session.Session`, the CLI's ``--shards``) passes
+  through transparently;
+* :func:`modulo_partitioner` / custom partitioners — the tid -> shard
+  layout, persisted in snapshot format v3.
+"""
+
+from repro.shard.engine import ShardedEngine
+from repro.shard.partition import (
+    Partitioner,
+    TokenInterner,
+    build_substrate,
+    modulo_partitioner,
+    partition_relation,
+    substrates_for,
+)
+from repro.shard.views import ShardDatabaseView, ShardIndexView
+
+__all__ = [
+    "Partitioner",
+    "ShardDatabaseView",
+    "ShardIndexView",
+    "ShardedEngine",
+    "TokenInterner",
+    "build_substrate",
+    "modulo_partitioner",
+    "partition_relation",
+    "substrates_for",
+]

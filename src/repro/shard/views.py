@@ -1,0 +1,136 @@
+"""Global read views over a sharded engine's partitions.
+
+Exploitation, explain, audit and reporting all read two engine
+attributes directly: ``engine.index`` (the vertical index) and
+``engine.database`` (the transaction store), both addressed by global
+tid.  A sharded engine keeps neither globally — each partition owns its
+slice — so these adapters re-expose the shard state behind the same
+read APIs, translating between global and shard-local tids through the
+engine's partition maps.  They are views, not copies: every answer is
+computed from the live shard state at call time, and they expose no
+mutators (all writes flow through the engine's routed plans).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mining.itemsets import Itemset, Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.shard.engine import ShardedEngine
+
+
+class ShardIndexView:
+    """The :class:`~repro.core.annotation_index.VerticalIndex` read API
+    over all partitions, in global tids."""
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: "ShardedEngine") -> None:
+        self._engine = engine
+
+    # -- tid-translating queries ---------------------------------------------
+
+    def tids(self, item: int) -> frozenset[int]:
+        out: list[int] = []
+        for shard, engine in enumerate(self._engine.shard_engines):
+            globals_of = self._engine.global_tids(shard)
+            out.extend(globals_of[local] for local in engine.index.tids(item))
+        return frozenset(out)
+
+    def tids_of_itemset(self, itemset: Itemset) -> set[int]:
+        out: set[int] = set()
+        for shard, engine in enumerate(self._engine.shard_engines):
+            globals_of = self._engine.global_tids(shard)
+            out.update(globals_of[local]
+                       for local in engine.index.tids_of_itemset(itemset))
+        return out
+
+    # -- aggregate counts -----------------------------------------------------
+
+    def frequency(self, item: int) -> int:
+        return sum(engine.index.frequency(item)
+                   for engine in self._engine.shard_engines)
+
+    def count(self, itemset: Itemset, *, db_size: int | None = None) -> int:
+        if not itemset:
+            if db_size is None:
+                raise ValueError(
+                    "db_size required to count the empty itemset")
+            return db_size
+        return sum(engine.index.count(itemset)
+                   for engine in self._engine.shard_engines)
+
+    def annotation_frequencies(self) -> dict[int, int]:
+        merged: dict[int, int] = {}
+        for engine in self._engine.shard_engines:
+            for item, count in engine.index.annotation_frequencies().items():
+                merged[item] = merged.get(item, 0) + count
+        return merged
+
+    def frequent_items(self, min_count: int, *,
+                       annotation_like_only: bool = False) -> list[int]:
+        totals: dict[int, int] = {}
+        for engine in self._engine.shard_engines:
+            for item in engine.index.items():
+                totals[item] = totals.get(item, 0) \
+                    + engine.index.frequency(item)
+        keep = (self._engine.vocabulary.annotation_like_ids()
+                if annotation_like_only else None)
+        return [item for item in sorted(totals)
+                if totals[item] >= min_count
+                and (keep is None or item in keep)]
+
+    def items(self) -> list[int]:
+        merged: set[int] = set()
+        for engine in self._engine.shard_engines:
+            merged.update(engine.index.items())
+        return sorted(merged)
+
+    def __contains__(self, item: int) -> bool:
+        return any(item in engine.index
+                   for engine in self._engine.shard_engines)
+
+
+class ShardDatabaseView:
+    """The :class:`~repro.mining.itemsets.TransactionDatabase` read API
+    over all partitions, in global tids.
+
+    Global tids no shard owns (tuples already tombstoned when the
+    engine partitioned) read as empty transactions, exactly as the
+    monolithic engine encodes them.
+    """
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: "ShardedEngine") -> None:
+        self._engine = engine
+
+    @property
+    def vocabulary(self):
+        return self._engine.vocabulary
+
+    def transaction(self, tid: int) -> Transaction:
+        located = self._engine.locate(tid)
+        if located is None:
+            return frozenset()
+        shard, local_tid = located
+        return self._engine.shard_engines[shard].database.transaction(
+            local_tid)
+
+    @property
+    def transactions(self) -> list[Transaction]:
+        """Materialized global-tid-ordered transaction list (audits)."""
+        return [self.transaction(tid)
+                for tid in range(self._engine.relation.tid_range)]
+
+    def annotation_projection(self) -> list[Transaction]:
+        keep = self._engine.vocabulary.annotation_like_ids()
+        return [transaction & keep for transaction in self.transactions]
+
+    def __len__(self) -> int:
+        return self._engine.relation.tid_range
+
+    def __iter__(self):
+        return iter(self.transactions)

@@ -28,12 +28,12 @@ def files(tmp_path):
     return paths
 
 
-def run_cli(files, answers):
+def run_cli(files, answers, **loop_kwargs):
     """Drive the loop with scripted answers; returns printed lines."""
     answers = iter(answers)
     output = []
     loop = CommandLoop(lambda prompt: next(answers, "0"),
-                       output.append)
+                       output.append, **loop_kwargs)
     code = loop.run(files["data.txt"])
     return code, output
 
@@ -270,6 +270,69 @@ class TestMainEntryPoint:
         captured = capsys.readouterr()
         assert code == 1
         assert "fatal:" in captured.err
+
+    def test_main_accepts_shards(self, files, tmp_path, capsys):
+        script = tmp_path / "ops.txt"
+        script.write_text("1\n0.25\n0.6\n9\n0\n")
+        code = main([files["data.txt"], "--commands", str(script),
+                     "--shards", "3"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "==>" in captured.out
+        assert "shards: 3" in captured.out  # status (option 9)
+
+    def test_main_rejects_bad_shards(self, files, tmp_path, capsys):
+        script = tmp_path / "ops.txt"
+        script.write_text("0\n")
+        with pytest.raises(SystemExit):
+            main([files["data.txt"], "--commands", str(script),
+                  "--shards", "0"])
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+
+class TestShardedMenuFlow:
+    """The full menu drives a sharded manager like a monolithic one."""
+
+    def test_mine_update_recommend_explain_sharded(self, files, tmp_path):
+        rules_out = str(tmp_path / "rules_out.txt")
+        code, output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "4", files["updates.txt"],
+            "7", "5",
+            "14", "1",
+            "15",
+            "8", rules_out,
+            "0",
+        ], shards=2)
+        text = "\n".join(str(line) for line in output)
+        assert code == 0
+        assert "data-to-annotation rule(s)" in text
+        assert "add-annotations" in text
+        assert "lift" in text  # explain served through the shard views
+        # The written rule file matches a monolithic session's output.
+        _, mono_output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "4", files["updates.txt"],
+            "8", rules_out + ".mono",
+            "0",
+        ])
+        sharded_rules = sorted(open(rules_out).read().splitlines())
+        mono_rules = sorted(open(rules_out + ".mono").read().splitlines())
+        assert sharded_rules == mono_rules
+
+    def test_snapshot_round_trip_sharded(self, files, tmp_path):
+        snap = str(tmp_path / "state.json")
+        code, output = run_cli(files, [
+            "1", "0.25", "0.6",
+            "12", snap,
+            "13", snap,
+            "9",
+            "0",
+        ], shards=3)
+        text = "\n".join(str(line) for line in output)
+        assert code == 0
+        assert f"Saved session state to {snap}" in text
+        assert "Restored 8 tuples" in text
 
 
 class TestQueryCommands:

@@ -83,7 +83,7 @@ class TestCase3AddAnnotations:
                                         validate=True)
         manager.mine()
         key = None
-        for rule in manager.rules.of_kind(RuleKind.ANNOTATION_TO_ANNOTATION):
+        for rule in manager.rules_of_kind(RuleKind.ANNOTATION_TO_ANNOTATION):
             if manager.vocabulary.item(rule.rhs).token == "B":
                 key = rule.key
         assert key is not None

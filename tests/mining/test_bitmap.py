@@ -1,6 +1,5 @@
 """Unit tests for the bitmap-backed vertical counting substrate."""
 
-import random
 
 import pytest
 
@@ -28,8 +27,8 @@ class TestBitTidset:
         assert 0 not in tidset and 64 not in tidset
         assert -1 not in tidset
 
-    def test_set_algebra_matches_sets(self):
-        rng = random.Random(5)
+    def test_set_algebra_matches_sets(self, seeds):
+        rng = seeds.rng(5)
         for _ in range(20):
             left = set(rng.sample(range(130), rng.randint(0, 40)))
             right = set(rng.sample(range(130), rng.randint(0, 40)))
@@ -95,10 +94,10 @@ class TestBitmapIndex:
         index.add(1, 3)
         assert 3 in view[1]  # live view reflects maintenance
 
-    def test_matches_set_reference_on_random_databases(self):
+    def test_matches_set_reference_on_random_databases(self, seeds):
         from repro.mining.eclat import build_vertical_index, count_itemset
 
-        rng = random.Random(29)
+        rng = seeds.rng(29)
         for _ in range(10):
             transactions = [
                 frozenset(rng.sample(range(15), rng.randint(0, 8)))

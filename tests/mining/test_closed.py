@@ -1,6 +1,5 @@
 """Unit tests for closed/maximal itemsets and rule compression."""
 
-import random
 
 from repro.core.rules import AssociationRule, RuleKind
 from repro.mining.apriori import mine_frequent_itemsets
@@ -44,8 +43,8 @@ class TestClosed:
         assert (2,) not in closed
         assert (3,) in closed
 
-    def test_matches_brute_force_on_random_tables(self):
-        rng = random.Random(8)
+    def test_matches_brute_force_on_random_tables(self, seeds):
+        rng = seeds.rng(8)
         for trial in range(8):
             transactions = [
                 frozenset(rng.sample(range(8), rng.randint(0, 5)))
@@ -62,8 +61,8 @@ class TestClosed:
 
 
 class TestMaximal:
-    def test_maximal_subset_of_closed(self):
-        rng = random.Random(9)
+    def test_maximal_subset_of_closed(self, seeds):
+        rng = seeds.rng(9)
         transactions = [frozenset(rng.sample(range(8), rng.randint(0, 5)))
                         for _ in range(25)]
         table = mine_frequent_itemsets(transactions, min_count=2)
@@ -71,8 +70,8 @@ class TestMaximal:
         closed = closed_itemsets(table)
         assert set(maximal) <= set(closed)
 
-    def test_matches_brute_force(self):
-        rng = random.Random(10)
+    def test_matches_brute_force(self, seeds):
+        rng = seeds.rng(10)
         transactions = [frozenset(rng.sample(range(7), rng.randint(0, 5)))
                         for _ in range(20)]
         table = mine_frequent_itemsets(transactions, min_count=2)

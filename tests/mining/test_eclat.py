@@ -1,6 +1,5 @@
 """Unit tests for vertical (tidset) mining and seeded search."""
 
-import random
 
 import pytest
 
@@ -55,8 +54,8 @@ class TestEclatAgreesWithApriori:
         vertical = mine_frequent_itemsets_vertical(TRANSACTIONS, min_count=2)
         assert horizontal == vertical
 
-    def test_random_databases(self):
-        rng = random.Random(71)
+    def test_random_databases(self, seeds):
+        rng = seeds.rng(71)
         for trial in range(8):
             transactions = [
                 frozenset(rng.sample(range(12), rng.randint(0, 7)))

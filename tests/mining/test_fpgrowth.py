@@ -1,6 +1,5 @@
 """Unit tests for the FP-growth backend."""
 
-import random
 
 from repro.mining.apriori import mine_frequent_itemsets
 from repro.mining.constraints import (
@@ -27,8 +26,8 @@ class TestAgainstApriori:
         assert mine_frequent_itemsets_fp(TRANSACTIONS, min_count=1) \
             == mine_frequent_itemsets(TRANSACTIONS, min_count=1)
 
-    def test_random_databases(self):
-        rng = random.Random(99)
+    def test_random_databases(self, seeds):
+        rng = seeds.rng(99)
         for trial in range(10):
             transactions = [
                 frozenset(rng.sample(range(10), rng.randint(0, 6)))

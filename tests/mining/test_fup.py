@@ -1,6 +1,5 @@
 """Unit tests for the FUP-style insert maintenance."""
 
-import random
 
 import pytest
 
@@ -50,8 +49,8 @@ class TestFupEquivalence:
         assert table == mine_directly(base + increment, 0.4)
         assert (1, 2) not in table
 
-    def test_random_equivalence(self):
-        rng = random.Random(17)
+    def test_random_equivalence(self, seeds):
+        rng = seeds.rng(17)
         for trial in range(12):
             base = [frozenset(rng.sample(range(8), rng.randint(0, 5)))
                     for _ in range(rng.randint(4, 25))]

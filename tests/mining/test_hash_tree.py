@@ -1,7 +1,6 @@
 """Unit tests for the hash-tree candidate counter."""
 
 import itertools
-import random
 
 import pytest
 
@@ -52,19 +51,19 @@ class TestCounting:
         tree.count_transaction(frozenset({1, 2}))
         assert tree.result() == {(1, 2, 3): 0}
 
-    def test_forced_splits_still_exact(self):
+    def test_forced_splits_still_exact(self, seeds):
         # Tiny leaves force deep splits including same-bucket collisions.
         universe = list(range(30))
         candidates = list(itertools.combinations(universe[:12], 3))
-        rng = random.Random(5)
+        rng = seeds.rng(5)
         transactions = [frozenset(rng.sample(universe, 9))
                         for _ in range(60)]
         tree = HashTree(candidates, fanout=3, max_leaf_size=1)
         assert tree.count_all(transactions) == brute_force_counts(
             candidates, transactions)
 
-    def test_random_against_brute_force(self):
-        rng = random.Random(13)
+    def test_random_against_brute_force(self, seeds):
+        rng = seeds.rng(13)
         universe = list(range(25))
         for trial in range(5):
             length = rng.randint(2, 4)

@@ -1,7 +1,6 @@
 """Unit tests for itemset-table helpers (subset walks, closure checks)."""
 
 import itertools
-import random
 
 from repro.mining.apriori import mine_frequent_itemsets
 from repro.mining.tables import (
@@ -41,8 +40,8 @@ class TestIterTableSubsets:
                                       required_items=frozenset({2}))) \
             == {(2,), (1, 2)}
 
-    def test_exhaustive_against_brute_force(self):
-        rng = random.Random(3)
+    def test_exhaustive_against_brute_force(self, seeds):
+        rng = seeds.rng(3)
         for trial in range(10):
             transactions = [
                 frozenset(rng.sample(range(10), rng.randint(0, 6)))

@@ -9,8 +9,6 @@ lifted to the batched write path, across every backend and both
 counting substrates.
 """
 
-import random
-
 import pytest
 
 from repro.core.engine import engine
@@ -43,9 +41,10 @@ def mined_engine(relation, backend, counter):
 @pytest.mark.parametrize("backend", available_backends())
 @pytest.mark.parametrize("counter", COUNTERS)
 @pytest.mark.parametrize("seed", SEEDS)
-def test_batching_boundaries_do_not_change_the_rules(backend, counter, seed):
+def test_batching_boundaries_do_not_change_the_rules(backend, counter, seed,
+                                                     seeds):
     relation = make_relation()
-    events = drawn_events(relation, count=10, seed=seed)
+    events = drawn_events(relation, count=10, seed=seeds.seed(seed))
 
     per_event = mined_engine(relation, backend, counter)
     for event in events:
@@ -55,7 +54,7 @@ def test_batching_boundaries_do_not_change_the_rules(backend, counter, seed):
     one_batch.apply_batch(events)
 
     split = mined_engine(relation, backend, counter)
-    rng = random.Random(seed * 31 + 7)
+    rng = seeds.rng(seed * 31 + 7)
     cut_count = rng.randint(1, min(3, len(events) - 1))
     cuts = sorted(rng.sample(range(1, len(events)), cut_count))
     for start, stop in zip([0, *cuts], [*cuts, len(events)]):
@@ -73,13 +72,13 @@ def test_batching_boundaries_do_not_change_the_rules(backend, counter, seed):
 
 
 @pytest.mark.parametrize("backend", available_backends())
-def test_heavier_annotation_stream_one_batch(backend):
+def test_heavier_annotation_stream_one_batch(backend, seeds):
     """An annotation-dominated stream (the paper's Case 3) applied as
     one deep batch — the serving hot path of the flush pipeline."""
     relation = make_relation()
     shadow = relation.copy()
     stream = EventStream(shadow, StreamConfig(
-        seed=59, batch_size=3,
+        seed=seeds.seed(59), batch_size=3,
         weight_add_annotations=8.0,
         weight_insert_annotated=1.0,
         weight_insert_unannotated=0.5,

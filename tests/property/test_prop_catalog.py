@@ -9,8 +9,6 @@ pagination, and composed filters — against brute force over the same
 rules with the same tie-breaks.
 """
 
-import random
-
 import pytest
 
 from repro.core.catalog import METRICS, metric_key
@@ -44,8 +42,9 @@ def maintained_engine(backend, counter, seed):
 @pytest.mark.parametrize("backend", available_backends())
 @pytest.mark.parametrize("counter", COUNTERS)
 @pytest.mark.parametrize("seed", SEEDS)
-def test_every_catalog_query_equals_linear_scan(backend, counter, seed):
-    eng = maintained_engine(backend, counter, seed)
+def test_every_catalog_query_equals_linear_scan(backend, counter, seed,
+                                               seeds):
+    eng = maintained_engine(backend, counter, seeds.seed(seed))
     catalog = eng.catalog()
     rules = list(eng.rules)
     context = f"(backend={backend}, counter={counter}, seed={seed})"
@@ -82,11 +81,11 @@ def test_every_catalog_query_equals_linear_scan(backend, counter, seed):
 @pytest.mark.parametrize("counter", COUNTERS)
 @pytest.mark.parametrize("seed", SEEDS)
 def test_paged_and_composed_queries_equal_linear_scan(backend, counter,
-                                                      seed):
-    eng = maintained_engine(backend, counter, seed)
+                                                      seed, seeds):
+    eng = maintained_engine(backend, counter, seeds.seed(seed))
     catalog = eng.catalog()
     rules = list(eng.rules)
-    rng = random.Random(seed * 13 + 1)
+    rng = seeds.rng(seed * 13 + 1)
     context = f"(backend={backend}, counter={counter}, seed={seed})"
 
     # Random pages over each metric ordering re-join into the whole.

@@ -50,9 +50,10 @@ def test_valid_and_near_miss_are_disjoint(rule, thresholds):
 @settings(max_examples=50, deadline=None)
 def test_ruleset_mentioning_index_consistent(rules):
     rule_set = RuleSet(rules)
+    catalog = rule_set.catalog()
     for rule in rule_set:
         for item in rule.union_itemset:
-            assert rule.key in {r.key for r in rule_set.mentioning(item)}
+            assert rule.key in {r.key for r in catalog.mentioning(item)}
 
 
 @given(rules=st.lists(rule_strategy(), max_size=15))
@@ -63,9 +64,10 @@ def test_ruleset_discard_restores_emptiness(rules):
         rule_set.discard(key)
     assert len(rule_set) == 0
     # The inverted index must be fully cleaned up.
+    catalog = rule_set.catalog()
     for rule in rules:
         for item in rule.union_itemset:
-            assert rule_set.mentioning(item) == []
+            assert catalog.mentioning(item) == ()
 
 
 @given(rules=st.lists(rule_strategy(), max_size=15))

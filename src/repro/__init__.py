@@ -90,6 +90,7 @@ from repro.exploitation.removal import (
     UnexplainedAnnotationFinder,
 )
 from repro.app.session import Session
+from repro.server import CorrelationServer, ServerConfig
 
 __version__ = "1.0.0"
 
@@ -110,6 +111,7 @@ __all__ = [
     "CatalogQuery",
     "CatalogStats",
     "CorrelationEngine",
+    "CorrelationServer",
     "CorrelationService",
     "DeltaPlan",
     "DeltaPlanError",
@@ -152,6 +154,7 @@ __all__ = [
     "RuleKind",
     "RuleSet",
     "Schema",
+    "ServerConfig",
     "Session",
     "ShardedEngine",
     "Thresholds",

@@ -35,10 +35,12 @@ Concurrency model, per session:
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.core.catalog import CatalogQuery, RuleCatalog
 from repro.core.config import EngineConfig
@@ -52,7 +54,11 @@ from repro.core.events import UpdateEvent
 from repro.core.maintenance import BatchReport, MaintenanceReport
 from repro.core.rules import AssociationRule, RuleKind
 from repro.errors import SessionError
+from repro.mining.itemsets import ItemVocabulary
 from repro.relation.relation import AnnotatedRelation
+
+if TYPE_CHECKING:  # the app layer never imports the server at runtime
+    from repro.server.metrics import ServiceInstrumentation
 
 
 @dataclass(frozen=True)
@@ -186,6 +192,9 @@ class _Hosted:
 
     name: str
     engine: CorrelationEngine
+    #: The config the engine was built from (per-session override or
+    #: the service default) — surfaced to status consumers.
+    config: EngineConfig | None = None
     lock: ReadWriteLock = field(default_factory=ReadWriteLock)
     queue_lock: threading.Lock = field(default_factory=threading.Lock)
     queue: deque[UpdateEvent] = field(default_factory=deque)
@@ -208,13 +217,21 @@ class CorrelationService:
 
     def __init__(self, *,
                  config: EngineConfig | None = None,
-                 auto_flush_every: int | None = None) -> None:
+                 auto_flush_every: int | None = None,
+                 instrumentation: "ServiceInstrumentation | None" = None
+                 ) -> None:
         if auto_flush_every is not None and auto_flush_every < 1:
             raise SessionError(
                 f"auto_flush_every must be >= 1 or None, "
                 f"got {auto_flush_every}")
         self._default_config = config
         self._auto_flush_every = auto_flush_every
+        #: Optional metric sink (the serving tier threads in a
+        #: :class:`repro.server.metrics.ServiceInstrumentation`); the
+        #: service only ever calls ``inc``/``observe`` on it, so any
+        #: object with that surface works and ``None`` costs one
+        #: branch per instrumented operation.
+        self._instrumentation = instrumentation
         self._registry_lock = threading.Lock()
         self._hosted: dict[str, _Hosted] = {}
 
@@ -237,7 +254,8 @@ class CorrelationService:
         # The factory dispatches on ``config.shards``, so a session over
         # a sharded engine is served through the identical facade.
         hosted = _Hosted(name=name,
-                         engine=build_engine(relation, config))
+                         engine=build_engine(relation, config),
+                         config=config)
         # Mine before publishing: a failed mine must not leave a broken
         # session squatting on the name (nobody can reach it yet, so no
         # write lock is needed).
@@ -254,10 +272,28 @@ class CorrelationService:
         with self._registry_lock:
             return tuple(sorted(self._hosted))
 
-    def drop(self, name: str) -> None:
+    def drop(self, name: str, *, force: bool = False) -> None:
+        """Remove session ``name``.
+
+        A session with queued-but-unflushed events refuses to go — the
+        writes would be silently lost — unless ``force=True``
+        explicitly discards them.  The pending check and the removal
+        happen in one registry-lock critical section, so any submit
+        that completed before the drop is counted by the check.
+        """
         with self._registry_lock:
-            if self._hosted.pop(name, None) is None:
+            hosted = self._hosted.get(name)
+            if hosted is None:
                 raise SessionError(f"unknown session {name!r}")
+            with hosted.queue_lock:
+                pending = len(hosted.queue)
+                if pending and not force:
+                    raise SessionError(
+                        f"session {name!r} has {pending} queued event(s) "
+                        f"not yet flushed — flush first, or drop("
+                        f"force=True) to discard them")
+                hosted.queue.clear()
+            del self._hosted[name]
 
     def _session(self, name: str) -> _Hosted:
         with self._registry_lock:
@@ -282,6 +318,9 @@ class CorrelationService:
         meanwhile or a failing batch was re-queued).
         """
         hosted = self._session(name)
+        instrumentation = self._instrumentation
+        if instrumentation is not None:
+            instrumentation.submitted_events.inc()
         token = object()
         with hosted.queue_lock:
             hosted.queue.append(event)
@@ -337,31 +376,44 @@ class CorrelationService:
         incremental state as stale.
         """
         hosted = self._session(name)
-        with hosted.lock.write():
-            with hosted.queue_lock:
-                batch = list(hosted.queue)
-                hosted.queue.clear()
-                # The backlog this claim covered is drained; the next
-                # threshold crossing may claim a fresh inline flush.
-                hosted.flush_claim = None
-            if not batch:
-                return BatchReport(db_size=hosted.engine.db_size,
-                                   event="apply-batch[0]")
-            version_before = hosted.engine.relation.version
-            try:
-                report = hosted.engine.apply_batch(batch)
-            except Exception:
-                if hosted.engine.relation.version != version_before:
-                    # The batch died mid-application; per-event replay
-                    # would double-apply the prefix.  Bump the revision
-                    # (readers must notice the mutated state) and
-                    # surface the error — the engine's version guard
-                    # forces a re-mine before further incremental
-                    # updates.
-                    hosted.revision += 1
-                    raise
-                self._flush_per_event(name, hosted, batch)
-            hosted.revision += 1
+        instrumentation = self._instrumentation
+        started = time.perf_counter()
+        try:
+            with hosted.lock.write():
+                with hosted.queue_lock:
+                    batch = list(hosted.queue)
+                    hosted.queue.clear()
+                    # The backlog this claim covered is drained; the
+                    # next threshold crossing may claim a fresh inline
+                    # flush.
+                    hosted.flush_claim = None
+                if not batch:
+                    return BatchReport(db_size=hosted.engine.db_size,
+                                       event="apply-batch[0]")
+                version_before = hosted.engine.relation.version
+                try:
+                    report = hosted.engine.apply_batch(batch)
+                except Exception:
+                    if hosted.engine.relation.version != version_before:
+                        # The batch died mid-application; per-event
+                        # replay would double-apply the prefix.  Bump
+                        # the revision (readers must notice the mutated
+                        # state) and surface the error — the engine's
+                        # version guard forces a re-mine before further
+                        # incremental updates.
+                        hosted.revision += 1
+                        raise
+                    self._flush_per_event(name, hosted, batch)
+                hosted.revision += 1
+        except Exception:
+            if instrumentation is not None:
+                instrumentation.flush_failures.inc()
+            raise
+        if instrumentation is not None:
+            instrumentation.flush_seconds.observe(
+                time.perf_counter() - started)
+            instrumentation.flush_batches.inc()
+            instrumentation.flushed_events.inc(len(batch))
         return report
 
     def _flush_per_event(self, name: str, hosted: _Hosted,
@@ -436,6 +488,35 @@ class CorrelationService:
         with hosted.queue_lock:
             return len(hosted.queue)
 
+    def vocabulary(self, name: str) -> ItemVocabulary:
+        """The session engine's item vocabulary.
+
+        The vocabulary is append-only for the engine's lifetime, so
+        callers may render item ids from *older* snapshots through it
+        without holding any session lock.
+        """
+        return self._session(name).engine.vocabulary
+
+    def config_of(self, name: str) -> EngineConfig:
+        """The config the session's engine was built from."""
+        hosted = self._session(name)
+        if hosted.config is None:
+            raise SessionError(
+                f"session {name!r} carries no EngineConfig")
+        return hosted.config
+
+    def log_status(self, name: str) -> dict[str, object]:
+        """Provenance-log accounting for status surfaces: the event
+        count, how many events a bounded log has rotated out, and
+        whether replaying it still reconstructs the full history."""
+        hosted = self._session(name)
+        log = hosted.engine.log
+        return {
+            "log_events": len(log),
+            "log_dropped": log.dropped,
+            "log_complete": log.complete,
+        }
+
     def verify(self, name: str) -> VerificationResult:
         """Re-mine from scratch and compare (read lock: no mutation)."""
         hosted = self._session(name)
@@ -453,12 +534,15 @@ class CorrelationService:
             # outlive it.  On the hot path this is one memo hit and an
             # identity compare.
             current = engine.catalog() if mined else None
+            instrumentation = self._instrumentation
             with hosted.queue_lock:
                 pending = len(hosted.queue)
                 cached = hosted.snapshot_cache
                 if (cached is not None
                         and cached.revision == hosted.revision
                         and cached.catalog is current):
+                    if instrumentation is not None:
+                        instrumentation.snapshot_hits.inc()
                     if cached.pending_events != pending:
                         # Only the queue depth moved: refresh that one
                         # field; the rules tuple, signature and catalog
@@ -467,6 +551,8 @@ class CorrelationService:
                         cached = replace(cached, pending_events=pending)
                         hosted.snapshot_cache = cached
                     return cached
+            if instrumentation is not None:
+                instrumentation.snapshot_misses.inc()
             snap = RuleSnapshot(
                 session=hosted.name,
                 backend=engine.backend_name,

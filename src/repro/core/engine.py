@@ -239,6 +239,13 @@ class CorrelationEngine:
         """Monotone counter of committed rule-state changes."""
         return self._revision
 
+    @property
+    def log_dropped(self) -> int:
+        """Events rotated out of a bounded provenance log (0 while the
+        log is still complete) — a nonzero value means replaying the
+        log cannot reconstruct the full history."""
+        return self.log.dropped
+
     # -- the serving read path -------------------------------------------------
 
     def catalog(self) -> RuleCatalog:

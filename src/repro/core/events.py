@@ -15,6 +15,7 @@ algorithm:
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
@@ -146,6 +147,12 @@ class EventLog:
     a new event drops the oldest one and :attr:`dropped` counts how
     many rotated out, so provenance consumers can tell a complete log
     from a windowed one.
+
+    Rotation is a restart hazard — a restore that replays this log no
+    longer reconstructs the full history — so the *first* drop of a
+    log's lifetime also emits a :class:`RuntimeWarning`; after that the
+    counter (surfaced through engine/service/tenant status) is the
+    record.
     """
 
     #: Stored as a list when unbounded, a ``deque(maxlen=...)`` when
@@ -166,13 +173,25 @@ class EventLog:
             # Bounded logs rotate on every record once full, so the
             # storage must evict in O(1), not O(max_events).  A longer
             # pre-seeded list rotates here too — count what fell out.
-            self.dropped += max(0, len(self.events) - self.max_events)
+            overflow = max(0, len(self.events) - self.max_events)
+            if overflow:
+                self._count_drops(overflow)
             self.events = deque(self.events, maxlen=self.max_events)
 
     def record(self, event: UpdateEvent) -> None:
         if self.max_events is not None and len(self.events) == self.max_events:
-            self.dropped += 1  # the deque evicts the oldest on append
+            self._count_drops(1)  # the deque evicts the oldest on append
         self.events.append(event)
+
+    def _count_drops(self, count: int) -> None:
+        if self.dropped == 0:
+            warnings.warn(
+                f"EventLog rotating: max_events={self.max_events} "
+                f"reached, oldest events are being dropped — replay / "
+                f"provenance history is now windowed (this warns once; "
+                f"the 'dropped' counter keeps the tally)",
+                RuntimeWarning, stacklevel=3)
+        self.dropped += count
 
     @property
     def complete(self) -> bool:

@@ -87,3 +87,14 @@ class RecommendationError(ReproError):
 
 class SessionError(ReproError):
     """The application session was driven through an invalid transition."""
+
+
+class ServerError(ReproError):
+    """The serving tier was configured or driven inconsistently.
+
+    Client-side protocol faults (malformed event JSON, unknown tenant,
+    bad query parameters) are mapped to HTTP status codes at the
+    endpoint layer; this type covers the server's own misuse — bad
+    :class:`~repro.server.config.ServerConfig` values, metric type
+    clashes, lifecycle violations (serving before ``start()``).
+    """

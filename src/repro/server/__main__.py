@@ -1,0 +1,6 @@
+"""``python -m repro.server`` — same as ``python -m repro serve``."""
+
+from repro.server.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

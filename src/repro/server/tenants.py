@@ -1,0 +1,390 @@
+"""Multi-tenant registry and the JSON wire codecs.
+
+One *tenant* is one named :class:`~repro.app.service.CorrelationService`
+session — its own relation, engine config, update queue and rule
+catalog — created, listed and dropped over HTTP.  The registry adds
+what the service facade deliberately does not have:
+
+* a **cached read snapshot** per tenant, refreshed after every
+  server-driven mutation.  Read endpoints serve rules from this frozen
+  :class:`~repro.app.service.RuleSnapshot` without touching the
+  session's read-write lock at all, so a flush holding the write side
+  can never stall the event loop or a read request — readers observe
+  the last published revision until the flush lands (and the snapshot
+  is revision-memoized upstream, so refreshing it copies zero rules);
+* the engine-config template merge for ``POST /v1/tenants`` bodies;
+* the event / rule JSON codecs shared by the endpoints, the CLI and
+  the benchmark load generator.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.app.service import CorrelationService, RuleSnapshot
+from repro.core.catalog import METRICS
+from repro.core.config import EngineConfig
+from repro.core.events import (
+    AddAnnotatedTuples,
+    AddAnnotations,
+    AddUnannotatedTuples,
+    RemoveAnnotations,
+    RemoveTuples,
+    UpdateEvent,
+)
+from repro.core.rules import AssociationRule, RuleKind
+from repro.errors import (
+    ItemKindError,
+    MaintenanceError,
+    ServerError,
+    VocabularyError,
+)
+from repro.mining.itemsets import Item, ItemKind, ItemVocabulary
+from repro.relation.relation import AnnotatedRelation
+from repro.relation.schema import Schema
+
+#: Tenant names are one URL path segment, metrics-label safe, and must
+#: not collide with the ``/v1/tenants`` collection route.
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+RESERVED_TENANT_NAMES = frozenset({"tenants"})
+
+#: ``EngineConfig`` fields a tenant-create body may set.
+ENGINE_CONFIG_FIELDS = frozenset({
+    "min_support", "min_confidence", "margin", "backend", "counter",
+    "max_length", "max_log_events", "shards", "shard_workers",
+    "track_candidates", "validate",
+})
+
+
+# -- engine config -------------------------------------------------------------
+
+def engine_config_from_json(overrides: dict[str, Any] | None,
+                            template: EngineConfig | None) -> EngineConfig:
+    """Merge a JSON override dict onto the server's engine template.
+
+    Without a template, ``min_support`` and ``min_confidence`` become
+    required body fields.  Unknown keys are rejected by name — a typoed
+    threshold must not silently fall back to the template.
+    """
+    overrides = dict(overrides or {})
+    unknown = sorted(set(overrides) - ENGINE_CONFIG_FIELDS)
+    if unknown:
+        raise ServerError(
+            f"unknown engine config field(s) {', '.join(unknown)}; "
+            f"allowed: {', '.join(sorted(ENGINE_CONFIG_FIELDS))}")
+    try:
+        if template is not None:
+            return template.replace(**overrides)
+        return EngineConfig(**overrides)
+    except TypeError as error:
+        raise ServerError(
+            f"incomplete engine config: {error}") from None
+    # Threshold/backend validation errors (ReproError subclasses)
+    # propagate — the endpoint layer maps them to 400.
+
+
+def engine_config_to_json(config: EngineConfig) -> dict[str, Any]:
+    return {
+        "min_support": config.min_support,
+        "min_confidence": config.min_confidence,
+        "margin": config.margin,
+        "backend": config.backend,
+        "counter": config.counter,
+        "max_length": config.max_length,
+        "max_log_events": config.max_log_events,
+        "shards": config.shards,
+        "shard_workers": config.shard_workers,
+    }
+
+
+# -- event codec ---------------------------------------------------------------
+
+def _pairs(raw: Any, noun: str) -> list[tuple[int, str]]:
+    if not isinstance(raw, list):
+        raise ServerError(f"{noun} must be a list of [tid, annotation] "
+                          f"pairs, got {type(raw).__name__}")
+    pairs = []
+    for entry in raw:
+        if (not isinstance(entry, (list, tuple)) or len(entry) != 2
+                or not isinstance(entry[0], int)
+                or not isinstance(entry[1], str)):
+            raise ServerError(
+                f"each {noun} entry must be [tid:int, annotation:str], "
+                f"got {entry!r}")
+        pairs.append((entry[0], entry[1]))
+    return pairs
+
+
+def _annotated_rows(raw: Any) -> list[tuple[list[str], list[str]]]:
+    if not isinstance(raw, list):
+        raise ServerError(f"rows must be a list, got {type(raw).__name__}")
+    rows = []
+    for entry in raw:
+        if (not isinstance(entry, (list, tuple)) or len(entry) != 2
+                or not isinstance(entry[0], (list, tuple))
+                or not isinstance(entry[1], (list, tuple))):
+            raise ServerError(
+                f"each row must be [[value, ...], [annotation, ...]], "
+                f"got {entry!r}")
+        values, annotations = entry
+        rows.append(([str(value) for value in values],
+                     [str(annotation) for annotation in annotations]))
+    return rows
+
+
+def event_from_json(obj: Any) -> UpdateEvent:
+    """Decode one update event from its wire form.
+
+    The envelope is ``{"type": <kind>, ...payload}``; payload shapes
+    mirror the event constructors.  Malformed envelopes raise
+    :class:`~repro.errors.ServerError` (mapped to 400), including
+    events the constructors themselves reject (e.g. empty batches).
+    """
+    if not isinstance(obj, dict):
+        raise ServerError(f"event must be a JSON object, "
+                          f"got {type(obj).__name__}")
+    kind = obj.get("type")
+    payload = {key: value for key, value in obj.items() if key != "type"}
+
+    def _only(*fields: str) -> None:
+        extra = sorted(set(payload) - set(fields))
+        if extra:
+            raise ServerError(
+                f"unexpected field(s) {', '.join(extra)} for event "
+                f"type {kind!r}")
+
+    try:
+        if kind == "add_annotations":
+            _only("additions")
+            return AddAnnotations.build(
+                _pairs(payload.get("additions"), "additions"))
+        if kind == "remove_annotations":
+            _only("removals")
+            return RemoveAnnotations.build(
+                _pairs(payload.get("removals"), "removals"))
+        if kind == "add_annotated_tuples":
+            _only("rows")
+            return AddAnnotatedTuples.build(
+                _annotated_rows(payload.get("rows")))
+        if kind == "add_unannotated_tuples":
+            _only("rows")
+            raw = payload.get("rows")
+            if not isinstance(raw, list) or not all(
+                    isinstance(row, (list, tuple)) for row in raw):
+                raise ServerError(
+                    "rows must be a list of [value, ...] lists")
+            return AddUnannotatedTuples.build(
+                [[str(value) for value in row] for row in raw])
+        if kind == "remove_tuples":
+            _only("tids")
+            raw = payload.get("tids")
+            if not isinstance(raw, list) or not all(
+                    isinstance(tid, int) for tid in raw):
+                raise ServerError("tids must be a list of integers")
+            return RemoveTuples.build(raw)
+    except MaintenanceError as error:
+        raise ServerError(f"invalid {kind} event: {error}") from None
+    raise ServerError(
+        f"unknown event type {kind!r}; expected one of add_annotations, "
+        f"remove_annotations, add_annotated_tuples, "
+        f"add_unannotated_tuples, remove_tuples")
+
+
+# -- rule codec ----------------------------------------------------------------
+
+def rule_to_json(rule: AssociationRule,
+                 vocabulary: ItemVocabulary) -> dict[str, Any]:
+    return {
+        "kind": rule.kind.value,
+        "lhs": [vocabulary.item(item_id).token for item_id in rule.lhs],
+        "rhs": vocabulary.item(rule.rhs).token,
+        "support": rule.support,
+        "confidence": rule.confidence,
+        "lift": rule.lift,
+        "union_count": rule.union_count,
+        "lhs_count": rule.lhs_count,
+        "rendered": rule.render(vocabulary),
+    }
+
+
+def parse_rule_kind(raw: str) -> RuleKind:
+    for kind in RuleKind:
+        if raw == kind.value:
+            return kind
+    raise ServerError(
+        f"unknown rule kind {raw!r}; expected "
+        f"{' or '.join(kind.value for kind in RuleKind)}")
+
+
+def parse_metric(raw: str) -> str:
+    if raw not in METRICS:
+        raise ServerError(f"unknown metric {raw!r}; expected one of "
+                          f"{', '.join(METRICS)}")
+    return raw
+
+
+# -- the registry --------------------------------------------------------------
+
+@dataclass
+class TenantState:
+    """Loop-visible state of one tenant."""
+
+    name: str
+    config: EngineConfig
+    #: The frozen snapshot read endpoints serve from — replaced (never
+    #: mutated) after each server-driven flush/mine.
+    snapshot: RuleSnapshot
+    #: The engine's vocabulary — append-only for the engine's lifetime,
+    #: so rendering an *older* snapshot's item ids through it is safe.
+    vocabulary: ItemVocabulary
+    #: True while a watermark-triggered background flush is scheduled
+    #: or running for this tenant (loop-thread only — coalesces
+    #: triggers, the admission semaphore bounds actual concurrency).
+    flush_scheduled: bool = field(default=False)
+
+
+class TenantRegistry:
+    """Tenant lifecycle over one :class:`CorrelationService`.
+
+    Blocking methods (:meth:`create`, :meth:`refresh`, :meth:`drop`)
+    are called by the server inside its thread-pool executor; lookups
+    (:meth:`get`, :meth:`names`) are lock-cheap and loop-safe.
+    """
+
+    def __init__(self, service: CorrelationService, *,
+                 default_engine: EngineConfig | None = None) -> None:
+        self._service = service
+        self._default_engine = default_engine
+        self._lock = threading.Lock()
+        self._tenants: dict[str, TenantState] = {}
+
+    @property
+    def service(self) -> CorrelationService:
+        return self._service
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def create(self, name: str, *,
+               columns: list[str] | None = None,
+               rows: Any = None,
+               config: dict[str, Any] | None = None,
+               mine: bool = True) -> TenantState:
+        """Create a tenant (blocking: runs the initial mine)."""
+        if not isinstance(name, str) or not _TENANT_NAME.match(name):
+            raise ServerError(
+                f"tenant name must match [A-Za-z0-9._-]{{1,64}}, "
+                f"got {name!r}")
+        if name in RESERVED_TENANT_NAMES:
+            raise ServerError(f"tenant name {name!r} is reserved")
+        engine_config = engine_config_from_json(config, self._default_engine)
+        relation = AnnotatedRelation(
+            Schema([str(column) for column in columns]) if columns else None)
+        if rows:
+            for values, annotations in _annotated_rows(rows):
+                relation.insert(values, annotations)
+        snapshot = self._service.create(name, relation, engine_config,
+                                        mine=mine)
+        state = TenantState(
+            name=name, config=engine_config, snapshot=snapshot,
+            vocabulary=self._service.vocabulary(name))
+        with self._lock:
+            self._tenants[name] = state
+        return state
+
+    def adopt(self, name: str) -> TenantState:
+        """Register an already-created service session (CLI preload)."""
+        state = TenantState(
+            name=name,
+            config=self._service.config_of(name),
+            snapshot=self._service.snapshot(name),
+            vocabulary=self._service.vocabulary(name))
+        with self._lock:
+            self._tenants[name] = state
+        return state
+
+    def drop(self, name: str, *, force: bool = False) -> None:
+        self.get(name)  # unknown tenants 404 before touching the service
+        self._service.drop(name, force=force)
+        with self._lock:
+            self._tenants.pop(name, None)
+
+    def get(self, name: str) -> TenantState:
+        with self._lock:
+            state = self._tenants.get(name)
+        if state is None:
+            raise ServerError(f"unknown tenant {name!r}")
+        return state
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._tenants))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    # -- read path maintenance -------------------------------------------------
+
+    def refresh(self, name: str) -> RuleSnapshot:
+        """Re-take and publish the tenant's read snapshot (blocking:
+        briefly holds the session's read lock).
+
+        Publication is monotone by revision: two racing refreshes (say
+        the tails of two back-to-back flushes) can call ``snapshot()``
+        either side of another flush, so the later-arriving but
+        older-revision result must not clobber the newer one.
+        """
+        snapshot = self._service.snapshot(name)
+        with self._lock:
+            state = self._tenants.get(name)
+            if state is not None and (
+                    snapshot.revision >= state.snapshot.revision):
+                state.snapshot = snapshot
+        return snapshot
+
+    # -- tenant status ---------------------------------------------------------
+
+    def status(self, name: str) -> dict[str, Any]:
+        """One tenant's status row (loop-safe: the only lock taken is
+        the session queue mutex, for the live pending depth)."""
+        state = self.get(name)
+        snapshot = state.snapshot
+        status = {
+            "tenant": name,
+            "backend": snapshot.backend,
+            "revision": snapshot.revision,
+            "rules": len(snapshot),
+            "db_size": snapshot.db_size,
+            "pending_events": self._service.pending(name),
+            "config": engine_config_to_json(state.config),
+        }
+        status.update(self._service.log_status(name))
+        return status
+
+    def resolve_item(self, name: str, token: str) -> int | None:
+        """Item id for ``token`` in the tenant's mined vocabulary, or
+        ``None`` when no kind of item with that token was ever interned
+        (such a token can appear in no rule)."""
+        vocabulary = self.get(name).vocabulary
+        for kind in (ItemKind.ANNOTATION, ItemKind.LABEL, ItemKind.DATA):
+            try:
+                return vocabulary.id_of(Item(kind, token))
+            except (VocabularyError, ItemKindError):
+                continue
+        return None
+
+
+__all__ = [
+    "ENGINE_CONFIG_FIELDS",
+    "TenantRegistry",
+    "TenantState",
+    "engine_config_from_json",
+    "engine_config_to_json",
+    "event_from_json",
+    "parse_metric",
+    "parse_rule_kind",
+    "rule_to_json",
+]

@@ -539,3 +539,95 @@ class TestSnapshotCacheStaleness:
         assert snap.catalog is service.catalog("main")
         assert snap.rules == service.catalog("main").rules
         assert service.snapshot("main") is snap  # memo works again
+
+
+class TestDropWithPending:
+    def test_drop_refuses_when_events_are_queued(self, service):
+        service.create("main", make_relation())
+        service.submit("main", AddAnnotations.build([(0, "Z1")]))
+        service.submit("main", AddAnnotations.build([(1, "Z1")]))
+        with pytest.raises(SessionError,
+                           match=r"has 2 queued event\(s\)"):
+            service.drop("main")
+        # The refusal left the session fully intact.
+        assert service.sessions() == ("main",)
+        assert service.pending("main") == 2
+
+    def test_drop_force_discards_queued_events(self, service):
+        service.create("main", make_relation())
+        service.submit("main", AddAnnotations.build([(0, "Z1")]))
+        service.drop("main", force=True)
+        assert service.sessions() == ()
+
+    def test_drop_after_flush_needs_no_force(self, service):
+        service.create("main", make_relation())
+        service.submit("main", AddAnnotations.build([(0, "Z1")]))
+        service.flush("main")
+        service.drop("main")
+        assert service.sessions() == ()
+
+
+class TestServiceIntrospection:
+    def test_vocabulary_is_the_engine_vocabulary(self, service):
+        service.create("main", make_relation())
+        vocabulary = service.vocabulary("main")
+        assert vocabulary is service._session("main").engine.vocabulary
+
+    def test_config_of_returns_the_effective_config(self, service):
+        service.create("main", make_relation())
+        assert service.config_of("main") is CONFIG
+        override = CONFIG.replace(backend="eclat")
+        service.create("other", make_relation(), override)
+        assert service.config_of("other") is override
+
+    def test_log_status_reports_rotation(self, service):
+        service.create("main", make_relation(),
+                       CONFIG.replace(max_log_events=2))
+        for tid in range(3):
+            service.submit("main", AddAnnotations.build([(tid, "Z1")]))
+        with pytest.warns(RuntimeWarning, match="EventLog rotating"):
+            service.flush("main")
+        status = service.log_status("main")
+        assert status == {"log_events": 2, "log_dropped": 1,
+                          "log_complete": False}
+
+
+class TestServiceInstrumentation:
+    def test_flush_and_snapshot_metrics_are_fed(self):
+        from repro.server.metrics import ServiceInstrumentation
+
+        bundle = ServiceInstrumentation()
+        service = CorrelationService(config=CONFIG,
+                                     instrumentation=bundle)
+        service.create("main", make_relation())
+        assert bundle.snapshot_misses.value >= 1
+
+        service.submit("main", AddAnnotations.build([(0, "Z1")]))
+        service.submit("main", AddAnnotations.build([(1, "Z1")]))
+        assert bundle.submitted_events.value == 2
+
+        service.flush("main")
+        assert bundle.flush_batches.value == 1
+        assert bundle.flushed_events.value == 2
+        assert bundle.flush_seconds.count == 1
+        assert bundle.flush_failures.value == 0
+
+        service.snapshot("main")
+        hits_before = bundle.snapshot_hits.value
+        service.snapshot("main")  # unchanged revision → memo hit
+        assert bundle.snapshot_hits.value > hits_before
+
+    def test_empty_flush_records_no_batch(self):
+        from repro.server.metrics import ServiceInstrumentation
+
+        bundle = ServiceInstrumentation()
+        service = CorrelationService(config=CONFIG,
+                                     instrumentation=bundle)
+        service.create("main", make_relation())
+        service.flush("main")
+        assert bundle.flush_batches.value == 0
+
+    def test_uninstrumented_service_still_works(self, service):
+        service.create("main", make_relation())
+        service.submit("main", AddAnnotations.build([(0, "Z1")]))
+        assert service.flush("main").events == 1

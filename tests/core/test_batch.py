@@ -182,9 +182,10 @@ class TestBatchPoisonSafety:
 class TestBoundedEventLog:
     def test_engine_log_rotates_at_the_config_bound(self):
         eng = mined(max_log_events=3)
-        for _ in range(5):
-            eng.apply(AddAnnotations.build([(3, "A")]))
-            eng.apply(RemoveAnnotations.build([(3, "A")]))
+        with pytest.warns(RuntimeWarning, match="EventLog rotating"):
+            for _ in range(5):
+                eng.apply(AddAnnotations.build([(3, "A")]))
+                eng.apply(RemoveAnnotations.build([(3, "A")]))
         assert len(eng.log) == 3
         assert eng.log.dropped == 7
         assert not eng.log.complete

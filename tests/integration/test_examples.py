@@ -49,6 +49,12 @@ class TestExamplesRun:
         assert "restored: True" in out
         assert "Annot_recall" in out
 
+    def test_serving_quickstart(self, capsys):
+        load_example("serving_quickstart").main()
+        out = capsys.readouterr().out
+        assert "incremental == re-mine: True" in out
+        assert "server drained" in out
+
     @pytest.mark.slow
     def test_incremental_maintenance(self, capsys, monkeypatch):
         module = load_example("incremental_maintenance")

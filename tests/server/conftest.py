@@ -1,0 +1,120 @@
+"""Shared serving-tier fixtures: a real server on a real socket.
+
+CI has no asyncio pytest plugin, so end-to-end tests run the server in
+a daemon thread (its own event loop) and drive it with blocking
+``http.client`` calls from the test thread — which doubles as proof
+that the wire format interoperates with stdlib clients.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.server import CorrelationServer, ServerConfig
+
+ENGINE = EngineConfig(min_support=0.25, min_confidence=0.6)
+
+#: Four-row corpus shared by most tests (same shape as the app-layer
+#: reference rows: two columns, annotation tokens A/B/...).
+ROWS = [
+    [["a", "x"], ["A1"]],
+    [["a", "y"], ["A1"]],
+    [["b", "x"], ["A2"]],
+    [["a", "x"], ["A1", "A2"]],
+]
+
+
+class ServerThread:
+    """A live CorrelationServer on an ephemeral port, in a thread."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.server = CorrelationServer(config)
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        await self.server.start()
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("server thread failed to start")
+        return self
+
+    def stop(self) -> None:
+        """Graceful drain + join (idempotent)."""
+        if self._thread.is_alive():
+            assert self._loop is not None and self._stop is not None
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+        assert not self._thread.is_alive(), "server thread did not drain"
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def request(self, method: str, path: str, body=None, *,
+                conn: http.client.HTTPConnection | None = None):
+        """One HTTP call; returns ``(status, parsed-json, headers)``."""
+        owned = conn is None
+        if conn is None:
+            conn = http.client.HTTPConnection("127.0.0.1", self.port,
+                                              timeout=30)
+        try:
+            payload = None if body is None else json.dumps(body)
+            conn.request(method, path, body=payload,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            data = response.read()
+            return (response.status,
+                    json.loads(data) if data else None,
+                    dict(response.getheaders()))
+        finally:
+            if owned:
+                conn.close()
+
+    def connection(self) -> http.client.HTTPConnection:
+        """A keep-alive connection the caller owns."""
+        return http.client.HTTPConnection("127.0.0.1", self.port,
+                                          timeout=30)
+
+
+def make_server(**overrides) -> ServerThread:
+    """A started server; background flushing off unless asked for."""
+    settings = dict(host="127.0.0.1", port=0, default_engine=ENGINE,
+                    flush_watermark=None, drain_timeout=30.0)
+    settings.update(overrides)
+    return ServerThread(ServerConfig(**settings)).start()
+
+
+@pytest.fixture
+def served():
+    server = make_server()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+@pytest.fixture
+def served_tenant(served):
+    """A server with tenant ``demo`` created and mined over ROWS."""
+    status, body, _ = served.request(
+        "POST", "/v1/tenants",
+        {"name": "demo", "columns": ["c1", "c2"], "rows": ROWS})
+    assert status == 201, body
+    return served

@@ -1,0 +1,151 @@
+"""Metric primitives: counters, gauges, histograms, the registry."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServerError
+from repro.server.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServiceInstrumentation,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ServerError, match=">= 0"):
+            Counter().inc(-1)
+
+    def test_render(self):
+        counter = Counter()
+        counter.inc(3)
+        assert counter.render() == {"type": "counter", "value": 3}
+
+    def test_thread_safety(self):
+        counter = Counter()
+        threads = [threading.Thread(
+            target=lambda: [counter.inc() for _ in range(1000)])
+            for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge()
+        gauge.set(4)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+        assert gauge.render() == {"type": "gauge", "value": 2.5}
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        histogram = Histogram()
+        for value in (0.001, 0.002, 0.003):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.006)
+        assert histogram.mean == pytest.approx(0.002)
+
+    def test_quantiles_bracket_the_data(self):
+        histogram = Histogram(buckets=(0.01, 0.1, 1.0))
+        for _ in range(99):
+            histogram.observe(0.005)
+        histogram.observe(0.5)
+        p50 = histogram.quantile(0.50)
+        assert 0.0 < p50 <= 0.01
+        assert histogram.quantile(0.99) <= 1.0
+        # The tail observation dominates p100.
+        assert histogram.quantile(1.0) >= 0.1
+
+    def test_inf_tail_interpolates_to_observed_max(self):
+        histogram = Histogram(buckets=(0.01,))
+        histogram.observe(5.0)  # beyond every bound → +inf bucket
+        assert histogram.quantile(0.99) <= 5.0
+        assert histogram.render()["max"] == 5.0
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram().quantile(0.99) == 0.0
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ServerError, match=r"\[0, 1\]"):
+            Histogram().quantile(1.5)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ServerError, match="positive"):
+            Histogram(buckets=(0.0, 1.0))
+        with pytest.raises(ServerError, match="distinct"):
+            Histogram(buckets=(1.0, 1.0))
+
+    def test_render_shape(self):
+        histogram = Histogram(buckets=(0.01, 1.0))
+        histogram.observe(0.005)
+        rendered = histogram.render()
+        assert rendered["type"] == "histogram"
+        assert rendered["count"] == 1
+        assert set(rendered["buckets"]) == {"0.01", "1.0", "+inf"}
+        assert rendered["buckets"]["0.01"] == 1
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("hits") is registry.counter("hits")
+
+    def test_labels_fan_out_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("rejections", tenant="a")
+        b = registry.counter("rejections", tenant="b")
+        assert a is not b
+        # Label order is irrelevant to identity.
+        assert registry.counter("x", p="1", q="2") is \
+            registry.counter("x", q="2", p="1")
+
+    def test_type_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("depth")
+        with pytest.raises(ServerError, match="already registered"):
+            registry.gauge("depth")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ServerError, match="non-empty"):
+            MetricsRegistry().counter("")
+
+    def test_render_groups_labelled_series(self):
+        registry = MetricsRegistry()
+        registry.counter("flat").inc()
+        registry.counter("fanned", tenant="a").inc(2)
+        registry.counter("fanned", tenant="b").inc(3)
+        rendered = registry.render()
+        assert rendered["flat"]["value"] == 1
+        assert rendered["fanned"]["series"]["tenant=a"]["value"] == 2
+        assert rendered["fanned"]["series"]["tenant=b"]["value"] == 3
+
+
+class TestServiceInstrumentation:
+    def test_bundle_registers_into_registry(self):
+        registry = MetricsRegistry()
+        bundle = ServiceInstrumentation(registry)
+        bundle.flush_batches.inc()
+        assert registry.render()["service_flush_batches"]["value"] == 1
+
+    def test_snapshot_hit_rate(self):
+        bundle = ServiceInstrumentation()
+        assert bundle.snapshot_hit_rate() == 0.0
+        bundle.snapshot_hits.inc(3)
+        bundle.snapshot_misses.inc(1)
+        assert bundle.snapshot_hit_rate() == pytest.approx(0.75)

@@ -1,0 +1,191 @@
+"""Tenant registry and the JSON wire codecs."""
+
+import pytest
+
+from repro.app.service import CorrelationService
+from repro.core.config import EngineConfig
+from repro.core.events import (
+    AddAnnotatedTuples,
+    AddAnnotations,
+    AddUnannotatedTuples,
+    RemoveAnnotations,
+    RemoveTuples,
+)
+from repro.errors import ServerError, SessionError
+from repro.server.tenants import (
+    TenantRegistry,
+    engine_config_from_json,
+    engine_config_to_json,
+    event_from_json,
+    parse_metric,
+    parse_rule_kind,
+    rule_to_json,
+)
+
+ENGINE = EngineConfig(min_support=0.25, min_confidence=0.6)
+
+ROWS = [
+    [["a", "x"], ["A1"]],
+    [["a", "y"], ["A1"]],
+    [["b", "x"], ["A2"]],
+    [["a", "x"], ["A1", "A2"]],
+]
+
+
+@pytest.fixture
+def registry():
+    return TenantRegistry(CorrelationService(), default_engine=ENGINE)
+
+
+class TestEngineConfigCodec:
+    def test_overrides_merge_onto_template(self):
+        config = engine_config_from_json({"min_support": 0.5}, ENGINE)
+        assert config.min_support == 0.5
+        assert config.min_confidence == ENGINE.min_confidence
+
+    def test_no_template_requires_thresholds(self):
+        with pytest.raises(ServerError, match="incomplete engine config"):
+            engine_config_from_json({"backend": "eclat"}, None)
+
+    def test_unknown_field_rejected_by_name(self):
+        with pytest.raises(ServerError, match="min_suport"):
+            engine_config_from_json({"min_suport": 0.5}, ENGINE)
+
+    def test_round_trip(self):
+        rendered = engine_config_to_json(ENGINE)
+        assert rendered["min_support"] == 0.25
+        restored = engine_config_from_json(rendered, None)
+        assert restored.min_confidence == ENGINE.min_confidence
+
+
+class TestEventCodec:
+    def test_add_annotations(self):
+        event = event_from_json(
+            {"type": "add_annotations", "additions": [[0, "A9"]]})
+        assert isinstance(event, AddAnnotations)
+        assert event.additions == ((0, "A9"),)
+
+    def test_remove_annotations(self):
+        event = event_from_json(
+            {"type": "remove_annotations", "removals": [[1, "A1"]]})
+        assert isinstance(event, RemoveAnnotations)
+
+    def test_add_annotated_tuples(self):
+        event = event_from_json(
+            {"type": "add_annotated_tuples",
+             "rows": [[["a", "z"], ["A3"]]]})
+        assert isinstance(event, AddAnnotatedTuples)
+
+    def test_add_unannotated_tuples(self):
+        event = event_from_json(
+            {"type": "add_unannotated_tuples", "rows": [["a", "z"]]})
+        assert isinstance(event, AddUnannotatedTuples)
+
+    def test_remove_tuples(self):
+        event = event_from_json({"type": "remove_tuples", "tids": [0, 2]})
+        assert isinstance(event, RemoveTuples)
+        assert event.tids == (0, 2)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ServerError, match="unknown event type"):
+            event_from_json({"type": "upsert"})
+
+    def test_extra_fields_rejected(self):
+        with pytest.raises(ServerError, match="unexpected field"):
+            event_from_json({"type": "remove_tuples", "tids": [0],
+                             "cascade": True})
+
+    def test_malformed_pairs_rejected(self):
+        with pytest.raises(ServerError, match="tid:int"):
+            event_from_json({"type": "add_annotations",
+                             "additions": [["0", "A9"]]})
+
+    def test_empty_payload_rejected_as_protocol_error(self):
+        # The constructor's MaintenanceError surfaces as a 400-mapped
+        # ServerError, not a server-side fault.
+        with pytest.raises(ServerError, match="invalid add_annotations"):
+            event_from_json({"type": "add_annotations", "additions": []})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ServerError, match="JSON object"):
+            event_from_json([1, 2])
+
+
+class TestParsers:
+    def test_rule_kind(self):
+        kind = parse_rule_kind("data-to-annotation")
+        assert kind.value == "data-to-annotation"
+        with pytest.raises(ServerError, match="unknown rule kind"):
+            parse_rule_kind("bogus")
+
+    def test_metric(self):
+        assert parse_metric("lift") == "lift"
+        with pytest.raises(ServerError, match="unknown metric"):
+            parse_metric("coverage")
+
+
+class TestRegistry:
+    def test_create_publishes_snapshot_and_vocabulary(self, registry):
+        state = registry.create("demo", columns=["c1", "c2"], rows=ROWS)
+        assert state.snapshot.revision == 1
+        assert len(state.snapshot) > 0
+        rendered = rule_to_json(state.snapshot.rules[0], state.vocabulary)
+        assert set(rendered) >= {"kind", "lhs", "rhs", "support",
+                                 "confidence", "lift", "rendered"}
+
+    def test_bad_names_rejected(self, registry):
+        for name in ("", "a/b", "a b", "x" * 65, "tenants"):
+            with pytest.raises(ServerError):
+                registry.create(name, rows=ROWS)
+
+    def test_unknown_tenant_raises(self, registry):
+        with pytest.raises(ServerError, match="unknown tenant"):
+            registry.get("ghost")
+
+    def test_drop_removes_and_names_sorted(self, registry):
+        registry.create("beta", rows=ROWS)
+        registry.create("alpha", rows=ROWS)
+        assert registry.names() == ("alpha", "beta")
+        registry.drop("beta")
+        assert registry.names() == ("alpha",)
+        assert len(registry) == 1
+
+    def test_drop_with_pending_propagates_refusal(self, registry):
+        registry.create("demo", rows=ROWS)
+        registry.service.submit("demo", event_from_json(
+            {"type": "add_annotations", "additions": [[0, "A9"]]}))
+        with pytest.raises(SessionError, match="queued event"):
+            registry.drop("demo")
+        registry.drop("demo", force=True)
+        assert registry.names() == ()
+
+    def test_refresh_is_monotone_by_revision(self, registry, monkeypatch):
+        state = registry.create("demo", rows=ROWS)
+        first = state.snapshot
+        registry.service.submit("demo", event_from_json(
+            {"type": "add_annotations", "additions": [[2, "A1"]]}))
+        registry.service.flush("demo")
+        refreshed = registry.refresh("demo")
+        assert refreshed.revision > first.revision
+        assert registry.get("demo").snapshot is refreshed
+        # A refresh that lost a race arrives carrying an older
+        # revision; publication must not regress the read path.
+        monkeypatch.setattr(registry.service, "snapshot",
+                            lambda name: first)
+        assert registry.refresh("demo") is first
+        assert registry.get("demo").snapshot is refreshed
+
+    def test_status_row(self, registry):
+        registry.create("demo", columns=["c1", "c2"], rows=ROWS)
+        status = registry.status("demo")
+        assert status["tenant"] == "demo"
+        assert status["rules"] > 0
+        assert status["db_size"] == 4
+        assert status["pending_events"] == 0
+        assert status["log_complete"] is True
+        assert status["config"]["min_support"] == 0.25
+
+    def test_resolve_item(self, registry):
+        registry.create("demo", columns=["c1", "c2"], rows=ROWS)
+        assert registry.resolve_item("demo", "A1") is not None
+        assert registry.resolve_item("demo", "nope") is None

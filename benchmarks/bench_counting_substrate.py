@@ -117,3 +117,44 @@ def test_bitmap_beats_set_counting(benchmark, fig7_workload):
     assert bitmap_seconds < set_seconds, (
         f"bitmap counting ({bitmap_seconds:.4f}s) did not beat set-based "
         f"counting ({set_seconds:.4f}s)")
+
+
+def test_from_tids_bulk_build_beats_per_tid(benchmark):
+    """Micro-row: the bytearray bulk build of ``BitTidset.from_tids``
+    against the per-tid ``bits |= 1 << tid`` reference it replaced.
+
+    On a sparse tidset over a large tid range the reference rebuilds
+    the whole big int per insertion — quadratic — while the bulk build
+    touches one byte per tid and converts once.
+    """
+    import random
+
+    from repro.mining.bitmap import BitTidset
+
+    rng = random.Random(19)
+    tid_range, n_tids = 400_000, 25_000
+    tids = rng.sample(range(tid_range), n_tids)
+
+    def per_tid_reference():
+        bits = 0
+        for tid in tids:
+            bits |= 1 << tid
+        return bits
+
+    reference_seconds, reference_bits = time_once(per_tid_reference)
+    bulk_seconds = benchmark.pedantic(
+        lambda: time_once(lambda: BitTidset.from_tids(tids))[0],
+        rounds=1, iterations=1)
+
+    assert BitTidset.from_tids(tids).bits == reference_bits
+    speedup = (reference_seconds / bulk_seconds if bulk_seconds
+               else float("inf"))
+    record("E10_from_tids_bulk_build", [
+        f"{n_tids} tids drawn from a {tid_range}-tid range",
+        f"per-tid |= 1 << tid : {fmt_ms(reference_seconds)}",
+        f"bytearray bulk build: {fmt_ms(bulk_seconds)}",
+        f"speedup             : {speedup:8.2f}x",
+    ])
+    assert bulk_seconds < reference_seconds, (
+        f"bulk from_tids ({bulk_seconds:.4f}s) did not beat the per-tid "
+        f"rebuild ({reference_seconds:.4f}s)")

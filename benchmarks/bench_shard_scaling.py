@@ -13,10 +13,22 @@ substrate buys from what partitioning buys.  The speedup target binds
 at full scale only (CI smoke shrinks via ``REPRO_SHARD_TUPLES``);
 signature equality is asserted at *every* scale and shard count — that
 is the part that must never regress.
+
+A third axis compares the phase-1 executors: the thread pool against
+worker processes mining shared-memory bitmap pages
+(``shard_executor="process"``).  The >= 2x process-over-thread target
+binds only where the hardware can show it (>= 4 cores); everywhere
+else the row is measured, recorded and signature-asserted.  Every
+table also lands in machine-readable form in
+``benchmarks/out/BENCH_shard_scaling.json`` (rows keyed by scenario;
+re-runs replace their scenario's rows).  Set
+``REPRO_SHARD_BIG_TUPLES`` (e.g. ``1000000``) to add the opt-in
+million-tuple synthetic-stream row.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -25,13 +37,37 @@ from repro.core.engine import engine
 from repro.shard import ShardedEngine
 from repro.synth import workloads
 from repro.synth.streams import EventStream, StreamConfig, apply_to_relation
-from benchmarks._harness import fmt_ms, record, time_once
+from benchmarks._harness import OUT_DIR, fmt_ms, record, time_once
 
 N_TUPLES = int(os.environ.get("REPRO_SHARD_TUPLES", "8000"))
+BIG_TUPLES = int(os.environ.get("REPRO_SHARD_BIG_TUPLES", "0"))
 SHARD_COUNTS = (1, 2, 4, 8)
+EXECUTORS = ("thread", "process")
 FULL_SCALE = N_TUPLES >= 4000
 TARGET_SPEEDUP = 2.0
+#: Process-over-thread target (binding only with enough cores to show
+#: multi-core wins; a 1-2 core box pays fork cost for no parallelism).
+EXECUTOR_TARGET_SPEEDUP = 2.0
+EXECUTOR_TARGET_CORES = 4
 ROUNDS = 5
+
+JSON_PATH = os.path.join(OUT_DIR, "BENCH_shard_scaling.json")
+
+
+def _record_json(scenario: str, rows: list[dict]) -> None:
+    """Merge ``rows`` into the machine-readable output, replacing any
+    earlier rows of the same scenario (read-merge-write, so the file
+    accumulates one entry set per scenario across the module)."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    existing = []
+    if os.path.exists(JSON_PATH):
+        with open(JSON_PATH, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    existing = [row for row in existing if row.get("scenario") != scenario]
+    existing.extend({"scenario": scenario, **row} for row in rows)
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2)
+        handle.write("\n")
 
 #: The >= 2x acceptance target binds on the acceptance configuration —
 #: fig7 scale on the default backend.  Other REPRO_BACKEND axes are
@@ -54,11 +90,14 @@ def _mono(relation, workload, backend):
     return manager
 
 
-def _sharded(relation, workload, backend, shards):
+def _sharded(relation, workload, backend, shards, *,
+             executor="thread", workers=None):
     manager = ShardedEngine(relation,
                             min_support=workload.min_support,
                             min_confidence=workload.min_confidence,
-                            backend=backend, shards=shards)
+                            backend=backend, shards=shards,
+                            shard_executor=executor,
+                            shard_workers=workers)
     manager.mine()
     return manager
 
@@ -87,6 +126,9 @@ def test_shard_scaling_initial_mine(benchmark, shard_workload,
             f"(workers = shard count)",
             f"monolithic   {fmt_ms(mono_seconds)}        1.00x  baseline",
             "shards       initial-mine   speedup  identical"]
+    json_rows = [{"backend": backend_name, "tuples": N_TUPLES,
+                  "shards": 0, "seconds": mono_seconds,
+                  "speedup": 1.0, "identical": True}]
     speedups = {}
     for shards in SHARD_COUNTS:
         seconds, manager = _best_of(
@@ -97,6 +139,10 @@ def test_shard_scaling_initial_mine(benchmark, shard_workload,
         speedups[shards] = mono_seconds / seconds if seconds else float("inf")
         rows.append(f"{shards:6d}  {fmt_ms(seconds)} {speedups[shards]:9.2f}x"
                     f"  {identical}")
+        json_rows.append({"backend": backend_name, "tuples": N_TUPLES,
+                          "shards": shards, "seconds": seconds,
+                          "speedup": speedups[shards],
+                          "identical": identical})
         assert identical, (
             f"{shards}-shard merge diverged from the monolithic rules")
         assert len(manager.rules) == len(mono.rules)
@@ -109,10 +155,99 @@ def test_shard_scaling_initial_mine(benchmark, shard_workload,
     rows.append(f"target: >= {TARGET_SPEEDUP}x at 4 shards "
                 f"(binding on this axis: {binding})")
     record("E11_shard_scaling", rows)
+    _record_json(f"initial_mine_scaling:{backend_name}", json_rows)
     if binding:
         assert speedups[4] >= TARGET_SPEEDUP, (
             f"4-shard initial mine only {speedups[4]:.2f}x faster than "
             f"monolithic (target {TARGET_SPEEDUP}x)")
+
+
+def test_shard_executor_axis(benchmark, shard_workload, backend_name):
+    """Thread pool vs worker processes over shared bitmap pages, at 4
+    shards x 4 workers.  Exactness is asserted on every box; the >= 2x
+    process-over-thread target binds only at full scale on the default
+    backend with enough cores to show multi-core wins."""
+    cores = os.cpu_count() or 1
+    binding = (FULL_SCALE and backend_name == DEFAULT_BACKEND
+               and cores >= EXECUTOR_TARGET_CORES)
+
+    mono = _mono(shard_workload.relation.copy(), shard_workload,
+                 backend_name)
+    reference = mono.signature()
+
+    seconds, json_rows = {}, []
+    rows = [f"tuples={N_TUPLES} backend={backend_name} cores={cores} "
+            f"(4 shards x 4 workers)",
+            "executor   initial-mine   identical"]
+    for executor in EXECUTORS:
+        seconds[executor], manager = _best_of(
+            shard_workload,
+            lambda relation: _sharded(relation, shard_workload,
+                                      backend_name, 4,
+                                      executor=executor, workers=4))
+        identical = manager.signature() == reference
+        rows.append(f"{executor:9s} {fmt_ms(seconds[executor])}  "
+                    f"{identical}")
+        json_rows.append({"backend": backend_name, "tuples": N_TUPLES,
+                          "executor": executor, "cores": cores,
+                          "seconds": seconds[executor],
+                          "identical": identical})
+        assert identical, (
+            f"{executor}-executor merge diverged from the monolithic "
+            f"rules")
+
+    # Headline measurement: the process-mode 4-shard mine.
+    relation = shard_workload.relation.copy()
+    benchmark.pedantic(
+        lambda: _sharded(relation, shard_workload, backend_name, 4,
+                         executor="process", workers=4),
+        rounds=1, iterations=1)
+
+    speedup = (seconds["thread"] / seconds["process"]
+               if seconds["process"] else float("inf"))
+    rows.append(f"process/thread speedup: {speedup:.2f}x "
+                f"(target >= {EXECUTOR_TARGET_SPEEDUP}x, binding on "
+                f"this axis: {binding})")
+    record("E11_shard_executor_axis", rows)
+    json_rows.append({"backend": backend_name, "tuples": N_TUPLES,
+                      "executor": "speedup", "cores": cores,
+                      "seconds": speedup, "identical": True})
+    _record_json(f"executor_axis:{backend_name}", json_rows)
+    if binding:
+        assert speedup >= EXECUTOR_TARGET_SPEEDUP, (
+            f"process-mode 4-shard mine only {speedup:.2f}x the "
+            f"thread mode (target {EXECUTOR_TARGET_SPEEDUP}x on "
+            f"{cores} cores)")
+
+
+@pytest.mark.skipif(BIG_TUPLES < 1,
+                    reason="set REPRO_SHARD_BIG_TUPLES to opt in")
+def test_million_tuple_stream_row(backend_name):
+    """Opt-in scale row: a synthetic stream at ``REPRO_SHARD_BIG_TUPLES``
+    (intended: 1e6) tuples, mined once per executor at 8 shards.  At
+    this scale the linear bulk index build and the zero-copy pages are
+    the difference between minutes and hours; exactness is asserted
+    between the two executors (a monolithic reference mine would
+    dominate the runtime, so the thread row is the baseline)."""
+    workload = workloads.paper_scale(n_tuples=BIG_TUPLES, seed=13)
+    rows = [f"tuples={BIG_TUPLES} backend={backend_name} "
+            f"(8 shards x 4 workers, single round)"]
+    json_rows, signatures, seconds = [], {}, {}
+    for executor in EXECUTORS:
+        relation = workload.relation.copy()
+        seconds[executor], manager = time_once(
+            lambda: _sharded(relation, workload, backend_name, 8,
+                             executor=executor, workers=4))
+        signatures[executor] = manager.signature()
+        rows.append(f"{executor:9s} {fmt_ms(seconds[executor])}")
+        json_rows.append({"backend": backend_name, "tuples": BIG_TUPLES,
+                          "executor": executor,
+                          "seconds": seconds[executor],
+                          "identical": True})
+    assert signatures["process"] == signatures["thread"], (
+        "executors diverged at stream scale")
+    record("E11_shard_big_stream", rows)
+    _record_json(f"big_stream:{backend_name}", json_rows)
 
 
 def test_shard_scaling_incremental_flush(shard_workload, backend_name):

@@ -29,6 +29,14 @@ from repro.errors import InvalidThresholdError, MiningError
 from repro.mining.apriori import COUNTER_STRATEGIES
 from repro.mining.backend import DEFAULT_BACKEND
 
+#: Executors a sharded engine may run its phase-1 shard mines on.
+#: ``"thread"`` (default) shares the interpreter — safe everywhere,
+#: but pure-python candidate generation contends on the GIL;
+#: ``"process"`` packs the shard bitmap indexes into shared-memory
+#: pages (:mod:`repro.mining.pages`) and mines in worker processes,
+#: falling back to threads when the platform cannot support it.
+SHARD_EXECUTORS = ("thread", "process")
+
 
 @dataclass(frozen=True, slots=True)
 class EngineConfig:
@@ -55,9 +63,16 @@ class EngineConfig:
     #: are byte-identical to the monolithic ones (SON-style exact
     #: merge).
     shards: int = 1
-    #: Worker threads for the concurrent phase-1 shard mines (``None``
-    #: = min(shards, cpu count)).  Only consulted when ``shards >= 2``.
+    #: Workers for the concurrent phase-1 shard mines (``None`` =
+    #: min(shards, cpu count)).  Only consulted when ``shards >= 2``.
     shard_workers: int | None = None
+    #: Phase-1 executor: ``"thread"`` (default) or ``"process"`` —
+    #: worker processes reading zero-copy shared-memory bitmap pages,
+    #: escaping the GIL for true multi-core mining.  Process mode
+    #: degrades to thread mode when the platform lacks shared memory
+    #: or a worker pool cannot be started; answers are identical
+    #: either way.  Only consulted when ``shards >= 2``.
+    shard_executor: str = "thread"
 
     def __post_init__(self) -> None:
         # Thresholds shares its validation; a bad fraction raises here.
@@ -76,6 +91,10 @@ class EngineConfig:
             raise InvalidThresholdError(
                 f"shard_workers must be >= 1 or None, "
                 f"got {self.shard_workers}")
+        if self.shard_executor not in SHARD_EXECUTORS:
+            raise InvalidThresholdError(
+                f"shard_executor must be one of "
+                f"{', '.join(SHARD_EXECUTORS)}, got {self.shard_executor!r}")
         if self.counter not in COUNTER_STRATEGIES:
             raise MiningError(
                 f"unknown counter strategy {self.counter!r}; choose from "
@@ -150,6 +169,10 @@ class EngineConfigBuilder:
 
     def shard_workers(self, workers: int | None) -> "EngineConfigBuilder":
         self._values["shard_workers"] = workers
+        return self
+
+    def shard_executor(self, executor: str) -> "EngineConfigBuilder":
+        self._values["shard_executor"] = executor
         return self
 
     # -- terminal --------------------------------------------------------------

@@ -285,15 +285,25 @@ class CorrelationEngine:
     # -- initial mining --------------------------------------------------------
 
     def mine(self, *,
-             substrate: EncodedSubstrate | None = None) -> MaintenanceReport:
+             substrate: EncodedSubstrate | None = None,
+             counts: dict[Itemset, int] | None = None) -> MaintenanceReport:
         """From-scratch pass: encode, apply generalizations, run the
         backend's constrained miner at the margined floor, derive rules.
 
         A pre-built :class:`EncodedSubstrate` (the sharded bulk-encode
         path) replaces the per-tuple encode loop; its caller owns label
         application, so the generalizer pass is skipped with it too.
+        ``counts`` additionally skips the search: the sharded engine's
+        process executor runs the identical vertical mine over this
+        engine's bitmap pages in a worker and hands the finished table
+        back — everything else (rule derivation, revision, validation)
+        proceeds exactly as if the search had run here.
         """
         started = time.perf_counter()
+        if counts is not None and substrate is None:
+            raise MaintenanceError(
+                "pre-computed counts require the pre-built substrate "
+                "they were mined from")
         if substrate is not None:
             if (substrate.database.vocabulary is not self.vocabulary
                     or substrate.index.vocabulary is not self.vocabulary):
@@ -325,7 +335,12 @@ class CorrelationEngine:
                 self.database.add(transaction)
                 self.index.add_transaction(tid, transaction)
 
-        if substrate is not None:
+        if counts is not None:
+            # The worker ran exactly the vertical search below over
+            # this engine's own bitmap pages; adopting its table keeps
+            # every following state transition identical.
+            pass
+        elif substrate is not None:
             # A pre-encoded substrate mines on its native vertical
             # path: the bitmap index is already built, and every
             # backend honours the identical table contract (each

@@ -34,7 +34,7 @@ from __future__ import annotations
 import json
 import os
 
-from repro.core.config import EngineConfig
+from repro.core.config import SHARD_EXECUTORS, EngineConfig
 from repro.core.engine import CorrelationEngine
 from repro.errors import FormatError, MaintenanceError
 from repro.mining.backend import DEFAULT_BACKEND
@@ -107,6 +107,7 @@ def snapshot(manager: CorrelationEngine) -> dict:
         document["shards"] = {
             "count": manager.shard_count,
             "workers": manager.config.shard_workers,
+            "executor": manager.config.shard_executor,
             "assignment": manager.assignment(),
         }
     return document
@@ -212,6 +213,12 @@ def _restore_sharded(relation: AnnotatedRelation, config: EngineConfig,
                                     and workers >= 1):
         raise FormatError(
             f"snapshot shard layout has invalid workers {workers!r}")
+    # Absent in snapshots written before the process executor existed:
+    # those engines ran (and restore as) the thread default.
+    executor = sharding.get("executor", "thread")
+    if executor not in SHARD_EXECUTORS:
+        raise FormatError(
+            f"snapshot shard layout has invalid executor {executor!r}")
 
     def partitioner(tid: int) -> int:
         if tid < len(assignment) and assignment[tid] is not None:
@@ -221,7 +228,8 @@ def _restore_sharded(relation: AnnotatedRelation, config: EngineConfig,
     return ShardedEngine(
         relation,
         config.replace(shards=count,
-                       shard_workers=sharding.get("workers")),
+                       shard_workers=sharding.get("workers"),
+                       shard_executor=executor),
         partitioner=partitioner)
 
 

@@ -48,10 +48,25 @@ class BitTidset:
 
     @classmethod
     def from_tids(cls, tids: Iterable[int]) -> "BitTidset":
-        bits = 0
+        """Bulk-build from a tid iterable.
+
+        Sets bits in a ``bytearray`` (amortized-doubling growth) and
+        converts once with ``int.from_bytes``: O(tids + max_tid/8)
+        total.  The obvious per-tid ``bits |= 1 << tid`` rebuilds the
+        whole big int on every insertion — quadratic on large sparse
+        tid ranges (see ``bench_counting_substrate.py``).
+        """
+        buf = bytearray(8)
+        size = 8
         for tid in tids:
-            bits |= 1 << tid
-        return cls(bits)
+            if tid < 0:
+                raise ValueError(f"tids must be non-negative, got {tid}")
+            byte = tid >> 3
+            if byte >= size:
+                size = max(byte + 1, size * 2)
+                buf.extend(bytes(size - len(buf)))
+            buf[byte] |= 1 << (tid & 7)
+        return cls(int.from_bytes(buf, "little"))
 
     @property
     def bits(self) -> int:
@@ -139,13 +154,26 @@ class BitmapIndex:
     @classmethod
     def from_transactions(cls, transactions: Sequence[Transaction]
                           ) -> "BitmapIndex":
-        """Index a horizontal database (tid == position)."""
+        """Index a horizontal database (tid == position).
+
+        One pass over per-item ``bytearray`` pages, converted to big
+        ints once at the end — ``bits |= 1 << tid`` per occurrence
+        would copy each item's whole vector per transaction, which is
+        quadratic at million-tuple scale.
+        """
         index = cls()
-        bits = index._bits
+        buffers: dict[int, bytearray] = {}
         for tid, transaction in enumerate(transactions):
-            mask = 1 << tid
+            byte, mask = tid >> 3, 1 << (tid & 7)
             for item in transaction:
-                bits[item] = bits.get(item, 0) | mask
+                buf = buffers.get(item)
+                if buf is None:
+                    buffers[item] = buf = bytearray(8)
+                if byte >= len(buf):
+                    buf.extend(bytes(max(byte + 1, len(buf) * 2) - len(buf)))
+                buf[byte] |= mask
+        index._bits = {item: int.from_bytes(buf, "little")
+                       for item, buf in buffers.items()}
         return index
 
     # -- maintenance ---------------------------------------------------------

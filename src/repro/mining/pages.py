@@ -1,0 +1,458 @@
+"""Shared-memory bitmap pages: the fixed-width counting substrate.
+
+:mod:`repro.mining.bitmap` stores every tidset as one Python big int —
+the cheapest *in-process* exact representation, but one that cannot be
+placed in a ``multiprocessing.shared_memory`` block: big ints are
+PyObjects, private to their interpreter.  This module gives the same
+bitmaps a second, process-portable form: each item's tidset is a
+**page** of little-endian bytes (bit ``t`` set iff tid ``t`` holds the
+item), and all pages of all shards are packed into one shared-memory
+**segment** a worker process attaches by name and reads zero-copy.
+
+Three layers:
+
+* :class:`BufferTidset` — a :class:`~repro.mining.bitmap.BitTidset`
+  whose bit vector lives in a buffer page.  The big int is materialized
+  lazily (one C-level ``int.from_bytes`` pass, cached), so every
+  inherited set operation — ``&``, ``|``, ``-``, ``len``, ``in``,
+  iteration, truthiness — runs at big-int speed on first touch and the
+  page itself is never copied before that.
+* :class:`BitmapPageSegment` — the page allocator.  :meth:`~BitmapPageSegment.pack`
+  lays out per-shard item directories and pages into one segment;
+  :meth:`~BitmapPageSegment.attach` opens an existing segment by name
+  (the whole transfer between processes is that name string — no
+  pickling of indexes in either direction).
+* :class:`PagedBitmapIndex` — the read-only index view over one
+  shard's pages, implementing the same counting surface and
+  ``as_mapping()`` contract as :class:`~repro.mining.bitmap.BitmapIndex`,
+  so the vertical miners and the SON phase-2 merge run on it unchanged.
+
+Lifecycle discipline: the *owner* (the process that packed the
+segment) must :meth:`~BitmapPageSegment.close` and
+:meth:`~BitmapPageSegment.unlink` it; attachers only close.  A
+module-level ``atexit`` net unlinks any segment its creating process
+leaked, so a crashed mine cannot strand ``/dev/shm`` blocks.  (Forked
+``multiprocessing`` workers exit via ``os._exit`` and never run the
+net, so a worker can never unlink its parent's live segment.)
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from collections.abc import Iterator, Mapping, Sequence
+
+from repro.errors import MiningError
+from repro.mining.bitmap import BitTidset
+from repro.mining.itemsets import Itemset
+
+#: Page payloads and directory words are fixed-width little-endian.
+WORD_BYTES = 8
+#: First directory word of every segment — catches attaching to a
+#: foreign shared-memory block by name collision.
+_MAGIC = 0x5245_5052_4F50_4731  # "REPROPG1"
+
+#: Segments created (and not yet unlinked) by *this* process, for the
+#: atexit net and the leak assertions in tests.  Keyed by name.
+_LIVE_SEGMENTS: dict[str, "BitmapPageSegment"] = {}
+_OWNER_PID = os.getpid()
+
+
+def live_segments() -> tuple[str, ...]:
+    """Names of segments this process created and has not yet unlinked.
+
+    Test hook: after any mine/drain/restore this must be empty — a
+    non-empty result is a leaked ``/dev/shm`` block.
+    """
+    return tuple(sorted(_LIVE_SEGMENTS))
+
+
+def _cleanup_at_exit() -> None:
+    # Only the creating process may unlink; a fork that somehow reaches
+    # interpreter exit (it normally leaves via os._exit) must not tear
+    # down segments its parent is still serving from.
+    if os.getpid() != _OWNER_PID:
+        return
+    for segment in list(_LIVE_SEGMENTS.values()):
+        try:
+            segment.close()
+            segment.unlink()
+        except OSError:  # pragma: no cover - best-effort net
+            pass
+
+
+atexit.register(_cleanup_at_exit)
+
+
+def _untrack(shm) -> None:
+    """Remove ``shm`` from this process's multiprocessing resource
+    tracker.
+
+    Python < 3.13 registers every ``SharedMemory`` construction with
+    the tracker — *attaches* included.  An attacher must back that
+    registration out: under spawn its private tracker would otherwise
+    unlink the owner's live segment when the worker exits, and under
+    fork the extra unregister-on-attach pairing against the *shared*
+    tracker's deduplicated register set makes the owner's later
+    ``unlink()`` print ``KeyError`` noise.  (:meth:`BitmapPageSegment.unlink`
+    re-registers just before unlinking so the tracker's books stay
+    balanced on the owner side — see :func:`_track`.)
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+
+
+def _track(shm) -> None:
+    """(Re-)register ``shm`` with the resource tracker.
+
+    The tracker's register set is deduplicated, so this is a no-op when
+    the owner's create-time registration still stands; when a forked
+    worker's attach-side :func:`_untrack` consumed it, this restores
+    the entry the ``SharedMemory.unlink`` internals are about to
+    unregister.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+
+
+class BufferTidset(BitTidset):
+    """A :class:`BitTidset` whose bits live in a (shared) buffer page.
+
+    The instance holds ``(base, start, stop)`` into the segment's
+    buffer; the inherited big int is materialized on first use via
+    ``__getattr__`` (an unset slot raises ``AttributeError``, which
+    routes here exactly once) and cached in the ``_bits`` slot, after
+    which the object is indistinguishable from a plain ``BitTidset``.
+    Set operations therefore cost the same as big-int tidsets, and a
+    page that no candidate ever touches is never copied at all.
+
+    Instances are only valid while their segment is open; materializing
+    after ``close()`` raises ``ValueError`` (released memoryview).
+    """
+
+    __slots__ = ("_base", "_start", "_stop")
+
+    def __init__(self, base: memoryview, start: int, stop: int) -> None:
+        # Deliberately no super().__init__: the _bits slot stays unset
+        # until first materialization.
+        self._base = base
+        self._start = start
+        self._stop = stop
+
+    def __getattr__(self, name: str):
+        if name == "_bits":
+            view = self._base[self._start:self._stop]
+            try:
+                bits = int.from_bytes(view, "little")
+            finally:
+                view.release()
+            self._bits = bits
+            return bits
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    @property
+    def page_bytes(self) -> int:
+        """Size of the backing page in bytes (fixed at pack time)."""
+        return self._stop - self._start
+
+
+def _bits_of(value) -> int:
+    """Raw bit vector of a tidset-like packing input (int or BitTidset)."""
+    if isinstance(value, int):
+        return value
+    return value.bits
+
+
+class BitmapPageSegment:
+    """All shards' bitmap pages in one shared-memory block.
+
+    Layout (offsets in bytes, every word little-endian ``u64``)::
+
+        [magic][header_words][shard_count]
+        per shard: [n_items] then n_items x [item][offset][nbytes]
+        ... pages (offset/nbytes are absolute within the segment) ...
+
+    The directory is embedded, so :meth:`attach` needs nothing but the
+    segment name — the parent never pickles an index to a worker and a
+    worker never pickles one back.
+    """
+
+    def __init__(self, shm, directory: list[list[tuple[int, int, int]]],
+                 *, owner: bool) -> None:
+        self._shm = shm
+        self._directory = directory
+        self._owner = owner
+        self._views: dict[int, "_PagedView"] = {}
+        self._closed = False
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def pack(cls, shard_maps: Sequence[Mapping[int, object]]
+             ) -> "BitmapPageSegment":
+        """Allocate a segment holding one page per (shard, item).
+
+        ``shard_maps`` is one item -> tidset mapping per shard — raw
+        ``int`` bit vectors or anything with a ``.bits`` property
+        (:class:`BitTidset`, a :meth:`BitmapIndex.as_mapping` view).
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        header_words = 3
+        payload_bytes = 0
+        prepared: list[list[tuple[int, int, int]]] = []
+        for shard_map in shard_maps:
+            entries = []
+            for item in sorted(shard_map):
+                bits = _bits_of(shard_map[item])
+                nbytes = (bits.bit_length() + 7) // 8
+                entries.append((item, bits, nbytes))
+                payload_bytes += nbytes
+            prepared.append(entries)
+            header_words += 1 + 3 * len(entries)
+
+        header_bytes = header_words * WORD_BYTES
+        total = max(header_bytes + payload_bytes, 1)
+        shm = None
+        for _ in range(16):
+            name = f"repro_pages_{os.getpid():x}_{secrets.token_hex(4)}"
+            try:
+                shm = SharedMemory(name=name, create=True, size=total)
+                break
+            except FileExistsError:  # pragma: no cover - 2^32 collision
+                continue
+        if shm is None:  # pragma: no cover - exhausted retries
+            raise MiningError("could not allocate a shared bitmap segment")
+
+        buf = shm.buf
+        words = [_MAGIC, header_words, len(prepared)]
+        directory: list[list[tuple[int, int, int]]] = []
+        offset = header_bytes
+        for entries in prepared:
+            words.append(len(entries))
+            shard_dir = []
+            for item, bits, nbytes in entries:
+                words.extend((item, offset, nbytes))
+                buf[offset:offset + nbytes] = bits.to_bytes(nbytes, "little")
+                shard_dir.append((item, offset, nbytes))
+                offset += nbytes
+            directory.append(shard_dir)
+        buf[:header_bytes] = b"".join(
+            word.to_bytes(WORD_BYTES, "little") for word in words)
+
+        segment = cls(shm, directory, owner=True)
+        _LIVE_SEGMENTS[shm.name] = segment
+        return segment
+
+    @classmethod
+    def attach(cls, name: str) -> "BitmapPageSegment":
+        """Open an existing segment read-only by name (worker side)."""
+        from multiprocessing.shared_memory import SharedMemory
+
+        shm = SharedMemory(name=name)
+        _untrack(shm)
+        try:
+            directory = cls._read_directory(shm.buf)
+        except Exception:
+            shm.close()
+            raise
+        return cls(shm, directory, owner=False)
+
+    @staticmethod
+    def _read_directory(buf: memoryview) -> list[list[tuple[int, int, int]]]:
+        def word(index: int) -> int:
+            view = buf[index * WORD_BYTES:(index + 1) * WORD_BYTES]
+            try:
+                return int.from_bytes(view, "little")
+            finally:
+                view.release()
+
+        if word(0) != _MAGIC:
+            raise MiningError(
+                "shared-memory block is not a repro bitmap segment "
+                "(bad magic)")
+        header_words = word(1)
+        shard_count = word(2)
+        cursor = 3
+        directory: list[list[tuple[int, int, int]]] = []
+        for _ in range(shard_count):
+            n_items = word(cursor)
+            cursor += 1
+            entries = []
+            for _ in range(n_items):
+                entries.append((word(cursor), word(cursor + 1),
+                                word(cursor + 2)))
+                cursor += 3
+            directory.append(entries)
+        if cursor != header_words:
+            raise MiningError(
+                f"bitmap segment directory is inconsistent: parsed "
+                f"{cursor} header words, header claims {header_words}")
+        return directory
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The attach key: the only thing workers receive."""
+        return self._shm.name
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._directory)
+
+    @property
+    def is_owner(self) -> bool:
+        return self._owner
+
+    def shard_mapping(self, shard: int) -> "_PagedView":
+        """Read-only item -> :class:`BufferTidset` mapping of one shard
+        (the ``as_mapping()`` shape the vertical miners and the SON
+        merge consume).  Views are cached, so each item materializes
+        its big int at most once per attached process.
+        """
+        if self._closed:
+            raise MiningError("bitmap segment is closed")
+        view = self._views.get(shard)
+        if view is None:
+            if not 0 <= shard < len(self._directory):
+                raise MiningError(
+                    f"segment holds shards 0..{len(self._directory) - 1}, "
+                    f"asked for {shard}")
+            base = self._shm.buf
+            view = _PagedView({
+                item: BufferTidset(base, offset, offset + nbytes)
+                for item, offset, nbytes in self._directory[shard]})
+            self._views[shard] = view
+        return view
+
+    def shard_index(self, shard: int) -> "PagedBitmapIndex":
+        """The full read-only counting index over one shard's pages."""
+        return PagedBitmapIndex(self.shard_mapping(shard))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release this process's mapping (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._views.clear()
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; implies :meth:`close`)."""
+        if not self._owner:
+            raise MiningError("only the owning process may unlink a segment")
+        self.close()
+        _LIVE_SEGMENTS.pop(self._shm.name, None)
+        try:
+            # Balance the unregister inside SharedMemory.unlink (a
+            # forked worker's attach-side _untrack may have consumed
+            # this process's create-time registration).
+            _track(self._shm)
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            _untrack(self._shm)
+
+    def __enter__(self) -> "BitmapPageSegment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()
+
+
+class _PagedView(Mapping):
+    """Read-only item -> :class:`BufferTidset` view over one shard.
+
+    Same contract as :class:`repro.mining.bitmap._TidsetView`: the
+    Mapping ABC exposes no setters and every value is an (immutable)
+    tidset, so a consumer cannot corrupt the segment through it.
+    """
+
+    __slots__ = ("_pages",)
+
+    def __init__(self, pages: dict[int, BufferTidset]) -> None:
+        self._pages = pages
+
+    def __getitem__(self, item: int) -> BufferTidset:
+        return self._pages[item]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._pages)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._pages
+
+
+class PagedBitmapIndex:
+    """Read-only :class:`~repro.mining.bitmap.BitmapIndex` counterpart
+    over a segment's pages: same queries, same ``as_mapping()`` shape,
+    no maintenance surface (pages are immutable once packed)."""
+
+    __slots__ = ("_view",)
+
+    def __init__(self, view: _PagedView) -> None:
+        self._view = view
+
+    def tidset(self, item: int) -> BitTidset:
+        tids = self._view._pages.get(item)
+        return tids if tids is not None else BitTidset(0)
+
+    def frequency(self, item: int) -> int:
+        return len(self.tidset(item))
+
+    def count(self, itemset: Itemset) -> int:
+        """Support of ``itemset`` by page intersection."""
+        if not itemset:
+            raise ValueError(
+                "PagedBitmapIndex.count requires a non-empty itemset")
+        result = -1  # all-ones: identity for &
+        pages = self._view._pages
+        for item in itemset:
+            tids = pages.get(item)
+            if tids is None:
+                return 0
+            result &= tids.bits
+            if not result:
+                return 0
+        return result.bit_count()
+
+    def tids_of(self, itemset: Itemset) -> set[int]:
+        if not itemset:
+            raise ValueError("tids_of requires a non-empty itemset")
+        result = -1
+        pages = self._view._pages
+        for item in itemset:
+            tids = pages.get(item)
+            if tids is None:
+                return set()
+            result &= tids.bits
+        return set(BitTidset(result))
+
+    def items(self) -> list[int]:
+        return sorted(self._view._pages)
+
+    def as_mapping(self) -> _PagedView:
+        return self._view
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._view._pages
+
+    def __len__(self) -> int:
+        return len(self._view._pages)

@@ -23,8 +23,18 @@ at every point of any event stream.
 Lifecycle:
 
 * :meth:`mine` — partition, bulk-encode one substrate per shard
-  (:mod:`repro.shard.partition`), run the phase-1 local mines on a
-  thread pool (``EngineConfig.shard_workers``), then merge;
+  (:mod:`repro.shard.partition`), run the phase-1 local mines
+  concurrently (``EngineConfig.shard_workers`` on the
+  ``EngineConfig.shard_executor`` pool), then merge.  With
+  ``shard_executor="process"`` every shard's bitmap index is packed
+  into one shared-memory segment (:mod:`repro.mining.pages`); worker
+  processes receive nothing but the segment *name* plus plain floor /
+  constraint data, attach, run the identical vertical search zero-copy
+  over the pages, and return the small per-shard count tables, which
+  the shard engines adopt — escaping the GIL without pickling an index
+  in either direction.  Phase 2 then counts straight off the same
+  pages.  Any platform that cannot run the pool degrades to the thread
+  path; the answers are byte-identical either way;
 * :meth:`apply_batch` (inherited) — compiles the global delta plan
   with all the usual guards, then the overridden plan application
   routes per-shard sub-plans (:func:`repro.core.deltas.split_plan`):
@@ -35,6 +45,7 @@ Lifecycle:
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -42,7 +53,10 @@ from repro.core.config import EngineConfig
 from repro.core.deltas import DeltaPlan, split_plan
 from repro.core.engine import CorrelationEngine
 from repro.core.maintenance import BatchReport, MaintenanceReport
-from repro.errors import MaintenanceError
+from repro.errors import MaintenanceError, MiningError
+from repro.mining.constraints import FrozenRelevanceConstraint
+from repro.mining.eclat import mine_frequent_itemsets_vertical
+from repro.mining.pages import BitmapPageSegment
 from repro.mining.son import candidate_union, merge_counts
 from repro.relation.relation import AnnotatedRelation
 from repro.shard.partition import (
@@ -52,6 +66,40 @@ from repro.shard.partition import (
     substrates_for,
 )
 from repro.shard.views import ShardDatabaseView, ShardIndexView
+
+
+def _mine_shard(task):
+    """Thread-pool phase-1 worker.
+
+    Module-level (not a lambda) so the exact same callable could be
+    shipped to a process pool — and so tracebacks name it.
+    """
+    shard_engine, shard_substrate = task
+    return shard_engine.mine(substrate=shard_substrate)
+
+
+def _mine_shard_from_pages(task):
+    """Process-pool phase-1 worker.
+
+    Receives only plain picklable data — the segment *name*, the shard
+    number, the shard's margined floor, the frozen annotation-like id
+    snapshot and the length cap — attaches the shared segment, runs the
+    identical vertical search the shard engine's substrate mine would
+    run (same floor, same constraint decisions, same index bits, read
+    zero-copy from the pages), and returns the small count table.
+    """
+    name, shard, min_count, annotation_like, max_length = task
+    segment = BitmapPageSegment.attach(name)
+    try:
+        return mine_frequent_itemsets_vertical(
+            (),
+            min_count=min_count,
+            constraint=FrozenRelevanceConstraint(annotation_like),
+            max_length=max_length,
+            index=segment.shard_mapping(shard),
+        )
+    finally:
+        segment.close()
 
 
 class ShardedEngine(CorrelationEngine):
@@ -68,6 +116,10 @@ class ShardedEngine(CorrelationEngine):
         self._partitioner = (partitioner if partitioner is not None
                              else modulo_partitioner(self.shard_count))
         self._shards: list[CorrelationEngine] = []
+        #: Shared bitmap-page segment alive only inside :meth:`mine`'s
+        #: process-parallel path (phase 1 workers and the phase-2 merge
+        #: read it); always released before mine() returns.
+        self._segment: BitmapPageSegment | None = None
         #: shard -> local tid -> global tid (dense, grows with inserts).
         self._global_of: list[list[int]] = []
         #: global tid -> (shard, local tid); tombstones at partition
@@ -139,27 +191,88 @@ class ShardedEngine(CorrelationEngine):
         # phase-1 mines below only read the shared vocabulary.
         substrates = substrates_for(relations, self.vocabulary)
 
-        workers = self._workers()
-        if workers > 1 and self.shard_count > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                # list() drains the iterator so any shard's exception
-                # surfaces here, not at garbage collection.
-                list(pool.map(
-                    lambda pair: pair[0].mine(substrate=pair[1]),
-                    zip(self._shards, substrates)))
-        else:
-            for shard_engine, shard_substrate in zip(self._shards,
-                                                     substrates):
-                shard_engine.mine(substrate=shard_substrate)
+        try:
+            workers = self._workers()
+            if workers > 1 and self.shard_count > 1:
+                dispatched = False
+                if self.config.shard_executor == "process":
+                    dispatched = self._mine_in_processes(substrates, workers)
+                if not dispatched:
+                    with ThreadPoolExecutor(max_workers=workers) as pool:
+                        # list() drains the iterator so any shard's
+                        # exception surfaces here, not at garbage
+                        # collection.
+                        list(pool.map(_mine_shard,
+                                      zip(self._shards, substrates)))
+            else:
+                for shard_engine, shard_substrate in zip(self._shards,
+                                                         substrates):
+                    shard_engine.mine(substrate=shard_substrate)
 
-        self._mined = True
-        self._relation_version = self.relation.version
-        report = MaintenanceReport(event="mine", db_size=self.db_size)
-        self._merge(report)
-        self._revision += 1
-        report.duration_seconds = time.perf_counter() - started
-        self._finish(report)
-        return report
+            self._mined = True
+            self._relation_version = self.relation.version
+            report = MaintenanceReport(event="mine", db_size=self.db_size)
+            self._merge(report)
+            self._revision += 1
+            report.duration_seconds = time.perf_counter() - started
+            self._finish(report)
+            return report
+        finally:
+            self._release_segment()
+
+    def _mine_in_processes(self, substrates, workers: int) -> bool:
+        """Phase 1 on a process pool over shared bitmap pages.
+
+        Packs every shard's bitmap index into one segment, maps the
+        shards over worker processes (:func:`_mine_shard_from_pages`),
+        and adopts the returned count tables into the shard engines via
+        ``mine(substrate=..., counts=...)`` — every state transition
+        after the search is then identical to the thread path, so the
+        merged table and ``signature()`` are too.  The segment stays
+        alive for the phase-2 merge; :meth:`mine` releases it.
+
+        Returns ``False`` (degrade to threads, nothing mutated) when
+        the platform cannot allocate shared memory or start the pool.
+        A *mining* failure inside a worker is not a platform problem
+        and propagates, exactly as the thread path would raise it.
+        """
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+        except ImportError:  # pragma: no cover - no _multiprocessing
+            return False
+        try:
+            self._segment = BitmapPageSegment.pack(
+                [substrate.index.as_mapping() for substrate in substrates])
+        except (OSError, MiningError):  # pragma: no cover - no /dev/shm
+            return False
+        annotation_like = frozenset(self.vocabulary.annotation_like_ids())
+        tasks = [
+            (self._segment.name, shard,
+             shard_engine.thresholds.keep_count(shard_engine.db_size),
+             annotation_like, shard_engine.max_length)
+            for shard, shard_engine in enumerate(self._shards)
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                tables = list(pool.map(_mine_shard_from_pages, tasks))
+        except (OSError, BrokenProcessPool, pickle.PicklingError):
+            # Pool never started or died under us (sandboxed fork,
+            # missing sem support, OOM-killed worker): the shard
+            # engines are untouched, so the thread path can take over.
+            self._release_segment()
+            return False
+        for shard_engine, shard_substrate, table in zip(
+                self._shards, substrates, tables):
+            shard_engine.mine(substrate=shard_substrate, counts=table)
+        return True
+
+    def _release_segment(self) -> None:
+        """Tear down the shared segment (idempotent; owner unlinks)."""
+        segment, self._segment = self._segment, None
+        if segment is not None:
+            segment.close()
+            segment.unlink()
 
     # -- the SON merge ----------------------------------------------------------
 
@@ -170,10 +283,18 @@ class ShardedEngine(CorrelationEngine):
         floor = self.thresholds.keep_count(self.db_size)
         union = candidate_union(
             shard.table for shard in self._shards)
-        merged = merge_counts(
-            union,
-            [shard.index.as_mapping() for shard in self._shards],
-            floor=floor)
+        if self._segment is not None:
+            # Initial process-parallel mine: count straight off the
+            # shared pages.  They hold the same bits as the freshly
+            # adopted shard indexes (they were packed from them and
+            # nothing has mutated since), so the merged table is
+            # identical — without touching per-shard Python state.
+            shard_indexes = [self._segment.shard_mapping(shard)
+                             for shard in range(self.shard_count)]
+        else:
+            shard_indexes = [shard.index.as_mapping()
+                             for shard in self._shards]
+        merged = merge_counts(union, shard_indexes, floor=floor)
         self.table.replace(merged)
         self._refresh_rules(report)
 

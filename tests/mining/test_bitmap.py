@@ -50,6 +50,37 @@ class TestBitTidset:
         with pytest.raises(ValueError):
             BitTidset(-1)
 
+    def test_from_tids_negative_tid_rejected(self):
+        with pytest.raises(ValueError):
+            BitTidset.from_tids([3, -1])
+
+    def test_from_tids_word_boundaries(self):
+        """The bulk (bytearray) build is exact at every byte/word seam
+        and for duplicates — same bits as the per-tid reference."""
+        edge_tids = [0, 7, 8, 63, 64, 65, 127, 128, 511, 512, 4096, 0, 64]
+        bulk = BitTidset.from_tids(edge_tids)
+        reference = 0
+        for tid in edge_tids:
+            reference |= 1 << tid
+        assert bulk.bits == reference
+        assert set(bulk) == set(edge_tids)
+
+    def test_from_tids_matches_shift_reference_randomized(self, seeds):
+        rng = seeds.rng(61)
+        for _ in range(25):
+            tids = [rng.randrange(0, rng.choice((9, 65, 1025, 70_000)))
+                    for _ in range(rng.randint(0, 60))]
+            reference = 0
+            for tid in tids:
+                reference |= 1 << tid
+            assert BitTidset.from_tids(tids).bits == reference
+
+    def test_from_tids_empty_and_singleton(self):
+        assert BitTidset.from_tids([]).bits == 0
+        assert not BitTidset.from_tids([])
+        assert BitTidset.from_tids([0]).bits == 1
+        assert BitTidset.from_tids(iter([70_001])).bits == 1 << 70_001
+
 
 class TestBitmapIndex:
     def test_from_transactions(self):

@@ -1,0 +1,225 @@
+"""Differential suite: shared-memory pages ≡ big-int bitmaps.
+
+The buffer-backed substrate (:mod:`repro.mining.pages`) must be
+*indistinguishable* from the in-process big-int substrate
+(:mod:`repro.mining.bitmap`): every tidset operation the vertical
+miners use, every index query, and the SON phase-2 merge must produce
+identical answers whether the bits live in a Python int or in a
+shared-memory page.  Randomized op sequences are seeded through the
+session router (replay any failure with ``--seed``); fixed cases pin
+the byte/word seams and the tid-0 / max-tid edges.
+
+Every test asserts the leak invariant on exit: no segment created here
+may outlive its test (``live_segments()`` empty).
+"""
+
+import pytest
+
+from repro.mining.bitmap import BitmapIndex, BitTidset
+from repro.mining.eclat import mine_frequent_itemsets_vertical
+from repro.mining.pages import (
+    BitmapPageSegment,
+    BufferTidset,
+    live_segments,
+)
+from repro.mining.son import merge_counts
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test in this module must tear down what it packs."""
+    before = live_segments()
+    yield
+    assert live_segments() == before, (
+        "test leaked shared-memory segments")
+
+
+def packed_tidsets(tid_sets):
+    """One segment holding ``tid_sets`` as items 0..n-1 of shard 0,
+    plus the equivalent big-int tidsets."""
+    big = {item: BitTidset.from_tids(tids)
+           for item, tids in enumerate(tid_sets)}
+    segment = BitmapPageSegment.pack([big])
+    paged = segment.shard_mapping(0)
+    return segment, big, paged
+
+
+FIXED_CASES = [
+    [set()],
+    [{0}],
+    [{63}, {64}, {65}],                      # word seam
+    [{7, 8}, {0, 7, 8, 15, 16}],             # byte seams
+    [{0, 511, 512, 513}],
+    [set(range(64))],                        # dense full word
+    [set(range(130)), {129}],                # max tid at an odd width
+    [{0}, set(), {70_000}],                  # empty page between pages
+]
+
+
+class TestBufferTidsetDifferential:
+    @pytest.mark.parametrize("tid_sets", FIXED_CASES)
+    def test_fixed_edge_cases(self, tid_sets):
+        with BitmapPageSegment.pack(
+                [{item: BitTidset.from_tids(tids)
+                  for item, tids in enumerate(tid_sets)}]) as segment:
+            paged = segment.shard_mapping(0)
+            for item, tids in enumerate(tid_sets):
+                buffered = paged[item]
+                assert isinstance(buffered, BufferTidset)
+                assert set(buffered) == tids
+                assert len(buffered) == len(tids)
+                assert bool(buffered) == bool(tids)
+                assert buffered.bits == BitTidset.from_tids(tids).bits
+
+    def test_randomized_op_sequences(self, seeds):
+        """Random ``&``/``|``/``-``/len/in/iter/truthiness programs
+        agree between the two representations, in both mixed orders
+        (buffer op big-int and big-int op buffer)."""
+        rng = seeds.rng(83)
+        for _ in range(15):
+            universe = rng.choice((70, 65, 513))
+            tid_sets = [
+                set(rng.sample(range(universe),
+                               rng.randint(0, universe // 2)))
+                for _ in range(rng.randint(1, 6))
+            ]
+            segment, big, paged = packed_tidsets(tid_sets)
+            with segment:
+                for _ in range(40):
+                    left = rng.randrange(len(tid_sets))
+                    right = rng.randrange(len(tid_sets))
+                    op = rng.choice(("&", "|", "-", "len", "in", "iter",
+                                     "bool", "disjoint"))
+                    if op == "in":
+                        probe = rng.randrange(universe + 2)
+                        reference = probe in big[left]
+                        mixed = buffered = probe in paged[left]
+                    else:
+                        reference, mixed, buffered = {
+                            "&": lambda: (big[left] & big[right],
+                                          big[left] & paged[right],
+                                          paged[left] & paged[right]),
+                            "|": lambda: (big[left] | big[right],
+                                          big[left] | paged[right],
+                                          paged[left] | paged[right]),
+                            "-": lambda: (big[left] - big[right],
+                                          big[left] - paged[right],
+                                          paged[left] - paged[right]),
+                            "len": lambda: (len(big[left]),) + (
+                                len(paged[left]),) * 2,
+                            "iter": lambda: (list(big[left]),) + (
+                                list(paged[left]),) * 2,
+                            "bool": lambda: (bool(big[left]),) + (
+                                bool(paged[left]),) * 2,
+                            "disjoint": lambda: (
+                                big[left].isdisjoint(big[right]),
+                                big[left].isdisjoint(paged[right]),
+                                paged[left].isdisjoint(paged[right])),
+                        }[op]()
+                    assert mixed == reference, op
+                    assert buffered == reference, op
+
+    def test_materialization_is_lazy_and_cached(self):
+        with BitmapPageSegment.pack(
+                [{5: BitTidset.from_tids({1, 64})}]) as segment:
+            tidset = segment.shard_mapping(0)[5]
+            # Reading through the slot descriptor bypasses __getattr__:
+            # the _bits slot must be unset until an operation needs it.
+            slot = BitTidset.__dict__["_bits"]
+            with pytest.raises(AttributeError):
+                slot.__get__(tidset, type(tidset))
+            assert len(tidset) == 2          # materializes
+            assert slot.__get__(tidset, type(tidset)) == tidset.bits
+            assert tidset.bits == (1 << 1) | (1 << 64)
+            assert tidset.page_bytes == 9
+
+    def test_closed_segment_blocks_fresh_materialization(self):
+        segment = BitmapPageSegment.pack(
+            [{1: BitTidset.from_tids({3}), 2: BitTidset.from_tids({9})}])
+        view = segment.shard_mapping(0)
+        touched = view[1]
+        assert 3 in touched                  # cached before close
+        untouched = view[2]
+        segment.close()
+        segment.unlink()
+        assert 3 in touched                  # survives on its cache
+        with pytest.raises(ValueError):
+            len(untouched)                   # released buffer
+
+
+class TestPagedIndexDifferential:
+    def test_index_queries_match_bitmap_index(self, seeds):
+        rng = seeds.rng(89)
+        for _ in range(8):
+            transactions = [
+                frozenset(rng.sample(range(12), rng.randint(0, 7)))
+                for _ in range(rng.randint(1, 40))
+            ]
+            reference = BitmapIndex.from_transactions(transactions)
+            with BitmapPageSegment.pack(
+                    [reference.as_mapping()]) as segment:
+                paged = segment.shard_index(0)
+                assert paged.items() == reference.items()
+                assert len(paged) == len(reference)
+                for item in reference.items():
+                    assert item in paged
+                    assert paged.frequency(item) == reference.frequency(item)
+                    assert paged.tidset(item) == reference.tidset(item)
+                items = reference.items()
+                for _ in range(20):
+                    itemset = tuple(sorted(rng.sample(
+                        items, rng.randint(1, min(4, len(items))))))
+                    assert paged.count(itemset) == reference.count(itemset)
+                    assert paged.tids_of(itemset) == reference.tids_of(
+                        itemset)
+                assert paged.count((99,)) == 0
+                assert paged.frequency(99) == 0
+                with pytest.raises(ValueError):
+                    paged.count(())
+                with pytest.raises(ValueError):
+                    paged.tids_of(())
+
+    def test_vertical_mine_identical_over_pages(self, seeds):
+        """The eclat search itself — extensions ordering, DFS, floors —
+        returns the identical table over pages and big ints."""
+        rng = seeds.rng(97)
+        for _ in range(5):
+            transactions = [
+                frozenset(rng.sample(range(10), rng.randint(1, 6)))
+                for _ in range(rng.randint(5, 30))
+            ]
+            index = BitmapIndex.from_transactions(transactions)
+            floor = rng.randint(1, 4)
+            expected = mine_frequent_itemsets_vertical(
+                transactions, min_count=floor, index=index.as_mapping())
+            with BitmapPageSegment.pack([index.as_mapping()]) as segment:
+                got = mine_frequent_itemsets_vertical(
+                    (), min_count=floor, index=segment.shard_mapping(0))
+            assert got == expected
+
+    def test_merge_counts_identical_over_pages(self, seeds):
+        """SON phase 2 over shard pages equals phase 2 over the live
+        shard bitmap indexes — the zero-copy merge path."""
+        rng = seeds.rng(101)
+        shard_indexes = []
+        for _ in range(3):
+            transactions = [
+                frozenset(rng.sample(range(9), rng.randint(0, 5)))
+                for _ in range(rng.randint(1, 25))
+            ]
+            shard_indexes.append(BitmapIndex.from_transactions(transactions))
+        union = set()
+        for index in shard_indexes:
+            union.update(
+                mine_frequent_itemsets_vertical(
+                    (), min_count=2, index=index.as_mapping()))
+        reference = merge_counts(
+            union, [index.as_mapping() for index in shard_indexes], floor=4)
+        with BitmapPageSegment.pack(
+                [index.as_mapping() for index in shard_indexes]) as segment:
+            assert segment.shard_count == 3
+            paged = merge_counts(
+                union,
+                [segment.shard_mapping(shard) for shard in range(3)],
+                floor=4)
+        assert paged == reference

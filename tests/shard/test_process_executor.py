@@ -1,0 +1,192 @@
+"""Process-parallel phase 1: shared pages, fallback, persistence.
+
+The ``shard_executor="process"`` path runs the shard mines in worker
+processes over one shared-memory bitmap segment.  These tests pin its
+whole contract: byte-identical answers to the monolithic engine (mine
+*and* subsequent maintenance), graceful degradation to the thread pool
+when the platform cannot run a process pool, picklable workers, no
+leaked ``/dev/shm`` segments under any exit, and the executor choice
+round-tripping through the v3 snapshot format (absent in older
+snapshots == the thread default).
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.config import SHARD_EXECUTORS, EngineConfig
+from repro.core.engine import CorrelationEngine
+from repro.core import persistence
+from repro.errors import FormatError, InvalidThresholdError
+from repro.mining.constraints import (
+    CombinedRelevanceConstraint,
+    FrozenRelevanceConstraint,
+)
+from repro.mining.pages import live_segments
+from repro.shard import ShardedEngine
+from repro.shard.engine import _mine_shard, _mine_shard_from_pages
+from repro.synth.streams import EventStream, StreamConfig, apply_to_relation
+from tests.conftest import assert_equivalent_to_remine, make_relation
+
+CONFIG = EngineConfig(min_support=0.25, min_confidence=0.6, validate=True)
+#: shard_workers pinned to 2: single-core CI reports cpu_count 1, which
+#: would quietly serialize phase 1 and never start the pool under test.
+PROCESS = CONFIG.replace(shards=3, shard_workers=2,
+                         shard_executor="process")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    before = live_segments()
+    yield
+    assert live_segments() == before, (
+        "engine leaked shared-memory segments")
+
+
+def drawn_events(relation, count, seed):
+    shadow = relation.copy()
+    stream = EventStream(shadow, StreamConfig(seed=seed, batch_size=4))
+    return list(stream.take(
+        count, apply=lambda event: apply_to_relation(shadow, event)))
+
+
+def _exploding_worker(task):
+    """Module-level (hence picklable) stand-in for a worker with a bug."""
+    raise ZeroDivisionError("worker bug")
+
+
+class TestProcessModeExactness:
+    def test_mine_signature_equals_monolithic(self):
+        relation = make_relation()
+        mono = CorrelationEngine(relation.copy(), CONFIG)
+        mono.mine()
+        sharded = ShardedEngine(relation, PROCESS)
+        sharded.mine()
+        assert sharded.signature() == mono.signature()
+        assert live_segments() == ()
+
+    def test_maintenance_after_process_mine_stays_exact(self, seeds):
+        """The adopted worker tables must leave every shard engine in
+        the same state a thread-mode mine would: the incremental path
+        and a from-scratch re-mine both agree afterwards."""
+        relation = make_relation()
+        events = drawn_events(relation, count=10, seed=seeds.seed(17))
+        mono = CorrelationEngine(relation.copy(), CONFIG)
+        mono.mine()
+        sharded = ShardedEngine(relation, PROCESS)
+        sharded.mine()
+        mono.apply_batch(events)
+        sharded.apply_batch(events)
+        assert sharded.signature() == mono.signature()
+        assert_equivalent_to_remine(sharded)
+
+    def test_process_equals_thread_mode(self):
+        relation = make_relation()
+        threaded = ShardedEngine(
+            relation.copy(), PROCESS.replace(shard_executor="thread"))
+        threaded.mine()
+        processed = ShardedEngine(relation, PROCESS)
+        processed.mine()
+        assert processed.signature() == threaded.signature()
+        assert processed.config.shard_executor == "process"
+
+
+class TestFallback:
+    def test_broken_pool_degrades_to_threads(self, monkeypatch):
+        """A pool that cannot start is a platform problem, not a user
+        error: the mine silently completes on the thread path, exact,
+        with the half-built segment torn down."""
+        import concurrent.futures
+
+        class NoPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process support in this sandbox")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            NoPool)
+        relation = make_relation()
+        mono = CorrelationEngine(relation.copy(), CONFIG)
+        mono.mine()
+        sharded = ShardedEngine(relation, PROCESS)
+        sharded.mine()
+        assert sharded.signature() == mono.signature()
+        assert live_segments() == ()
+
+    def test_worker_mining_errors_propagate(self, monkeypatch):
+        """A genuine mining failure inside a worker must surface, not
+        silently degrade (the thread path would raise it too) — and
+        the segment must still be released."""
+        import repro.shard.engine as shard_engine_module
+
+        monkeypatch.setattr(shard_engine_module, "_mine_shard_from_pages",
+                            _exploding_worker)
+        sharded = ShardedEngine(make_relation(), PROCESS)
+        with pytest.raises(ZeroDivisionError):
+            sharded.mine()
+        assert live_segments() == ()
+
+
+class TestWorkers:
+    def test_workers_are_picklable_module_functions(self):
+        """Both phase-1 workers must survive pickling — the process
+        pool ships them by qualified name, which a lambda breaks."""
+        for worker in (_mine_shard, _mine_shard_from_pages):
+            assert pickle.loads(pickle.dumps(worker)) is worker
+
+    def test_frozen_constraint_matches_live_and_pickles(self, seeds):
+        """The worker-side frozen constraint admits exactly the
+        itemsets the engine's live vocabulary constraint admits."""
+        manager = CorrelationEngine(make_relation(), CONFIG)
+        manager.mine()
+        live = CombinedRelevanceConstraint(manager.vocabulary)
+        keep = frozenset(manager.vocabulary.annotation_like_ids())
+        frozen = pickle.loads(pickle.dumps(FrozenRelevanceConstraint(keep)))
+        items = sorted(manager.index.as_mapping())
+        rng = seeds.rng(43)
+        for _ in range(60):
+            itemset = tuple(sorted(
+                rng.sample(items, rng.randint(1, min(4, len(items))))))
+            assert frozen.admits(itemset) == live.admits(itemset), itemset
+            assert (frozen.admits_item(itemset[0])
+                    == live.admits_item(itemset[0]))
+
+
+class TestConfigAndPersistence:
+    def test_config_validates_executor(self):
+        assert SHARD_EXECUTORS == ("thread", "process")
+        with pytest.raises(InvalidThresholdError, match="shard_executor"):
+            CONFIG.replace(shard_executor="fiber")
+        built = (EngineConfig.builder().support(0.2).confidence(0.5)
+                 .shard_executor("process").build())
+        assert built.shard_executor == "process"
+
+    def test_snapshot_round_trips_executor(self, tmp_path):
+        sharded = ShardedEngine(make_relation(), PROCESS)
+        sharded.mine()
+        path = tmp_path / "engine.json"
+        persistence.save(sharded, path)
+        restored = persistence.load(path)
+        assert isinstance(restored, ShardedEngine)
+        assert restored.config.shard_executor == "process"
+        assert restored.signature() == sharded.signature()
+        assert live_segments() == ()
+
+    def test_legacy_snapshot_defaults_to_thread(self):
+        sharded = ShardedEngine(make_relation(),
+                                CONFIG.replace(shards=2))
+        sharded.mine()
+        document = persistence.snapshot(sharded)
+        assert document["shards"]["executor"] == "thread"
+        del document["shards"]["executor"]  # pre-executor snapshot
+        restored = persistence.restore(document)
+        assert restored.config.shard_executor == "thread"
+        assert restored.signature() == sharded.signature()
+
+    def test_invalid_snapshot_executor_rejected(self):
+        sharded = ShardedEngine(make_relation(),
+                                CONFIG.replace(shards=2))
+        sharded.mine()
+        document = persistence.snapshot(sharded)
+        document["shards"]["executor"] = "fiber"
+        with pytest.raises(FormatError, match="executor"):
+            persistence.restore(document)

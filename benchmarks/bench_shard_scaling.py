@@ -91,24 +91,31 @@ def _mono(relation, workload, backend):
 
 
 def _sharded(relation, workload, backend, shards, *,
-             executor="thread", workers=None):
+             executor="thread", workers=None, phases=None, key=None):
     manager = ShardedEngine(relation,
                             min_support=workload.min_support,
                             min_confidence=workload.min_confidence,
                             backend=backend, shards=shards,
                             shard_executor=executor,
                             shard_workers=workers)
-    manager.mine()
+    report = manager.mine()
+    if phases is not None:
+        phases[key if key is not None else executor] = \
+            report.phases.as_dict()
     return manager
 
 
 def _best_of(workload, fn, rounds=ROUNDS):
     """Best-of-N with the relation copy *outside* the timed region —
     both sides of the comparison would otherwise pay the same copy,
-    diluting the measured ratio."""
+    diluting the measured ratio.  Discarded rounds are closed outside
+    the timed region too, so a process-mode engine's worker pool is
+    reaped promptly instead of piling up until GC."""
     times, result = [], None
     for _ in range(rounds):
         relation = workload.relation.copy()
+        if result is not None:
+            result.close()
         elapsed, result = time_once(lambda: fn(relation))
         times.append(elapsed)
     return min(times), result
@@ -129,12 +136,13 @@ def test_shard_scaling_initial_mine(benchmark, shard_workload,
     json_rows = [{"backend": backend_name, "tuples": N_TUPLES,
                   "shards": 0, "seconds": mono_seconds,
                   "speedup": 1.0, "identical": True}]
-    speedups = {}
+    speedups, phases = {}, {}
     for shards in SHARD_COUNTS:
         seconds, manager = _best_of(
             shard_workload,
             lambda relation: _sharded(relation, shard_workload,
-                                      backend_name, shards))
+                                      backend_name, shards,
+                                      phases=phases, key=shards))
         identical = manager.signature() == reference
         speedups[shards] = mono_seconds / seconds if seconds else float("inf")
         rows.append(f"{shards:6d}  {fmt_ms(seconds)} {speedups[shards]:9.2f}x"
@@ -142,7 +150,9 @@ def test_shard_scaling_initial_mine(benchmark, shard_workload,
         json_rows.append({"backend": backend_name, "tuples": N_TUPLES,
                           "shards": shards, "seconds": seconds,
                           "speedup": speedups[shards],
-                          "identical": identical})
+                          "identical": identical,
+                          "phases": phases.get(shards)})
+        manager.close()
         assert identical, (
             f"{shards}-shard merge diverged from the monolithic rules")
         assert len(manager.rules) == len(mono.rules)
@@ -175,7 +185,7 @@ def test_shard_executor_axis(benchmark, shard_workload, backend_name):
                  backend_name)
     reference = mono.signature()
 
-    seconds, json_rows = {}, []
+    seconds, json_rows, phases = {}, [], {}
     rows = [f"tuples={N_TUPLES} backend={backend_name} cores={cores} "
             f"(4 shards x 4 workers)",
             "executor   initial-mine   identical"]
@@ -183,15 +193,17 @@ def test_shard_executor_axis(benchmark, shard_workload, backend_name):
         seconds[executor], manager = _best_of(
             shard_workload,
             lambda relation: _sharded(relation, shard_workload,
-                                      backend_name, 4,
-                                      executor=executor, workers=4))
+                                      backend_name, 4, executor=executor,
+                                      workers=4, phases=phases))
         identical = manager.signature() == reference
         rows.append(f"{executor:9s} {fmt_ms(seconds[executor])}  "
                     f"{identical}")
         json_rows.append({"backend": backend_name, "tuples": N_TUPLES,
                           "executor": executor, "cores": cores,
                           "seconds": seconds[executor],
-                          "identical": identical})
+                          "identical": identical,
+                          "phases": phases.get(executor)})
+        manager.close()
         assert identical, (
             f"{executor}-executor merge diverged from the monolithic "
             f"rules")
@@ -232,18 +244,35 @@ def test_million_tuple_stream_row(backend_name):
     workload = workloads.paper_scale(n_tuples=BIG_TUPLES, seed=13)
     rows = [f"tuples={BIG_TUPLES} backend={backend_name} "
             f"(8 shards x 4 workers, single round)"]
-    json_rows, signatures, seconds = [], {}, {}
+    json_rows, signatures, seconds, phases = [], {}, {}, {}
     for executor in EXECUTORS:
         relation = workload.relation.copy()
         seconds[executor], manager = time_once(
             lambda: _sharded(relation, workload, backend_name, 8,
-                             executor=executor, workers=4))
+                             executor=executor, workers=4,
+                             phases=phases))
+        # Exercise the maintenance path at scale too — in process mode
+        # the flush re-mines its touched shards on the persistent pool.
+        # The stream draws against a shadow copy: mutating the engine's
+        # own relation would invalidate its incremental state.
+        shadow = relation.copy()
+        stream = EventStream(shadow, StreamConfig(seed=83,
+                                                  batch_size=16))
+        events = list(stream.take(
+            64, apply=lambda event: apply_to_relation(shadow, event)))
+        flush_seconds, report = time_once(
+            lambda: manager.apply_batch(events))
         signatures[executor] = manager.signature()
-        rows.append(f"{executor:9s} {fmt_ms(seconds[executor])}")
+        manager.close()
+        rows.append(f"{executor:9s} mine {fmt_ms(seconds[executor])}  "
+                    f"flush({len(events)} ev) {fmt_ms(flush_seconds)}")
         json_rows.append({"backend": backend_name, "tuples": BIG_TUPLES,
                           "executor": executor,
                           "seconds": seconds[executor],
-                          "identical": True})
+                          "flush_seconds": flush_seconds,
+                          "flush_phases": report.phases.as_dict(),
+                          "identical": True,
+                          "phases": phases.get(executor)})
     assert signatures["process"] == signatures["thread"], (
         "executors diverged at stream scale")
     record("E11_shard_big_stream", rows)
@@ -279,5 +308,14 @@ def test_shard_scaling_incremental_flush(shard_workload, backend_name):
         f"monolithic flush : {fmt_ms(mono_seconds)}",
         f"4-shard flush    : {fmt_ms(sharded_seconds)} "
         f"({report.shards_touched} shard(s) touched, one re-merge)",
+        f"phases           : {report.phases.summary()}",
         "signature: sharded == monolithic",
     ])
+    _record_json(f"incremental_flush:{backend_name}", [
+        {"backend": backend_name, "tuples": N_TUPLES,
+         "events": len(events), "shards": 4,
+         "mono_seconds": mono_seconds, "seconds": sharded_seconds,
+         "shards_touched": report.shards_touched,
+         "phases": report.phases.as_dict()},
+    ])
+    sharded.close()

@@ -294,6 +294,21 @@ class CorrelationService:
                         f"force=True) to discard them")
                 hosted.queue.clear()
             del self._hosted[name]
+        # Outside the registry lock: shutting a shard pool down waits
+        # for its workers, and nobody can reach the session anymore.
+        hosted.engine.close()
+
+    def close(self) -> None:
+        """Release every hosted engine's pooled resources (worker
+        pools, shared segments).  Sessions stay registered and usable —
+        a sharded engine restarts its pool lazily — so this is safe to
+        call at any quiesce point; the server's graceful drain calls it
+        after the final flushes."""
+        with self._registry_lock:
+            hosted_engines = [hosted.engine
+                              for hosted in self._hosted.values()]
+        for engine in hosted_engines:
+            engine.close()
 
     def _session(self, name: str) -> _Hosted:
         with self._registry_lock:
@@ -414,7 +429,15 @@ class CorrelationService:
                 time.perf_counter() - started)
             instrumentation.flush_batches.inc()
             instrumentation.flushed_events.inc(len(batch))
+            self._observe_phases(report)
         return report
+
+    def _observe_phases(self, report) -> None:
+        """Feed a report's phase breakdown to the metric sink (the sink
+        is duck-typed; older/minimal sinks simply lack the hook)."""
+        observe = getattr(self._instrumentation, "observe_phases", None)
+        if observe is not None and report.phases:
+            observe(report.phases)
 
     def _flush_per_event(self, name: str, hosted: _Hosted,
                          batch: list[UpdateEvent]) -> None:
@@ -437,6 +460,8 @@ class CorrelationService:
         with hosted.lock.write():
             report = hosted.engine.mine()
             hosted.revision += 1
+        if self._instrumentation is not None:
+            self._observe_phases(report)
         return report
 
     # -- reads ----------------------------------------------------------------

@@ -68,6 +68,9 @@ class Session:
         self.auto_flush_every = auto_flush_every
         self.shards = shards
         self.pending_updates: list[UpdateEvent] = []
+        #: Wall-clock phase breakdown of the most recent mine or flush
+        #: (``{phase: seconds}``); surfaced by :meth:`status`.
+        self.last_phases: dict[str, float] = {}
 
     # -- dataset -----------------------------------------------------------
 
@@ -78,6 +81,7 @@ class Session:
         self.manager = None  # thresholds must be re-entered
         self.generalizer = None
         self.pending_updates.clear()  # queued events named old tids
+        self.last_phases = {}
         return len(self.relation)
 
     def restore_snapshot(self, manager: CorrelationEngine,
@@ -132,7 +136,9 @@ class Session:
                   .shards(self.shards)
                   .build())
         self.manager = build_engine(relation, config)
-        return self.manager.mine()
+        report = self.manager.mine()
+        self.last_phases = dict(report.phases.wall)
+        return report
 
     def rules_of_kind(self, kind: RuleKind) -> list[AssociationRule]:
         manager = self._require_manager()
@@ -219,7 +225,9 @@ class Session:
         batch, self.pending_updates = self.pending_updates, []
         version_before = manager.relation.version
         try:
-            return manager.apply_batch(batch)
+            report = manager.apply_batch(batch)
+            self.last_phases = dict(report.phases.wall)
+            return report
         except Exception:
             if manager.relation.version != version_before:
                 raise  # mutated mid-batch: replay would double-apply
@@ -320,6 +328,8 @@ class Session:
                 "min_support": self.manager.thresholds.min_support,
                 "min_confidence": self.manager.thresholds.min_confidence,
             })
+        if self.last_phases:
+            out["last_phases"] = dict(self.last_phases)
         return out
 
 

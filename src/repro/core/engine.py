@@ -68,6 +68,7 @@ from repro.core.events import (
 from repro.core.maintenance import (
     BatchReport,
     MaintenanceReport,
+    PhaseTimings,
     TupleDelta,
     decay_for_deleted_tuples,
     decay_for_removed_items,
@@ -300,10 +301,12 @@ class CorrelationEngine:
         proceeds exactly as if the search had run here.
         """
         started = time.perf_counter()
+        phases = PhaseTimings()
         if counts is not None and substrate is None:
             raise MaintenanceError(
                 "pre-computed counts require the pre-built substrate "
                 "they were mined from")
+        encode_started = time.perf_counter()
         if substrate is not None:
             if (substrate.database.vocabulary is not self.vocabulary
                     or substrate.index.vocabulary is not self.vocabulary):
@@ -334,7 +337,9 @@ class CorrelationEngine:
                     transaction = frozenset()
                 self.database.add(transaction)
                 self.index.add_transaction(tid, transaction)
+        phases.add("encode", time.perf_counter() - encode_started)
 
+        mine_started = time.perf_counter()
         if counts is not None:
             # The worker ran exactly the vertical search below over
             # this engine's own bitmap pages; adopting its table keeps
@@ -368,11 +373,14 @@ class CorrelationEngine:
                 max_length=self.max_length,
             )
         self.table.replace(counts)
+        phases.add("mine", time.perf_counter() - mine_started)
         self._mined = True
         self._relation_version = self.relation.version
 
-        report = MaintenanceReport(event="mine", db_size=self.db_size)
-        self._refresh_rules(report)
+        report = MaintenanceReport(event="mine", db_size=self.db_size,
+                                   phases=phases)
+        with phases.timed("refresh"):
+            self._refresh_rules(report)
         # The rule state is committed: bump the revision even if the
         # invariant check below fails — readers are already served the
         # new rules, and staleness consumers key on this number.
@@ -455,6 +463,162 @@ class CorrelationEngine:
         )
         return self._apply_plan(plan)
 
+    def close(self) -> None:
+        """Release pooled resources and leave the engine reusable.
+
+        The monolithic engine holds none — this is the no-op base of
+        ``ShardedEngine.close()`` so services and the server drain can
+        close any hosted engine uniformly."""
+
+    def apply_batch_substrate(self, events: Sequence[UpdateEvent]
+                              ) -> BatchReport:
+        """Apply a batch's *substrate* mutations only — relation,
+        database, vertical index, event log, version counters — and
+        skip every pattern-table / rule maintenance walk.
+
+        This is the parent-side half of a pooled flush: the sharded
+        engine runs each touched shard's mutations here, then re-mines
+        the shard's complete table exactly in a worker process against
+        the refreshed bitmap pages.  A maintained table equals the
+        exact table at the keep floor (the invariant ``_finish``
+        enforces), so replacing it with the worker's re-mine is
+        indistinguishable from having run the maintenance walks — but
+        the O(patterns) work leaves the parent.
+
+        Lockstep mirror: the four mutation blocks below must match
+        ``_plan_inserts`` / ``_plan_annotation_adds`` /
+        ``_plan_annotation_removes`` / ``_plan_tuple_removals`` token
+        for token (case order, tuple order, interning calls), or
+        vocabulary ids drift from the thread path and cross-path
+        signatures diverge.  The table is stale when this returns; the
+        caller owns installing the re-mined table and validating.
+        """
+        self._require_mined()
+        if not events:
+            raise MaintenanceError("apply_batch needs at least one event")
+        if self.relation.version != self._relation_version:
+            raise MaintenanceError(
+                "relation was modified outside the engine; incremental "
+                "state is stale — re-run mine()")
+        started = time.perf_counter()
+        plan = compile_plan(
+            events,
+            next_tid=self.relation.tid_range,
+            is_live=self.relation.is_live,
+            annotations_of=lambda tid: self.relation.tuple(tid).annotation_ids,
+            validate_row=self._validate_insert_row,
+            validate_annotation=Annotation,
+        )
+        batch = BatchReport(db_size=self.db_size)
+        batch.audits = list(plan.audits)
+        batch.plan_stats = plan.stats
+        if len(plan.audits) == 1:
+            batch.event = plan.audits[0].event
+        else:
+            batch.event = f"apply-batch[{len(plan.audits)}]"
+
+        if plan.inserts:
+            case = MaintenanceReport(event="insert-tuples",
+                                     db_size=self.db_size)
+            for planned in plan.inserts:
+                tid = self.relation.insert(planned.values,
+                                           planned.annotations)
+                if tid != planned.tid:
+                    raise MaintenanceError(
+                        f"tid drift: plan says {planned.tid}, "
+                        f"relation says {tid}")
+                if planned.elided:
+                    self.relation.delete(tid)
+                    db_tid = self.database.add(frozenset())
+                    if db_tid != tid:
+                        raise MaintenanceError(
+                            f"tid drift: relation says {tid}, database "
+                            f"says {db_tid}")
+                    continue
+                if self.generalizer is not None:
+                    self.relation.set_labels(
+                        tid,
+                        self.generalizer.labels_for(
+                            frozenset(planned.annotations)))
+                transaction = encode_tuple(self.relation, tid,
+                                           self.vocabulary)
+                db_tid = self.database.add(transaction)
+                if db_tid != tid:
+                    raise MaintenanceError(
+                        f"tid drift: relation says {tid}, database "
+                        f"says {db_tid}")
+                self.index.add_transaction(tid, transaction)
+                case.tuples_scanned += 1
+            case.db_size = self.db_size
+            batch.case_reports.append(case)
+
+        if plan.annotation_adds:
+            case = MaintenanceReport(event="add-annotations",
+                                     db_size=self.db_size)
+            for tid, annotation_ids in plan.annotation_adds.items():
+                new_items = set()
+                for annotation_id in annotation_ids:
+                    if self.relation.annotate(tid, annotation_id):
+                        new_items.add(
+                            self.vocabulary.intern_annotation(annotation_id))
+                if self.generalizer is not None:
+                    row = self.relation.tuple(tid)
+                    fresh_labels = self.relation.add_labels(
+                        tid,
+                        self.generalizer.labels_for(row.annotation_ids))
+                    new_items |= {self.vocabulary.intern_label(label)
+                                  for label in fresh_labels}
+                if not new_items:
+                    continue
+                self.database.extend_transaction(tid, new_items)
+                self.index.extend_transaction(tid, new_items)
+                case.tuples_scanned += 1
+            batch.case_reports.append(case)
+
+        if plan.annotation_removes:
+            case = MaintenanceReport(event="remove-annotations",
+                                     db_size=self.db_size)
+            for tid, annotation_ids in plan.annotation_removes.items():
+                removed_items = set()
+                for annotation_id in annotation_ids:
+                    if self.relation.detach(tid, annotation_id):
+                        removed_items.add(
+                            self.vocabulary.intern_annotation(annotation_id))
+                if self.generalizer is not None:
+                    row = self.relation.tuple(tid)
+                    kept_labels = self.generalizer.labels_for(
+                        row.annotation_ids)
+                    lost_labels = row.labels - set(kept_labels)
+                    if lost_labels:
+                        self.relation.set_labels(tid, kept_labels)
+                        removed_items |= {self.vocabulary.intern_label(label)
+                                          for label in lost_labels}
+                if not removed_items:
+                    continue
+                self.database.shrink_transaction(tid, removed_items)
+                self.index.shrink_transaction(tid, removed_items)
+                case.tuples_scanned += 1
+            batch.case_reports.append(case)
+
+        if plan.deletions:
+            case = MaintenanceReport(event="remove-tuples",
+                                     db_size=self.db_size)
+            for tid in plan.deletions:
+                self.relation.delete(tid)
+                old = self.database.clear_transaction(tid)
+                self.index.remove_transaction(tid, old)
+                case.tuples_scanned += 1
+            case.db_size = self.db_size
+            batch.case_reports.append(case)
+
+        batch.db_size = self.db_size
+        self._revision += 1
+        for event in plan.events:
+            self.log.record(event)
+        self._relation_version = self.relation.version
+        batch.duration_seconds = time.perf_counter() - started
+        return batch
+
     def _validate_insert_row(self, values: Sequence[str]) -> None:
         """Mirror of ``relation.insert``'s row validation, run at plan
         compile time so a malformed row is rejected before any state is
@@ -476,20 +640,24 @@ class CorrelationEngine:
         else:
             batch.event = f"apply-batch[{len(plan.audits)}]"
         dirty: set[Itemset] = set()
-        if plan.inserts:
-            batch.case_reports.append(self._plan_inserts(plan.inserts, dirty))
-        if plan.annotation_adds:
-            batch.case_reports.append(
-                self._plan_annotation_adds(plan.annotation_adds, dirty))
-        if plan.annotation_removes:
-            batch.case_reports.append(
-                self._plan_annotation_removes(plan.annotation_removes, dirty))
-        if plan.deletions:
-            batch.case_reports.append(
-                self._plan_tuple_removals(plan.deletions, dirty))
+        with batch.phases.timed("apply"):
+            if plan.inserts:
+                batch.case_reports.append(
+                    self._plan_inserts(plan.inserts, dirty))
+            if plan.annotation_adds:
+                batch.case_reports.append(
+                    self._plan_annotation_adds(plan.annotation_adds, dirty))
+            if plan.annotation_removes:
+                batch.case_reports.append(
+                    self._plan_annotation_removes(plan.annotation_removes,
+                                                  dirty))
+            if plan.deletions:
+                batch.case_reports.append(
+                    self._plan_tuple_removals(plan.deletions, dirty))
         batch.db_size = self.db_size
         batch.patterns_dirty = len(dirty)
-        self._refresh_rules_scoped(batch, dirty)
+        with batch.phases.timed("refresh"):
+            self._refresh_rules_scoped(batch, dirty)
         # One revision bump per batch, committed *with* the rule state:
         # a batch that installs new rules and then fails the invariant
         # check below must still advance the number that advice

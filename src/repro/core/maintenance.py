@@ -22,7 +22,9 @@ same table because stored counts are exact before and after.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable, Iterator, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.annotation_index import VerticalIndex
@@ -48,6 +50,53 @@ class TupleDelta:
 
 
 @dataclass
+class PhaseTimings:
+    """Structured wall-clock breakdown of one lifecycle operation.
+
+    ``wall`` maps a phase name to the seconds the *parent* spent in it
+    (phases of an initial mine: ``partition`` / ``encode`` / ``build``
+    / ``mine`` / ``merge`` / ``refresh``; a routed flush uses
+    ``partition`` / ``encode`` / ``build`` / ``mine`` on the pooled
+    path or ``partition`` / ``apply`` on the thread path, plus the
+    shared ``merge`` / ``refresh``).  ``per_shard`` maps a phase name
+    to one duration per shard, in shard order, for the phases that run
+    per shard (worker-side ``build`` and ``mine`` durations land here
+    — the parent wall for those phases includes pool dispatch).
+    """
+
+    wall: dict[str, float] = field(default_factory=dict)
+    per_shard: dict[str, list[float]] = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.wall[phase] = self.wall.get(phase, 0.0) + seconds
+
+    @contextmanager
+    def timed(self, phase: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(phase, time.perf_counter() - started)
+
+    def record_shards(self, phase: str, seconds: Iterable[float]) -> None:
+        self.per_shard.setdefault(phase, []).extend(seconds)
+
+    def __bool__(self) -> bool:
+        return bool(self.wall or self.per_shard)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form (benchmark rows, ``/metrics``, status)."""
+        return {"wall": dict(self.wall),
+                "per_shard": {phase: list(values)
+                              for phase, values in self.per_shard.items()}}
+
+    def summary(self) -> str:
+        """Compact one-line breakdown for CLI status output."""
+        return " ".join(f"{phase}={seconds * 1000:.1f}ms"
+                        for phase, seconds in self.wall.items())
+
+
+@dataclass
 class MaintenanceReport:
     """What one update event did — returned by ``manager.apply``."""
 
@@ -65,15 +114,21 @@ class MaintenanceReport:
     table_size: int = 0
     candidate_count: int = 0
     tuples_scanned: int = 0
+    #: Phase-level wall/per-shard timing breakdown (empty when the
+    #: operation predates phase instrumentation, e.g. per-case reports).
+    phases: PhaseTimings = field(default_factory=PhaseTimings)
 
     def summary(self) -> str:
-        return (f"{self.event}: db={self.db_size} "
+        line = (f"{self.event}: db={self.db_size} "
                 f"rules +{len(self.rules_added)}/-{len(self.rules_dropped)} "
                 f"(~{self.rules_updated} updated), "
                 f"patterns +{len(self.patterns_added)}"
                 f"/-{len(self.patterns_pruned)} "
                 f"({self.patterns_touched} refreshed), "
                 f"{self.duration_seconds * 1000:.2f} ms")
+        if self.phases:
+            line += f" | {self.phases.summary()}"
+        return line
 
 
 @dataclass
@@ -111,6 +166,8 @@ class BatchReport:
     rules_updated: int = 0
     table_size: int = 0
     candidate_count: int = 0
+    #: Phase-level wall/per-shard timing breakdown of this flush.
+    phases: PhaseTimings = field(default_factory=PhaseTimings)
 
     @property
     def events(self) -> int:
@@ -127,12 +184,15 @@ class BatchReport:
                  + self.plan_stats.pairs_collapsed
                  + self.plan_stats.pairs_folded_into_inserts
                  + self.plan_stats.inserts_elided)
-        return (f"batch of {self.events} event(s): db={self.db_size} "
+        line = (f"batch of {self.events} event(s): db={self.db_size} "
                 f"rules +{len(self.rules_added)}/-{len(self.rules_dropped)} "
                 f"(~{self.rules_updated} updated), "
                 f"{self.patterns_dirty} dirty pattern(s), "
                 f"{saved} op(s) coalesced away, "
                 f"{self.duration_seconds * 1000:.2f} ms")
+        if self.phases:
+            line += f" | {self.phases.summary()}"
+        return line
 
 
 def _recount_touched(table: FrequentPatternTable,

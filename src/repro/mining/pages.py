@@ -197,42 +197,32 @@ class BitmapPageSegment:
 
     # -- construction ----------------------------------------------------------
 
-    @classmethod
-    def pack(cls, shard_maps: Sequence[Mapping[int, object]]
-             ) -> "BitmapPageSegment":
-        """Allocate a segment holding one page per (shard, item).
-
-        ``shard_maps`` is one item -> tidset mapping per shard — raw
-        ``int`` bit vectors or anything with a ``.bits`` property
-        (:class:`BitTidset`, a :meth:`BitmapIndex.as_mapping` view).
-        """
+    @staticmethod
+    def _create_shm(total: int):
+        """A fresh uniquely-named zero-filled shared-memory block."""
         from multiprocessing.shared_memory import SharedMemory
 
-        header_words = 3
-        payload_bytes = 0
-        prepared: list[list[tuple[int, int, int]]] = []
-        for shard_map in shard_maps:
-            entries = []
-            for item in sorted(shard_map):
-                bits = _bits_of(shard_map[item])
-                nbytes = (bits.bit_length() + 7) // 8
-                entries.append((item, bits, nbytes))
-                payload_bytes += nbytes
-            prepared.append(entries)
-            header_words += 1 + 3 * len(entries)
-
-        header_bytes = header_words * WORD_BYTES
-        total = max(header_bytes + payload_bytes, 1)
-        shm = None
         for _ in range(16):
             name = f"repro_pages_{os.getpid():x}_{secrets.token_hex(4)}"
             try:
-                shm = SharedMemory(name=name, create=True, size=total)
-                break
+                return SharedMemory(name=name, create=True, size=total)
             except FileExistsError:  # pragma: no cover - 2^32 collision
                 continue
-        if shm is None:  # pragma: no cover - exhausted retries
-            raise MiningError("could not allocate a shared bitmap segment")
+        raise MiningError(  # pragma: no cover - exhausted retries
+            "could not allocate a shared bitmap segment")
+
+    @classmethod
+    def _build(cls, prepared: Sequence[Sequence[tuple[int, int | None, int]]]
+               ) -> "BitmapPageSegment":
+        """Create a segment from per-shard ``(item, bits|None, nbytes)``
+        entries: the directory is written for every entry, the payload
+        only for entries with bits (``None`` pages stay zeroed — the
+        :meth:`allocate` shape, filled later by :meth:`write_pages`)."""
+        header_words = 3 + sum(1 + 3 * len(entries) for entries in prepared)
+        payload_bytes = sum(nbytes for entries in prepared
+                            for _item, _bits, nbytes in entries)
+        header_bytes = header_words * WORD_BYTES
+        shm = cls._create_shm(max(header_bytes + payload_bytes, 1))
 
         buf = shm.buf
         words = [_MAGIC, header_words, len(prepared)]
@@ -243,7 +233,9 @@ class BitmapPageSegment:
             shard_dir = []
             for item, bits, nbytes in entries:
                 words.extend((item, offset, nbytes))
-                buf[offset:offset + nbytes] = bits.to_bytes(nbytes, "little")
+                if bits is not None:
+                    buf[offset:offset + nbytes] = bits.to_bytes(
+                        nbytes, "little")
                 shard_dir.append((item, offset, nbytes))
                 offset += nbytes
             directory.append(shard_dir)
@@ -253,6 +245,77 @@ class BitmapPageSegment:
         segment = cls(shm, directory, owner=True)
         _LIVE_SEGMENTS[shm.name] = segment
         return segment
+
+    @classmethod
+    def pack(cls, shard_maps: Sequence[Mapping[int, object]]
+             ) -> "BitmapPageSegment":
+        """Allocate a segment holding one page per (shard, item).
+
+        ``shard_maps`` is one item -> tidset mapping per shard — raw
+        ``int`` bit vectors or anything with a ``.bits`` property
+        (:class:`BitTidset`, a :meth:`BitmapIndex.as_mapping` view).
+        """
+        prepared: list[list[tuple[int, int | None, int]]] = []
+        for shard_map in shard_maps:
+            entries: list[tuple[int, int | None, int]] = []
+            for item in sorted(shard_map):
+                bits = _bits_of(shard_map[item])
+                entries.append((item, bits, (bits.bit_length() + 7) // 8))
+            prepared.append(entries)
+        return cls._build(prepared)
+
+    @classmethod
+    def allocate(cls, shard_layouts: Sequence[tuple[Sequence[int], int]]
+                 ) -> "BitmapPageSegment":
+        """A zeroed segment with the directory pre-written: one
+        fixed-width page per (shard, item).
+
+        ``shard_layouts`` is one ``(items, page_bytes)`` pair per shard
+        — the parent computes the layout (it knows each shard's item
+        set and transaction count) and worker processes fill their
+        shard's pages in place via :meth:`write_pages`.  Fixed-width
+        pages may carry trailing zero bytes; ``int.from_bytes`` ignores
+        them, so readers see the identical bit vectors a tightly packed
+        segment would hold.
+        """
+        prepared = [
+            [(item, None, page_bytes) for item in sorted(items)]
+            for items, page_bytes in shard_layouts
+        ]
+        return cls._build(prepared)
+
+    def write_pages(self, shard: int,
+                    bitmaps: Mapping[int, object]) -> None:
+        """Fill one shard's pages in place (attacher-side is the point:
+        worker processes build their shard's bitmaps and write them
+        straight into the shared block).
+
+        ``bitmaps`` must cover exactly the items the shard's directory
+        was allocated for, and every bit vector must fit its page —
+        both are drift checks against the parent-computed layout.
+        Shards' page regions are disjoint, so concurrent writers of
+        *different* shards need no synchronization.
+        """
+        if self._closed:
+            raise MiningError("bitmap segment is closed")
+        if not 0 <= shard < len(self._directory):
+            raise MiningError(
+                f"segment holds shards 0..{len(self._directory) - 1}, "
+                f"asked for {shard}")
+        entries = self._directory[shard]
+        if set(bitmaps) != {item for item, _offset, _nbytes in entries}:
+            raise MiningError(
+                f"shard {shard} page layout drift: directory holds "
+                f"{len(entries)} item(s), writer brought {len(bitmaps)}")
+        buf = self._shm.buf
+        for item, offset, nbytes in entries:
+            bits = _bits_of(bitmaps[item])
+            if bits.bit_length() > nbytes * 8:
+                raise MiningError(
+                    f"item {item} bitmap needs "
+                    f"{(bits.bit_length() + 7) // 8} bytes but shard "
+                    f"{shard} pages are {nbytes} bytes wide")
+            buf[offset:offset + nbytes] = bits.to_bytes(nbytes, "little")
 
     @classmethod
     def attach(cls, name: str) -> "BitmapPageSegment":

@@ -245,7 +245,13 @@ class CorrelationServer:
                 self.metrics.counter("drain_flush_errors",
                                      tenant=name).inc()
 
-        # 4. tear down transport and executor.
+        # 4. release engine-owned resources: shard pools hold live
+        # worker processes and shared-memory leases that must not
+        # outlive the server.  After the final flushes, so the pools
+        # are idle when they are reaped.
+        await self._run_blocking(self.service.close)
+
+        # 5. tear down transport and executor.
         for writer in list(self._connections):
             writer.close()
         self._executor.shutdown(wait=True)

@@ -272,11 +272,12 @@ class ServiceInstrumentation:
 
     __slots__ = ("registry", "flush_seconds", "flush_batches",
                  "flushed_events", "flush_failures", "submitted_events",
-                 "snapshot_hits", "snapshot_misses")
+                 "snapshot_hits", "snapshot_misses", "_prefix")
 
     def __init__(self, registry: MetricsRegistry | None = None,
                  *, prefix: str = "service") -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
+        self._prefix = prefix
         reg = self.registry
         #: Wall-clock seconds per coalesced flush (write-lock hold).
         self.flush_seconds = reg.histogram(f"{prefix}_flush_seconds")
@@ -288,6 +289,20 @@ class ServiceInstrumentation:
         #: (zero rules copied) vs. rebuilds.
         self.snapshot_hits = reg.counter(f"{prefix}_snapshot_hits")
         self.snapshot_misses = reg.counter(f"{prefix}_snapshot_misses")
+
+    def observe_phases(self, phases) -> None:
+        """Record a report's phase-level wall timings as one labelled
+        histogram series per phase (``<prefix>_phase_seconds``).
+
+        ``phases`` is duck-typed (anything with a ``wall`` mapping of
+        phase name -> seconds) so the app layer can hand over a
+        :class:`~repro.core.maintenance.PhaseTimings` without this
+        module importing it.
+        """
+        for phase, seconds in phases.wall.items():
+            self.registry.histogram(
+                f"{self._prefix}_phase_seconds",
+                phase=phase).observe(seconds)
 
     def snapshot_hit_rate(self) -> float:
         hits = self.snapshot_hits.value

@@ -24,20 +24,28 @@ from repro.shard.partition import (
     Partitioner,
     TokenInterner,
     build_substrate,
+    encode_shards,
     modulo_partitioner,
     partition_relation,
+    substrate_from_transactions,
     substrates_for,
 )
+from repro.shard.pool import SegmentManager, ShardPool, available_cpus
 from repro.shard.views import ShardDatabaseView, ShardIndexView
 
 __all__ = [
     "Partitioner",
+    "SegmentManager",
     "ShardDatabaseView",
     "ShardIndexView",
+    "ShardPool",
     "ShardedEngine",
     "TokenInterner",
+    "available_cpus",
     "build_substrate",
+    "encode_shards",
     "modulo_partitioner",
     "partition_relation",
+    "substrate_from_transactions",
     "substrates_for",
 ]

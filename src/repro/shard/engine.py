@@ -20,51 +20,75 @@ merge stays exact after every routed update batch — a sharded engine's
 rules and ``signature()`` are byte-identical to a monolithic engine's
 at every point of any event stream.
 
-Lifecycle:
+Lifecycle (v8 — the whole pipeline is process-parallel, not just the
+phase-1 search):
 
-* :meth:`mine` — partition, bulk-encode one substrate per shard
-  (:mod:`repro.shard.partition`), run the phase-1 local mines
-  concurrently (``EngineConfig.shard_workers`` on the
-  ``EngineConfig.shard_executor`` pool), then merge.  With
-  ``shard_executor="process"`` every shard's bitmap index is packed
-  into one shared-memory segment (:mod:`repro.mining.pages`); worker
-  processes receive nothing but the segment *name* plus plain floor /
-  constraint data, attach, run the identical vertical search zero-copy
-  over the pages, and return the small per-shard count tables, which
-  the shard engines adopt — escaping the GIL without pickling an index
-  in either direction.  Phase 2 then counts straight off the same
+* :meth:`mine` — partition, bulk-encode each shard's transactions in
+  one sequential interning pass (:func:`repro.shard.partition.encode_shards`;
+  interning order is what keeps vocabulary ids deterministic), then
+  with ``shard_executor="process"`` allocate one zeroed shared-memory
+  segment laid out for every shard's pages and ship each shard's
+  *encoded transaction lists* to worker processes that build their
+  bitmap index, write the packed pages straight into the shared
+  segment, and run the phase-1 vertical search — the parent never
+  constructs a per-shard ``VerticalIndex``/``BitmapIndex`` on this
+  path; it re-hydrates each shard's index from the worker-filled pages
+  in one C-level pass.  Phase 2 then counts straight off the same
   pages.  Any platform that cannot run the pool degrades to the thread
   path; the answers are byte-identical either way;
 * :meth:`apply_batch` (inherited) — compiles the global delta plan
-  with all the usual guards, then the overridden plan application
-  routes per-shard sub-plans (:func:`repro.core.deltas.split_plan`):
-  one dirty-scoped refresh inside each touched shard, one global
-  re-merge, one revision bump.
+  with all the usual guards; the overridden plan application routes
+  per-shard sub-plans (:func:`repro.core.deltas.split_plan`).  On the
+  process path each touched shard applies its substrate mutations
+  parent-side (``apply_batch_substrate`` — same interning order as the
+  thread path), repacks its pages, and re-mines its *complete* exact
+  table in a pool worker; a maintained table equals the exact table at
+  the keep floor, so the merge sees identical state either way.  One
+  global re-merge, one revision bump;
+* :meth:`close` — shut down the persistent worker pool and force-drop
+  any shared segments; wired through service/server drain.  The engine
+  stays usable (the pool restarts lazily).
+
+Process resources are owned by :mod:`repro.shard.pool`: one
+:class:`~repro.shard.pool.ShardPool` reused across ``mine()`` and every
+routed flush, and one :class:`~repro.shard.pool.SegmentManager` whose
+``release_all()`` guarantees no ``/dev/shm`` block survives an error —
+including an adoption failure raised *after* the workers succeeded.
+Every report carries a :class:`~repro.core.maintenance.PhaseTimings`
+breakdown (partition / encode / build / mine / merge / refresh) so the
+benchmarks can attribute scaling to phases instead of one opaque total.
 """
 
 from __future__ import annotations
 
-import os
-import pickle
 import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.config import EngineConfig
 from repro.core.deltas import DeltaPlan, split_plan
-from repro.core.engine import CorrelationEngine
-from repro.core.maintenance import BatchReport, MaintenanceReport
+from repro.core.engine import CorrelationEngine, EncodedSubstrate
+from repro.core.annotation_index import VerticalIndex
+from repro.core.maintenance import (
+    BatchReport,
+    MaintenanceReport,
+    PhaseTimings,
+)
 from repro.errors import MaintenanceError, MiningError
+from repro.mining.bitmap import BitmapIndex
 from repro.mining.constraints import FrozenRelevanceConstraint
 from repro.mining.eclat import mine_frequent_itemsets_vertical
+from repro.mining.itemsets import TransactionDatabase
 from repro.mining.pages import BitmapPageSegment
 from repro.mining.son import candidate_union, merge_counts
 from repro.relation.relation import AnnotatedRelation
 from repro.shard.partition import (
     Partitioner,
+    encode_shards,
     modulo_partitioner,
     partition_relation,
-    substrates_for,
+    substrate_from_transactions,
 )
+from repro.shard.pool import SegmentManager, ShardPool, available_cpus
 from repro.shard.views import ShardDatabaseView, ShardIndexView
 
 
@@ -78,15 +102,52 @@ def _mine_shard(task):
     return shard_engine.mine(substrate=shard_substrate)
 
 
+def _build_and_mine_shard(task):
+    """Process-pool worker for the initial mine: build *and* search.
+
+    Receives the shard's encoded transaction lists plus plain floor /
+    constraint data, builds the bitmap index in this worker (the
+    O(occurrences) pure-Python pass that used to serialize in the
+    parent), writes the packed pages straight into the pre-allocated
+    shared segment (the parent re-hydrates its shard index from them),
+    then runs the identical phase-1 vertical search the thread path's
+    substrate mine would run.  Returns ``(counts, build_seconds,
+    mine_seconds)`` — the count table plus the worker-side phase
+    timings for the report's per-shard breakdown.
+    """
+    name, shard, transactions, min_count, annotation_like, max_length = task
+    segment = BitmapPageSegment.attach(name)
+    try:
+        build_started = time.perf_counter()
+        index = BitmapIndex.from_transactions(transactions)
+        mapping = index.as_mapping()
+        segment.write_pages(shard, {item: mapping[item].bits
+                                    for item in mapping})
+        build_seconds = time.perf_counter() - build_started
+        mine_started = time.perf_counter()
+        counts = mine_frequent_itemsets_vertical(
+            (),
+            min_count=min_count,
+            constraint=FrozenRelevanceConstraint(annotation_like),
+            max_length=max_length,
+            index=mapping,
+        )
+        return counts, build_seconds, time.perf_counter() - mine_started
+    finally:
+        segment.close()
+
+
 def _mine_shard_from_pages(task):
-    """Process-pool phase-1 worker.
+    """Process-pool search worker over already-packed pages.
 
     Receives only plain picklable data — the segment *name*, the shard
     number, the shard's margined floor, the frozen annotation-like id
     snapshot and the length cap — attaches the shared segment, runs the
     identical vertical search the shard engine's substrate mine would
     run (same floor, same constraint decisions, same index bits, read
-    zero-copy from the pages), and returns the small count table.
+    zero-copy from the pages), and returns the small count table.  The
+    pooled flush path re-mines each touched shard's complete table
+    through this.
     """
     name, shard, min_count, annotation_like, max_length = task
     segment = BitmapPageSegment.attach(name)
@@ -116,6 +177,14 @@ class ShardedEngine(CorrelationEngine):
         self._partitioner = (partitioner if partitioner is not None
                              else modulo_partitioner(self.shard_count))
         self._shards: list[CorrelationEngine] = []
+        #: Refcounted owner of every shared segment this engine creates;
+        #: ``close()`` and the error paths force-drop through it, so no
+        #: ``/dev/shm`` block can outlive the engine whatever raised.
+        self._segments = SegmentManager()
+        #: The persistent worker pool, created lazily on the first
+        #: process-mode operation and reused across mine() and every
+        #: routed flush until :meth:`close`.
+        self._pool: ShardPool | None = None
         #: Shared bitmap-page segment alive only inside :meth:`mine`'s
         #: process-parallel path (phase 1 workers and the phase-2 merge
         #: read it); always released before mine() returns.
@@ -161,11 +230,35 @@ class ShardedEngine(CorrelationEngine):
     def _workers(self) -> int:
         if self.config.shard_workers is not None:
             return self.config.shard_workers
-        return max(1, min(self.shard_count, os.cpu_count() or 1))
+        return max(1, min(self.shard_count, available_cpus()))
 
     def _shard_config(self) -> EngineConfig:
         """Shard engines are ordinary monolithic engines."""
         return self.config.replace(shards=1, shard_workers=None)
+
+    # -- pooled resources -------------------------------------------------------
+
+    def _ensure_pool(self) -> ShardPool:
+        if self._pool is None:
+            self._pool = ShardPool(workers=self._workers())
+        return self._pool
+
+    def _use_processes(self) -> bool:
+        return (self.config.shard_executor == "process"
+                and self._workers() > 1 and self.shard_count > 1)
+
+    def close(self) -> None:
+        """Release the persistent pool and every shared segment.
+
+        Idempotent, and the engine stays usable: the next process-mode
+        operation simply restarts the pool.  Services and the server's
+        graceful drain call this for every hosted engine so no worker
+        process or ``/dev/shm`` block outlives its tenant.
+        """
+        self._segment = None
+        self._segments.release_all()
+        if self._pool is not None:
+            self._pool.close()
 
     # -- initial (partitioned) mining -------------------------------------------
 
@@ -175,43 +268,62 @@ class ShardedEngine(CorrelationEngine):
             raise MaintenanceError(
                 "a sharded engine builds its own per-shard substrates")
         started = time.perf_counter()
-        if self.generalizer is not None:
-            for row in self.relation:
-                self.relation.set_labels(
-                    row.tid, self.generalizer.labels_for(row.annotation_ids))
+        phases = PhaseTimings()
+        with phases.timed("partition"):
+            if self.generalizer is not None:
+                for row in self.relation:
+                    self.relation.set_labels(
+                        row.tid,
+                        self.generalizer.labels_for(row.annotation_ids))
 
-        relations, self._global_of, self._local_of = partition_relation(
-            self.relation, self._partitioner, self.shard_count)
-        self._shards = [
-            CorrelationEngine(shard_relation, self._shard_config(),
-                              vocabulary=self.vocabulary)
-            for shard_relation in relations
-        ]
+            relations, self._global_of, self._local_of = partition_relation(
+                self.relation, self._partitioner, self.shard_count)
+            self._shards = [
+                CorrelationEngine(shard_relation, self._shard_config(),
+                                  vocabulary=self.vocabulary)
+                for shard_relation in relations
+            ]
         # All interning happens in this sequential pass; the concurrent
-        # phase-1 mines below only read the shared vocabulary.
-        substrates = substrates_for(relations, self.vocabulary)
+        # builds and phase-1 mines below only read the shared vocabulary.
+        with phases.timed("encode"):
+            transactions_per_shard = encode_shards(relations, self.vocabulary)
 
         try:
             workers = self._workers()
-            if workers > 1 and self.shard_count > 1:
-                dispatched = False
-                if self.config.shard_executor == "process":
-                    dispatched = self._mine_in_processes(substrates, workers)
-                if not dispatched:
-                    with ThreadPoolExecutor(max_workers=workers) as pool:
-                        # list() drains the iterator so any shard's
-                        # exception surfaces here, not at garbage
-                        # collection.
-                        list(pool.map(_mine_shard,
-                                      zip(self._shards, substrates)))
-            else:
-                for shard_engine, shard_substrate in zip(self._shards,
-                                                         substrates):
-                    shard_engine.mine(substrate=shard_substrate)
+            dispatched = False
+            if self._use_processes():
+                dispatched = self._mine_in_processes(transactions_per_shard,
+                                                     phases)
+            if not dispatched:
+                with phases.timed("build"):
+                    substrates = [
+                        substrate_from_transactions(self.vocabulary,
+                                                    transactions)
+                        for transactions in transactions_per_shard
+                    ]
+                with phases.timed("mine"):
+                    if workers > 1 and self.shard_count > 1:
+                        with ThreadPoolExecutor(max_workers=workers) as pool:
+                            # list() drains the iterator so any shard's
+                            # exception surfaces here, not at garbage
+                            # collection.
+                            reports = list(pool.map(
+                                _mine_shard, zip(self._shards, substrates)))
+                    else:
+                        reports = [
+                            shard_engine.mine(substrate=shard_substrate)
+                            for shard_engine, shard_substrate
+                            in zip(self._shards, substrates)
+                        ]
+                phases.record_shards(
+                    "mine",
+                    [shard_report.duration_seconds
+                     for shard_report in reports])
 
             self._mined = True
             self._relation_version = self.relation.version
-            report = MaintenanceReport(event="mine", db_size=self.db_size)
+            report = MaintenanceReport(event="mine", db_size=self.db_size,
+                                       phases=phases)
             self._merge(report)
             self._revision += 1
             report.duration_seconds = time.perf_counter() - started
@@ -220,59 +332,83 @@ class ShardedEngine(CorrelationEngine):
         finally:
             self._release_segment()
 
-    def _mine_in_processes(self, substrates, workers: int) -> bool:
-        """Phase 1 on a process pool over shared bitmap pages.
+    def _mine_in_processes(self, transactions_per_shard,
+                           phases: PhaseTimings) -> bool:
+        """Worker-built substrates: build + phase 1 on the shard pool.
 
-        Packs every shard's bitmap index into one segment, maps the
-        shards over worker processes (:func:`_mine_shard_from_pages`),
-        and adopts the returned count tables into the shard engines via
+        The parent computes each shard's page layout (item set and
+        fixed page width), allocates one zeroed shared segment, and
+        ships every shard's encoded transactions to a pool worker
+        (:func:`_build_and_mine_shard`) that builds the bitmap index,
+        fills its shard's pages in place — page regions are disjoint,
+        so N writers need no synchronization — and runs the phase-1
+        search.  The parent then re-hydrates each shard's
+        ``VerticalIndex`` from the filled pages (one C-level
+        ``int.from_bytes`` per item) and adopts index + counts via
         ``mine(substrate=..., counts=...)`` — every state transition
         after the search is then identical to the thread path, so the
         merged table and ``signature()`` are too.  The segment stays
         alive for the phase-2 merge; :meth:`mine` releases it.
 
         Returns ``False`` (degrade to threads, nothing mutated) when
-        the platform cannot allocate shared memory or start the pool.
-        A *mining* failure inside a worker is not a platform problem
-        and propagates, exactly as the thread path would raise it.
+        the platform cannot allocate shared memory or start/sustain
+        the pool.  A *mining* failure inside a worker is not a platform
+        problem and propagates, exactly as the thread path would raise
+        it.
         """
-        try:
-            from concurrent.futures import ProcessPoolExecutor
-            from concurrent.futures.process import BrokenProcessPool
-        except ImportError:  # pragma: no cover - no _multiprocessing
+        pool = self._ensure_pool()
+        if not pool.start():
             return False
+        build_started = time.perf_counter()
+        layouts = [
+            (sorted(frozenset().union(*transactions)) if transactions else (),
+             (len(transactions) + 7) // 8)
+            for transactions in transactions_per_shard
+        ]
         try:
-            self._segment = BitmapPageSegment.pack(
-                [substrate.index.as_mapping() for substrate in substrates])
+            self._segment = self._segments.adopt(
+                BitmapPageSegment.allocate(layouts))
         except (OSError, MiningError):  # pragma: no cover - no /dev/shm
             return False
+        phases.add("build", time.perf_counter() - build_started)
         annotation_like = frozenset(self.vocabulary.annotation_like_ids())
         tasks = [
-            (self._segment.name, shard,
+            (self._segment.name, shard, transactions_per_shard[shard],
              shard_engine.thresholds.keep_count(shard_engine.db_size),
              annotation_like, shard_engine.max_length)
             for shard, shard_engine in enumerate(self._shards)
         ]
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                tables = list(pool.map(_mine_shard_from_pages, tasks))
-        except (OSError, BrokenProcessPool, pickle.PicklingError):
+        with phases.timed("mine"):
+            results = pool.run(_build_and_mine_shard, tasks)
+        if results is None:
             # Pool never started or died under us (sandboxed fork,
             # missing sem support, OOM-killed worker): the shard
             # engines are untouched, so the thread path can take over.
             self._release_segment()
             return False
-        for shard_engine, shard_substrate, table in zip(
-                self._shards, substrates, tables):
-            shard_engine.mine(substrate=shard_substrate, counts=table)
+        with phases.timed("build"):
+            for shard, shard_engine in enumerate(self._shards):
+                counts, _build_seconds, _mine_seconds = results[shard]
+                mapping = self._segment.shard_mapping(shard)
+                index = VerticalIndex.from_bits(
+                    self.vocabulary,
+                    {item: mapping[item].bits for item in mapping})
+                database = TransactionDatabase.from_encoded(
+                    self.vocabulary, transactions_per_shard[shard])
+                shard_engine.mine(
+                    substrate=EncodedSubstrate(database=database,
+                                               index=index),
+                    counts=counts)
+        phases.record_shards("build", [result[1] for result in results])
+        phases.record_shards("mine", [result[2] for result in results])
         return True
 
     def _release_segment(self) -> None:
-        """Tear down the shared segment (idempotent; owner unlinks)."""
+        """Release the initial-mine segment through the refcounted
+        manager (idempotent; the last lease closes and unlinks)."""
         segment, self._segment = self._segment, None
         if segment is not None:
-            segment.close()
-            segment.unlink()
+            self._segments.release(segment.name)
 
     # -- the SON merge ----------------------------------------------------------
 
@@ -280,32 +416,36 @@ class ShardedEngine(CorrelationEngine):
         """Rebuild the global table from the shard states and re-derive
         the global rules (phase 2 of the SON protocol).  ``report`` is
         a :class:`MaintenanceReport` or :class:`BatchReport`."""
-        floor = self.thresholds.keep_count(self.db_size)
-        union = candidate_union(
-            shard.table for shard in self._shards)
-        if self._segment is not None:
-            # Initial process-parallel mine: count straight off the
-            # shared pages.  They hold the same bits as the freshly
-            # adopted shard indexes (they were packed from them and
-            # nothing has mutated since), so the merged table is
-            # identical — without touching per-shard Python state.
-            shard_indexes = [self._segment.shard_mapping(shard)
-                             for shard in range(self.shard_count)]
-        else:
-            shard_indexes = [shard.index.as_mapping()
-                             for shard in self._shards]
-        merged = merge_counts(union, shard_indexes, floor=floor)
-        self.table.replace(merged)
-        self._refresh_rules(report)
+        with report.phases.timed("merge"):
+            floor = self.thresholds.keep_count(self.db_size)
+            union = candidate_union(
+                shard.table for shard in self._shards)
+            if self._segment is not None:
+                # Initial process-parallel mine: count straight off the
+                # shared pages.  They hold the same bits as the freshly
+                # adopted shard indexes (the indexes were hydrated from
+                # them and nothing has mutated since), so the merged
+                # table is identical — without touching per-shard
+                # Python state.
+                shard_indexes = [self._segment.shard_mapping(shard)
+                                 for shard in range(self.shard_count)]
+            else:
+                shard_indexes = [shard.index.as_mapping()
+                                 for shard in self._shards]
+            merged = merge_counts(union, shard_indexes, floor=floor)
+            self.table.replace(merged)
+        with report.phases.timed("refresh"):
+            self._refresh_rules(report)
 
     # -- routed incremental maintenance ------------------------------------------
 
     def _apply_plan(self, plan: DeltaPlan) -> BatchReport:
         """Split the compiled plan into per-shard sub-plans, apply the
         global relation mutation once, run each touched shard's own
-        (dirty-scoped) batch, then one global re-merge and revision
-        bump.  The inherited :meth:`apply_batch` already compiled and
-        validated the plan against the global relation."""
+        batch — in pool workers on the process path, via the shard's
+        dirty-scoped maintenance otherwise — then one global re-merge
+        and revision bump.  The inherited :meth:`apply_batch` already
+        compiled and validated the plan against the global relation."""
         started = time.perf_counter()
         batch = BatchReport(db_size=self.db_size)
         batch.audits = list(plan.audits)
@@ -315,32 +455,39 @@ class ShardedEngine(CorrelationEngine):
         else:
             batch.event = f"apply-batch[{len(plan.audits)}]"
 
-        sub_plans, placements = split_plan(
-            plan,
-            locate=self._locate_existing,
-            place=self._partitioner,
-            next_local_tid=lambda shard: (
-                self._shards[shard].relation.tid_range),
-            shard_count=self.shard_count,
-        )
-        self._apply_plan_to_relation(plan)
-        for placement in placements:
-            if placement.local_tid != len(self._global_of[placement.shard]):
-                raise MaintenanceError(
-                    f"local tid drift on shard {placement.shard}: "
-                    f"placement says {placement.local_tid}, map says "
-                    f"{len(self._global_of[placement.shard])}")
-            self._global_of[placement.shard].append(placement.tid)
-            self._local_of[placement.tid] = (placement.shard,
-                                             placement.local_tid)
+        with batch.phases.timed("partition"):
+            sub_plans, placements = split_plan(
+                plan,
+                locate=self._locate_existing,
+                place=self._partitioner,
+                next_local_tid=lambda shard: (
+                    self._shards[shard].relation.tid_range),
+                shard_count=self.shard_count,
+            )
+            self._apply_plan_to_relation(plan)
+            for placement in placements:
+                if placement.local_tid != len(
+                        self._global_of[placement.shard]):
+                    raise MaintenanceError(
+                        f"local tid drift on shard {placement.shard}: "
+                        f"placement says {placement.local_tid}, map says "
+                        f"{len(self._global_of[placement.shard])}")
+                self._global_of[placement.shard].append(placement.tid)
+                self._local_of[placement.tid] = (placement.shard,
+                                                 placement.local_tid)
 
-        for shard, events in enumerate(sub_plans):
-            if not events:
-                continue
-            shard_report = self._shards[shard].apply_batch(events)
-            batch.shards_touched += 1
-            batch.case_reports.extend(shard_report.case_reports)
-            batch.patterns_dirty += shard_report.patterns_dirty
+        pooled = False
+        if self._use_processes():
+            pooled = self._apply_in_processes(sub_plans, batch)
+        if not pooled:
+            with batch.phases.timed("apply"):
+                for shard, events in enumerate(sub_plans):
+                    if not events:
+                        continue
+                    shard_report = self._shards[shard].apply_batch(events)
+                    batch.shards_touched += 1
+                    batch.case_reports.extend(shard_report.case_reports)
+                    batch.patterns_dirty += shard_report.patterns_dirty
 
         batch.db_size = self.db_size
         self._merge(batch)
@@ -351,6 +498,89 @@ class ShardedEngine(CorrelationEngine):
         self._finish(batch)
         self._relation_version = self.relation.version
         return batch
+
+    def _apply_in_processes(self, sub_plans, batch: BatchReport) -> bool:
+        """Pooled flush: substrate mutations parent-side, shard tables
+        re-mined exactly in pool workers.
+
+        Each touched shard applies its sub-plan's *substrate* half via
+        ``apply_batch_substrate`` — ascending shard order and identical
+        interning calls keep the vocabulary byte-identical to the
+        thread path — then its refreshed bitmap index is packed into a
+        flush-scoped segment and a pool worker re-mines the shard's
+        *complete* table at the shard keep floor
+        (:func:`_mine_shard_from_pages`).  A maintained shard table is
+        exactly the table of itemsets at/above that floor with exact
+        counts (the invariant ``_finish`` enforces), so adopting the
+        worker's table is indistinguishable from having run the
+        maintenance walks, and the SON merge sees identical state.
+
+        Pool availability is checked *before* any mutation, so a
+        ``False`` return leaves the engine untouched for the thread
+        path.  A pool that dies after mutations falls back to an
+        inline parent re-mine over the same indexes — same search,
+        same answer, no state to unwind.
+        """
+        pool = self._ensure_pool()
+        touched = [shard for shard, events in enumerate(sub_plans) if events]
+        if not touched or not pool.start():
+            return False
+        with batch.phases.timed("encode"):
+            for shard in touched:
+                shard_report = self._shards[shard].apply_batch_substrate(
+                    sub_plans[shard])
+                batch.shards_touched += 1
+                batch.case_reports.extend(shard_report.case_reports)
+        annotation_like = frozenset(self.vocabulary.annotation_like_ids())
+        segment = None
+        with batch.phases.timed("build"):
+            try:
+                segment = self._segments.adopt(BitmapPageSegment.pack(
+                    [self._shards[shard].index.as_mapping()
+                     for shard in touched]))
+            except (OSError, MiningError):  # pragma: no cover - no /dev/shm
+                segment = None
+        try:
+            tables = None
+            with batch.phases.timed("mine"):
+                if segment is not None:
+                    tasks = [
+                        (segment.name, position,
+                         self._shards[shard].thresholds.keep_count(
+                             self._shards[shard].db_size),
+                         annotation_like, self._shards[shard].max_length)
+                        for position, shard in enumerate(touched)
+                    ]
+                    tables = pool.run(_mine_shard_from_pages, tasks)
+                if tables is None:
+                    # The pool (or shared memory) died after the
+                    # substrate mutations: recompute inline — the same
+                    # vertical search over the same refreshed indexes.
+                    tables = [self._remine_shard_inline(shard)
+                              for shard in touched]
+            for shard, table in zip(touched, tables):
+                shard_engine = self._shards[shard]
+                shard_engine.table.replace(table)
+                batch.patterns_dirty += len(table)
+                shard_engine._finish(MaintenanceReport(
+                    event=batch.event, db_size=shard_engine.db_size))
+        finally:
+            if segment is not None:
+                self._segments.release(segment.name)
+        return True
+
+    def _remine_shard_inline(self, shard: int):
+        """Parent-side exact re-mine of one shard's complete table —
+        the mid-flush fallback when the pool dies after mutations."""
+        shard_engine = self._shards[shard]
+        return mine_frequent_itemsets_vertical(
+            (),
+            min_count=shard_engine.thresholds.keep_count(
+                shard_engine.db_size),
+            constraint=shard_engine.constraint,
+            max_length=shard_engine.max_length,
+            index=shard_engine.index.as_mapping(),
+        )
 
     def _locate_existing(self, tid: int) -> tuple[int, int]:
         located = self._local_of.get(tid)

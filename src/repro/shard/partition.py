@@ -108,17 +108,19 @@ def partition_relation(relation: AnnotatedRelation,
     return shards, tids_per_shard, local_of
 
 
-def build_substrate(relation: AnnotatedRelation,
+def encode_relation(relation: AnnotatedRelation,
                     interner: TokenInterner,
                     *,
-                    include_labels: bool = True) -> EncodedSubstrate:
+                    include_labels: bool = True) -> list[frozenset[int]]:
     """Bulk-encode every tuple of a (freshly partitioned, all-live)
-    shard relation into a mining substrate.
+    shard relation into item-id transactions.
 
     Produces exactly the transactions the engine's per-tuple
     ``encode_tuple`` loop would — same items, same tid alignment — so
-    a shard mine over this substrate equals a shard mine over the slow
-    path.  The interner's vocabulary becomes the substrate's.
+    a shard mine over these equals a shard mine over the slow path.
+    Tuple-order interning keeps vocabulary ids deterministic, which is
+    why this pass stays sequential in the parent even when substrate
+    *construction* moves into worker processes.
     """
     schema = relation.schema
     data = interner.data
@@ -137,11 +139,43 @@ def build_substrate(relation: AnnotatedRelation,
             for label_token in row.labels:
                 ids.append(label(label_token))
         transactions.append(frozenset(ids))
-    database = TransactionDatabase.from_encoded(interner.vocabulary,
-                                                transactions)
-    index = VerticalIndex.from_transactions(interner.vocabulary,
-                                            transactions)
+    return transactions
+
+
+def substrate_from_transactions(vocabulary: ItemVocabulary,
+                                transactions: list[frozenset[int]],
+                                ) -> EncodedSubstrate:
+    """Materialize a mining substrate from pre-encoded transactions."""
+    database = TransactionDatabase.from_encoded(vocabulary, transactions)
+    index = VerticalIndex.from_transactions(vocabulary, transactions)
     return EncodedSubstrate(database=database, index=index)
+
+
+def build_substrate(relation: AnnotatedRelation,
+                    interner: TokenInterner,
+                    *,
+                    include_labels: bool = True) -> EncodedSubstrate:
+    """Bulk-encode one shard relation into a mining substrate.
+
+    The interner's vocabulary becomes the substrate's.
+    """
+    transactions = encode_relation(relation, interner,
+                                   include_labels=include_labels)
+    return substrate_from_transactions(interner.vocabulary, transactions)
+
+
+def encode_shards(shards: Iterable[AnnotatedRelation],
+                  vocabulary: ItemVocabulary) -> list[list[frozenset[int]]]:
+    """Encoded transactions per shard, sharing one interning pass.
+
+    This is the parent-side half of worker-built substrates: interning
+    is ordered (shard 0 first, tuple order within a shard) so the
+    vocabulary is byte-identical to the sequential path, while the
+    O(occurrences) bitmap builds the transactions feed can run
+    anywhere.
+    """
+    interner = TokenInterner(vocabulary)
+    return [encode_relation(shard, interner) for shard in shards]
 
 
 def substrates_for(shards: Iterable[AnnotatedRelation],

@@ -1,0 +1,231 @@
+"""The persistent shard pool: a long-lived process pool plus a
+refcounted shared-segment manager.
+
+PR 7 started a fresh ``ProcessPoolExecutor`` inside every process-mode
+``mine()`` and tore it down before returning — correct, but the worker
+spawn cost recurs per operation and routed ``apply_batch`` flushes
+never escaped the GIL at all.  This module gives
+:class:`~repro.shard.engine.ShardedEngine` two long-lived resources:
+
+* :class:`ShardPool` — one ``ProcessPoolExecutor`` reused across the
+  initial mine and every routed flush.  The pool is started lazily on
+  the first process-mode operation, degrades exactly like PR 7 (a
+  platform that cannot start or sustain the pool makes :meth:`ShardPool.run`
+  return ``None`` and the caller falls back to the thread path; a
+  genuine task error propagates), and is shut down by an explicit
+  ``close()`` wired through engine → service → server drain.  A
+  ``weakref.finalize`` net plus an ``atexit`` sweep reap executors
+  whose owners forgot, so no worker process can outlive the session.
+* :class:`SegmentManager` — refcounted ownership of the shared-memory
+  bitmap segments an engine currently serves from.  Every code path
+  that adopts a segment holds a lease; releasing the last lease closes
+  and unlinks it.  ``release_all()`` (engine ``close()``/teardown)
+  force-drops everything, so an error *after* a successful worker pass
+  — e.g. inside count-table adoption — cannot strand a ``/dev/shm``
+  block however the operation exits.
+
+Worker sizing respects ``os.process_cpu_count()`` (affinity-aware,
+Python 3.13+) before ``os.cpu_count()`` — a containerized CI box with
+a restricted CPU mask must not oversubscribe (:func:`available_cpus`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import weakref
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.mining.pages import BitmapPageSegment
+
+try:
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover - no _multiprocessing
+    class BrokenProcessPool(Exception):
+        """Stand-in so the except clauses below stay importable."""
+
+
+def available_cpus() -> int:
+    """Usable CPU count: ``os.process_cpu_count()`` (the scheduling
+    affinity mask, Python 3.13+) when available, else ``os.cpu_count()``,
+    floored at 1."""
+    counter = getattr(os, "process_cpu_count", None)
+    count = counter() if counter is not None else None
+    if count is None:
+        count = os.cpu_count()
+    return count if count else 1
+
+
+class SegmentManager:
+    """Refcounted registry of the shared segments one engine owns.
+
+    Leases are plain counts keyed by segment name: :meth:`adopt`
+    installs a segment with one lease, :meth:`retain`/:meth:`release`
+    move the count, and the last release closes the segment and (for
+    owned segments) unlinks the ``/dev/shm`` block.  :meth:`release_all`
+    is the teardown hammer — engine ``close()`` and error paths call
+    it so nothing survives the owner.
+    """
+
+    __slots__ = ("_segments",)
+
+    def __init__(self) -> None:
+        #: name -> [segment, lease count]
+        self._segments: dict[str, list] = {}
+
+    def adopt(self, segment: BitmapPageSegment) -> BitmapPageSegment:
+        """Start managing ``segment`` with one lease; returns it."""
+        self._segments[segment.name] = [segment, 1]
+        return segment
+
+    def retain(self, name: str) -> None:
+        self._segments[name][1] += 1
+
+    def release(self, name: str) -> None:
+        """Drop one lease; the last lease tears the segment down.
+        Unknown names are ignored (idempotent error-path teardown)."""
+        entry = self._segments.get(name)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del self._segments[name]
+            self._destroy(entry[0])
+
+    def release_all(self) -> None:
+        """Force-drop every lease and destroy every segment."""
+        segments, self._segments = self._segments, {}
+        for segment, _count in segments.values():
+            self._destroy(segment)
+
+    @staticmethod
+    def _destroy(segment: BitmapPageSegment) -> None:
+        segment.close()
+        if segment.is_owner:
+            segment.unlink()
+
+    def live(self) -> tuple[str, ...]:
+        """Names currently under management (test hook)."""
+        return tuple(sorted(self._segments))
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+
+class _ExecutorSlot:
+    """Mutable executor holder a finalizer can reach without keeping
+    the pool (and through it the engine) alive."""
+
+    __slots__ = ("executor",)
+
+    def __init__(self) -> None:
+        self.executor = None
+
+
+#: Slots of every pool constructed this session — the leak hook counts
+#: the ones with a running executor; the atexit net shuts them down.
+_LIVE_SLOTS: set[_ExecutorSlot] = set()
+
+
+def live_pool_count() -> int:
+    """Number of shard pools with a running executor (test hook: after
+    every ``close()``/drain this must be 0 — a nonzero value is leaked
+    worker processes)."""
+    return sum(1 for slot in _LIVE_SLOTS if slot.executor is not None)
+
+
+def _close_slot(slot: _ExecutorSlot) -> None:
+    executor, slot.executor = slot.executor, None
+    _LIVE_SLOTS.discard(slot)
+    if executor is not None:
+        executor.shutdown(wait=True)
+
+
+def shutdown_live_pools() -> None:
+    """Shut down every still-running pool executor (atexit net and the
+    test fixtures' cross-test isolation sweep)."""
+    for slot in list(_LIVE_SLOTS):
+        try:
+            _close_slot(slot)
+        except Exception:  # pragma: no cover - best-effort net
+            pass
+
+
+atexit.register(shutdown_live_pools)
+
+
+class ShardPool:
+    """A long-lived process pool one sharded engine dispatches through.
+
+    The executor starts lazily on the first :meth:`run` (or
+    :meth:`start`) and then persists across operations until
+    :meth:`close`.  Platform failures never propagate: a pool that
+    cannot start stays *broken* (cached — the platform will not grow
+    process support mid-session) and a pool that dies under a map
+    (sandboxed fork, OOM-killed worker) is discarded so the next
+    operation may retry; in both cases the caller sees ``None`` and
+    falls back to threads.  Genuine task errors propagate exactly as
+    the thread path would raise them.
+    """
+
+    __slots__ = ("workers", "_slot", "_broken", "__weakref__")
+
+    def __init__(self, *, workers: int | None = None) -> None:
+        self.workers = workers if workers is not None else available_cpus()
+        self._slot = _ExecutorSlot()
+        self._broken = False
+        # Reap the executor when the owning engine (hence this pool) is
+        # collected without an explicit close() — tests and the CI
+        # smoke assert on live_pool_count(), and a leaked executor
+        # means leaked worker processes.
+        weakref.finalize(self, _close_slot, self._slot)
+
+    def start(self) -> bool:
+        """Ensure the executor is running; ``False`` when the platform
+        cannot run a process pool (the caller should use threads)."""
+        if self._broken:
+            return False
+        if self._slot.executor is not None:
+            return True
+        try:
+            # Late attribute lookup on the module: the fallback tests
+            # (and constrained platforms) replace the class itself.
+            import concurrent.futures
+
+            self._slot.executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers)
+        except (ImportError, OSError, ValueError):
+            self._broken = True
+            return False
+        _LIVE_SLOTS.add(self._slot)
+        return True
+
+    @property
+    def active(self) -> bool:
+        return self._slot.executor is not None
+
+    def run(self, fn: Callable, tasks: Sequence | Iterable) -> list | None:
+        """Map ``tasks`` over the pool; ``None`` means the platform
+        failed (nothing ran to completion — fall back to threads or a
+        parent-side recompute).  Task errors propagate."""
+        if not self.start():
+            return None
+        try:
+            return list(self._slot.executor.map(fn, tasks))
+        except (OSError, BrokenProcessPool, pickle.PicklingError):
+            # The pool died under us; discard it so the next operation
+            # starts fresh instead of mapping into a corpse.
+            self._discard()
+            return None
+
+    def _discard(self) -> None:
+        executor, self._slot.executor = self._slot.executor, None
+        _LIVE_SLOTS.discard(self._slot)
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the executor down and wait for its workers (idempotent;
+        the pool may be started again afterwards)."""
+        _close_slot(self._slot)

@@ -631,3 +631,20 @@ class TestServiceInstrumentation:
         service.create("main", make_relation())
         service.submit("main", AddAnnotations.build([(0, "Z1")]))
         assert service.flush("main").events == 1
+
+    def test_phase_timings_reach_the_registry(self):
+        from repro.server.metrics import ServiceInstrumentation
+
+        bundle = ServiceInstrumentation()
+        service = CorrelationService(config=CONFIG,
+                                     instrumentation=bundle)
+        service.create("main", make_relation())
+        service.submit("main", AddAnnotations.build([(0, "Z1")]))
+        service.flush("main")
+        service.mine("main")
+        rendered = bundle.registry.render()
+        series = rendered["service_phase_seconds"]["series"]
+        # Flush and mine both report; apply/refresh come from the
+        # monolithic engine's batch path, mine/refresh from mine().
+        assert "phase=refresh" in series
+        assert series["phase=refresh"]["count"] >= 2

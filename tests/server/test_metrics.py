@@ -149,3 +149,25 @@ class TestServiceInstrumentation:
         bundle.snapshot_hits.inc(3)
         bundle.snapshot_misses.inc(1)
         assert bundle.snapshot_hit_rate() == pytest.approx(0.75)
+
+    def test_observe_phases_fans_out_per_phase(self):
+        from repro.core.maintenance import PhaseTimings
+
+        registry = MetricsRegistry()
+        bundle = ServiceInstrumentation(registry, prefix="svc")
+        phases = PhaseTimings()
+        phases.add("partition", 0.002)
+        phases.add("mine", 0.010)
+        phases.add("mine", 0.004)  # accumulates within one report
+        bundle.observe_phases(phases)
+        series = registry.render()["svc_phase_seconds"]["series"]
+        assert set(series) == {"phase=partition", "phase=mine"}
+        assert series["phase=partition"]["count"] == 1
+        assert series["phase=mine"]["sum"] == pytest.approx(0.014)
+
+    def test_observe_phases_empty_is_noop(self):
+        from repro.core.maintenance import PhaseTimings
+
+        registry = MetricsRegistry()
+        ServiceInstrumentation(registry).observe_phases(PhaseTimings())
+        assert "service_phase_seconds" not in registry.render()

@@ -377,7 +377,12 @@ class TestConsistency:
 
     def test_graceful_drain_flushes_everything(self):
         """Queued-but-unflushed (202-acknowledged) events survive a
-        graceful stop: the drain flushes every tenant."""
+        graceful stop: the drain flushes every tenant, then closes the
+        tenants' shard pools — no worker process or shared-memory
+        segment outlives the server."""
+        from repro.mining.pages import live_segments
+        from repro.shard.pool import live_pool_count
+
         server = make_server()
         server.request("POST", "/v1/tenants",
                        {"name": "alpha", "columns": ["c1", "c2"],
@@ -385,18 +390,28 @@ class TestConsistency:
         server.request("POST", "/v1/tenants",
                        {"name": "beta", "columns": ["c1", "c2"],
                         "rows": ROWS})
-        for name in ("alpha", "beta"):
+        # A process-sharded tenant keeps a persistent worker pool —
+        # the drain must reap it along with the flushes.
+        status, _, _ = server.request(
+            "POST", "/v1/tenants",
+            {"name": "gamma", "columns": ["c1", "c2"], "rows": ROWS,
+             "config": {"shards": 2, "shard_workers": 2,
+                        "shard_executor": "process"}})
+        assert status == 201
+        for name in ("alpha", "beta", "gamma"):
             status, _, _ = server.request(
                 f"POST", f"/v1/{name}/events:batch", batch(4))
             assert status == 202
         service = server.server.service
         assert service.pending("alpha") == 4
         server.stop()  # graceful drain
-        for name in ("alpha", "beta"):
+        for name in ("alpha", "beta", "gamma"):
             assert service.pending(name) == 0
             snapshot = service.snapshot(name)
             assert snapshot.revision == 2  # the drain flush landed
             assert service.verify(name).equivalent
+        assert live_pool_count() == 0, "drain leaked pool workers"
+        assert live_segments() == (), "drain leaked segments"
 
     def test_draining_server_rejects_writes_with_503(self):
         server = make_server()

@@ -1,0 +1,230 @@
+"""The persistent shard pool and worker-built substrates.
+
+Pins the contracts of :mod:`repro.shard.pool` — refcounted segment
+leases, lazy pool start with cached platform failure, no worker
+processes surviving ``close()`` — and the bit-for-bit differential for
+worker-built pages: a bitmap index built in a worker and written into a
+pre-allocated shared segment must hydrate back identical to the index
+the parent would have built from the same transactions, across
+randomized streams and the byte/word-seam transaction counts where a
+fixed-width page gains or loses a trailing byte.
+"""
+
+import pytest
+
+from repro.core.annotation_index import VerticalIndex
+from repro.core.engine import CorrelationEngine
+from repro.core.config import EngineConfig
+from repro.mining.bitmap import BitmapIndex
+from repro.mining.pages import BitmapPageSegment, live_segments
+from repro.mining.itemsets import ItemVocabulary
+from repro.shard import ShardedEngine
+from repro.shard.pool import (
+    SegmentManager,
+    ShardPool,
+    available_cpus,
+    live_pool_count,
+    shutdown_live_pools,
+)
+from tests.conftest import make_relation
+
+
+@pytest.fixture(autouse=True)
+def no_leaks():
+    yield
+    shutdown_live_pools()
+    assert live_segments() == (), "test leaked shared-memory segments"
+    assert live_pool_count() == 0, "test leaked pool workers"
+
+
+class TestAvailableCpus:
+    def test_floors_at_one(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        assert available_cpus() == 1
+
+    def test_prefers_affinity_aware_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(os, "process_cpu_count", lambda: 2,
+                            raising=False)
+        assert available_cpus() == 2
+
+    def test_engine_worker_sizing_respects_it(self, monkeypatch):
+        import repro.shard.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "available_cpus", lambda: 2)
+        sharded = ShardedEngine(
+            make_relation(),
+            EngineConfig(min_support=0.25, min_confidence=0.6, shards=4))
+        assert sharded._workers() == 2
+
+
+class TestSegmentManager:
+    def test_last_release_destroys(self):
+        manager = SegmentManager()
+        segment = manager.adopt(BitmapPageSegment.pack([{1: 0b1011}]))
+        name = segment.name
+        assert manager.live() == (name,)
+        manager.retain(name)
+        manager.release(name)
+        assert manager.live() == (name,), "early release destroyed a lease"
+        assert live_segments() == (name,)
+        manager.release(name)
+        assert manager.live() == ()
+        assert live_segments() == ()
+
+    def test_release_unknown_name_is_noop(self):
+        manager = SegmentManager()
+        manager.release("repro_pages_never_existed")
+        assert len(manager) == 0
+
+    def test_release_all_force_drops(self):
+        manager = SegmentManager()
+        first = manager.adopt(BitmapPageSegment.pack([{1: 0b1}]))
+        second = manager.adopt(BitmapPageSegment.pack([{2: 0b10}]))
+        manager.retain(first.name)
+        manager.retain(second.name)
+        manager.release_all()
+        assert manager.live() == ()
+        assert live_segments() == ()
+
+
+class TestShardPool:
+    def test_lazy_start_run_and_close(self):
+        pool = ShardPool(workers=2)
+        assert not pool.active
+        results = pool.run(abs, [-3, 4, -5])
+        if results is None:  # platform without process pools
+            pytest.skip("process pools unavailable on this platform")
+        assert results == [3, 4, 5]
+        assert pool.active and live_pool_count() == 1
+        pool.close()
+        assert not pool.active and live_pool_count() == 0
+        pool.close()  # idempotent
+        # A closed pool restarts lazily.
+        assert pool.run(abs, [-7]) == [7]
+        pool.close()
+
+    def test_platform_failure_is_cached(self, monkeypatch):
+        import concurrent.futures
+
+        calls = []
+
+        class NoPool:
+            def __init__(self, *args, **kwargs):
+                calls.append(1)
+                raise OSError("no process support")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            NoPool)
+        pool = ShardPool(workers=2)
+        assert pool.run(abs, [-1]) is None
+        assert pool.run(abs, [-1]) is None
+        assert calls == [1], "broken platform retried the executor"
+        pool.close()
+
+    def test_task_errors_propagate(self):
+        pool = ShardPool(workers=2)
+        if not pool.start():
+            pytest.skip("process pools unavailable on this platform")
+        with pytest.raises(ZeroDivisionError):
+            pool.run(_divide_by, [0])
+        pool.close()
+
+
+def _divide_by(value):
+    return 1 // value
+
+
+def _random_transactions(rng, n_tuples, universe):
+    return [
+        frozenset(rng.sample(universe, rng.randint(0, min(5, len(universe)))))
+        for _ in range(n_tuples)
+    ]
+
+
+def _assert_pages_match_parent_index(transactions):
+    """Core differential: allocate → worker-style write → hydrate must
+    reproduce the parent-built ``BitmapIndex`` bit for bit."""
+    parent = BitmapIndex.from_transactions(transactions)
+    items = sorted(frozenset().union(*transactions)) if transactions else ()
+    segment = BitmapPageSegment.allocate(
+        [(items, (len(transactions) + 7) // 8)])
+    try:
+        worker = BitmapIndex.from_transactions(transactions)
+        mapping = worker.as_mapping()
+        segment.write_pages(0, {item: mapping[item].bits
+                                for item in mapping})
+        pages = segment.shard_mapping(0)
+        hydrated = VerticalIndex.from_bits(ItemVocabulary(),
+                                           {item: pages[item].bits
+                                            for item in pages})
+        assert sorted(pages) == parent.items()
+        for item in parent.items():
+            assert pages[item].bits == parent.tidset(item).bits, (
+                f"item {item} bits diverged at {len(transactions)} tuples")
+            assert hydrated.tids(item) == frozenset(parent.tidset(item))
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+class TestWorkerBuiltPages:
+    @pytest.mark.parametrize("n_tuples", (0, 1, 7, 8, 9, 63, 64, 65))
+    def test_seam_counts_bit_for_bit(self, n_tuples, seeds):
+        """Byte (8) and word (64) seam tuple counts: the fixed-width
+        page gains/loses trailing bytes exactly here."""
+        rng = seeds.rng(500 + n_tuples)
+        transactions = _random_transactions(rng, n_tuples,
+                                            universe=range(1, 12))
+        # Force occupancy of the last tid so the top bit of the page
+        # sits exactly on the seam.
+        if n_tuples:
+            transactions[-1] = frozenset({1, 11})
+        _assert_pages_match_parent_index(transactions)
+
+    @pytest.mark.parametrize("seed", (61, 62, 63))
+    def test_randomized_streams_bit_for_bit(self, seed, seeds):
+        rng = seeds.rng(seed)
+        transactions = _random_transactions(rng, rng.randint(10, 200),
+                                            universe=range(1, 40))
+        _assert_pages_match_parent_index(transactions)
+
+    def test_layout_drift_is_rejected(self):
+        segment = BitmapPageSegment.allocate([((1, 2, 3), 4)])
+        try:
+            from repro.errors import MiningError
+
+            with pytest.raises(MiningError, match="layout drift"):
+                segment.write_pages(0, {1: 0b1, 2: 0b10})
+            with pytest.raises(MiningError, match="bytes wide"):
+                segment.write_pages(0, {1: 1 << 40, 2: 0b1, 3: 0b1})
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_worker_built_mine_matches_monolithic_signature(self):
+        config = EngineConfig(min_support=0.25, min_confidence=0.6,
+                              validate=True)
+        relation = make_relation()
+        mono = CorrelationEngine(relation.copy(), config)
+        mono.mine()
+        sharded = ShardedEngine(
+            relation, config.replace(shards=3, shard_workers=2,
+                                     shard_executor="process"))
+        sharded.mine()
+        # Hydrated shard indexes serve maintenance after the segment is
+        # gone: frequencies must match an index built parent-side.
+        for shard_engine in sharded.shard_engines:
+            rebuilt = BitmapIndex.from_transactions(
+                shard_engine.database.transactions)
+            assert shard_engine.index.items() == rebuilt.items()
+            for item in rebuilt.items():
+                assert (shard_engine.index.tids(item)
+                        == frozenset(rebuilt.tidset(item)))
+        assert sharded.signature() == mono.signature()
+        sharded.close()

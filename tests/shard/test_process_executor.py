@@ -24,7 +24,12 @@ from repro.mining.constraints import (
 )
 from repro.mining.pages import live_segments
 from repro.shard import ShardedEngine
-from repro.shard.engine import _mine_shard, _mine_shard_from_pages
+from repro.shard.engine import (
+    _build_and_mine_shard,
+    _mine_shard,
+    _mine_shard_from_pages,
+)
+from repro.shard.pool import live_pool_count, shutdown_live_pools
 from repro.synth.streams import EventStream, StreamConfig, apply_to_relation
 from tests.conftest import assert_equivalent_to_remine, make_relation
 
@@ -39,6 +44,7 @@ PROCESS = CONFIG.replace(shards=3, shard_workers=2,
 def no_leaked_segments():
     before = live_segments()
     yield
+    shutdown_live_pools()
     assert live_segments() == before, (
         "engine leaked shared-memory segments")
 
@@ -118,19 +124,54 @@ class TestFallback:
         the segment must still be released."""
         import repro.shard.engine as shard_engine_module
 
-        monkeypatch.setattr(shard_engine_module, "_mine_shard_from_pages",
+        monkeypatch.setattr(shard_engine_module, "_build_and_mine_shard",
                             _exploding_worker)
         sharded = ShardedEngine(make_relation(), PROCESS)
         with pytest.raises(ZeroDivisionError):
             sharded.mine()
         assert live_segments() == ()
 
+    def test_adoption_failure_releases_segment(self, monkeypatch):
+        """An error raised *after* the workers succeeded — inside the
+        parent's count-table adoption — must still tear the segment
+        down through the refcounted manager."""
+        monkeypatch.setattr(
+            CorrelationEngine, "mine",
+            lambda self, **kwargs: (_ for _ in ()).throw(
+                RuntimeError("adoption bug")))
+        sharded = ShardedEngine(make_relation(), PROCESS)
+        with pytest.raises(RuntimeError, match="adoption bug"):
+            sharded.mine()
+        assert live_segments() == ()
+
+    def test_pool_death_mid_flush_recovers_inline(self, monkeypatch):
+        """A pool that dies *after* the flush's substrate mutations
+        cannot unwind them — the parent re-mines inline, exactly."""
+        relation = make_relation()
+        mono = CorrelationEngine(relation.copy(), CONFIG)
+        mono.mine()
+        sharded = ShardedEngine(relation, PROCESS)
+        sharded.mine()
+        events = drawn_events(sharded.relation, count=8, seed=23)
+
+        from repro.shard.pool import ShardPool
+
+        monkeypatch.setattr(ShardPool, "run",
+                            lambda self, fn, tasks: None)
+        mono.apply_batch(events)
+        report = sharded.apply_batch(events)
+        assert report.shards_touched >= 1
+        assert sharded.signature() == mono.signature()
+        assert live_segments() == ()
+        assert_equivalent_to_remine(sharded)
+
 
 class TestWorkers:
     def test_workers_are_picklable_module_functions(self):
         """Both phase-1 workers must survive pickling — the process
         pool ships them by qualified name, which a lambda breaks."""
-        for worker in (_mine_shard, _mine_shard_from_pages):
+        for worker in (_mine_shard, _mine_shard_from_pages,
+                       _build_and_mine_shard):
             assert pickle.loads(pickle.dumps(worker)) is worker
 
     def test_frozen_constraint_matches_live_and_pickles(self, seeds):
@@ -149,6 +190,73 @@ class TestWorkers:
             assert frozen.admits(itemset) == live.admits(itemset), itemset
             assert (frozen.admits_item(itemset[0])
                     == live.admits_item(itemset[0]))
+
+
+class TestPooledFlushes:
+    """The persistent-pool incremental path: every routed flush re-mines
+    its touched shards in workers, and the result is indistinguishable
+    from the thread path and the monolithic engine at every boundary."""
+
+    def test_pooled_flushes_match_thread_and_monolithic(self, seeds):
+        relation = make_relation()
+        events = drawn_events(relation, count=12, seed=seeds.seed(31))
+        mono = CorrelationEngine(relation.copy(), CONFIG)
+        mono.mine()
+        threaded = ShardedEngine(relation.copy(),
+                                 PROCESS.replace(shard_executor="thread"))
+        threaded.mine()
+        pooled = ShardedEngine(relation, PROCESS)
+        pooled.mine()
+        for start in range(0, len(events), 3):
+            batch = events[start:start + 3]
+            mono.apply_batch(batch)
+            threaded.apply_batch(batch)
+            report = pooled.apply_batch(batch)
+            assert pooled.signature() == mono.signature(), (
+                f"pooled flush {start} diverged from monolithic")
+            assert pooled.signature() == threaded.signature(), (
+                f"pooled flush {start} diverged from thread path")
+            if report.shards_touched:
+                assert report.phases.wall, "flush carried no phase timing"
+        assert live_segments() == ()
+        assert_equivalent_to_remine(pooled)
+        pooled.close()
+        threaded.close()
+
+    def test_pool_persists_across_operations_until_close(self, seeds):
+        sharded = ShardedEngine(make_relation(), PROCESS)
+        sharded.mine()
+        assert sharded._pool is not None and sharded._pool.active
+        pool_before = sharded._pool
+        events = drawn_events(sharded.relation, count=6,
+                              seed=seeds.seed(53))
+        sharded.apply_batch(events)
+        assert sharded._pool is pool_before, "flush rebuilt the pool"
+        assert live_pool_count() >= 1
+        sharded.close()
+        assert live_pool_count() == 0, "close() leaked pool workers"
+        assert live_segments() == ()
+        # close() is idempotent and the engine stays usable.
+        sharded.close()
+        more = drawn_events(sharded.relation, count=3,
+                            seed=seeds.seed(59))
+        sharded.apply_batch(more)
+        assert_equivalent_to_remine(sharded)
+        sharded.close()
+        assert live_pool_count() == 0
+
+    def test_mine_report_carries_phase_breakdown(self):
+        sharded = ShardedEngine(make_relation(), PROCESS)
+        report = sharded.mine()
+        for phase in ("partition", "encode", "build", "mine", "merge",
+                      "refresh"):
+            assert phase in report.phases.wall, report.phases.wall
+        assert len(report.phases.per_shard["build"]) == PROCESS.shards
+        assert len(report.phases.per_shard["mine"]) == PROCESS.shards
+        assert report.phases.summary() in report.summary()
+        payload = report.phases.as_dict()
+        assert set(payload) == {"wall", "per_shard"}
+        sharded.close()
 
 
 class TestConfigAndPersistence:

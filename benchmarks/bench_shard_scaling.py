@@ -35,6 +35,7 @@ import pytest
 
 from repro.core.engine import engine
 from repro.shard import ShardedEngine
+from repro.shard.pool import available_cpus
 from repro.synth import workloads
 from repro.synth.streams import EventStream, StreamConfig, apply_to_relation
 from benchmarks._harness import OUT_DIR, fmt_ms, record, time_once
@@ -57,14 +58,21 @@ JSON_PATH = os.path.join(OUT_DIR, "BENCH_shard_scaling.json")
 def _record_json(scenario: str, rows: list[dict]) -> None:
     """Merge ``rows`` into the machine-readable output, replacing any
     earlier rows of the same scenario (read-merge-write, so the file
-    accumulates one entry set per scenario across the module)."""
+    accumulates one entry set per scenario across the module).
+
+    Every row is stamped with the shard pool's ``available_cpus()`` and
+    the phase-1 executor actually used — without those two a recorded
+    speedup is uninterpretable across boxes (a 1.1x "process win" on a
+    2-core runner and a 4x win on a 16-core box must not look alike).
+    """
     os.makedirs(OUT_DIR, exist_ok=True)
     existing = []
     if os.path.exists(JSON_PATH):
         with open(JSON_PATH, encoding="utf-8") as handle:
             existing = json.load(handle)
     existing = [row for row in existing if row.get("scenario") != scenario]
-    existing.extend({"scenario": scenario, **row} for row in rows)
+    existing.extend({"scenario": scenario, "cpus": available_cpus(), **row}
+                    for row in rows)
     with open(JSON_PATH, "w", encoding="utf-8") as handle:
         json.dump(existing, handle, indent=2)
         handle.write("\n")
@@ -134,7 +142,8 @@ def test_shard_scaling_initial_mine(benchmark, shard_workload,
             f"monolithic   {fmt_ms(mono_seconds)}        1.00x  baseline",
             "shards       initial-mine   speedup  identical"]
     json_rows = [{"backend": backend_name, "tuples": N_TUPLES,
-                  "shards": 0, "seconds": mono_seconds,
+                  "shards": 0, "executor": "none",
+                  "seconds": mono_seconds,
                   "speedup": 1.0, "identical": True}]
     speedups, phases = {}, {}
     for shards in SHARD_COUNTS:
@@ -148,7 +157,8 @@ def test_shard_scaling_initial_mine(benchmark, shard_workload,
         rows.append(f"{shards:6d}  {fmt_ms(seconds)} {speedups[shards]:9.2f}x"
                     f"  {identical}")
         json_rows.append({"backend": backend_name, "tuples": N_TUPLES,
-                          "shards": shards, "seconds": seconds,
+                          "shards": shards, "executor": "thread",
+                          "seconds": seconds,
                           "speedup": speedups[shards],
                           "identical": identical,
                           "phases": phases.get(shards)})
@@ -313,7 +323,7 @@ def test_shard_scaling_incremental_flush(shard_workload, backend_name):
     ])
     _record_json(f"incremental_flush:{backend_name}", [
         {"backend": backend_name, "tuples": N_TUPLES,
-         "events": len(events), "shards": 4,
+         "events": len(events), "shards": 4, "executor": "thread",
          "mono_seconds": mono_seconds, "seconds": sharded_seconds,
          "shards_touched": report.shards_touched,
          "phases": report.phases.as_dict()},

@@ -1,0 +1,194 @@
+"""E12 — approximate-first serving: estimate reads vs exact refresh.
+
+The approximate tier's claim is *latency*, bought with *bounded*
+error: immediately after a write burst is queued (and its exact SON
+re-merge kicked off in the background), ``mode=estimate`` must answer
+a top-k read from the bottom-k sketches plus the pending overlay in
+less than 1/20 of the exact leg's wall time (queue -> flush -> read)
+at fig7 scale — and every estimated figure must sit inside its error
+bound once the exact refresh lands.
+
+Two scenarios: the monolithic fig7 workload and a 4-shard engine fed
+an insert-heavy (hot-shard) stream — the layout where exact re-merges
+hurt most.  Both record estimate/exact wall times, the achieved
+speedup, and the empirical error/bound-coverage of the estimates in
+``benchmarks/out/BENCH_sketch.json``.  The 20x target binds at full
+scale only; the CI smoke lane shrinks via ``REPRO_SKETCH_TUPLES`` and
+still records its row (tiny engines flush in microseconds, so a ratio
+there measures scheduler noise, not the tier).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.app.service import CorrelationService
+from repro.core.config import EngineConfig
+from repro.shard.pool import available_cpus
+from repro.synth import workloads
+from repro.synth.streams import EventStream, StreamConfig, apply_to_relation
+from benchmarks._harness import OUT_DIR, fmt_ms, record, time_once
+
+N_TUPLES = int(os.environ.get("REPRO_SKETCH_TUPLES", "8000"))
+FULL_SCALE = N_TUPLES >= 4000
+#: The acceptance ratio: estimate < exact / 20 at full scale.  It
+#: binds on the headline (monolithic fig7) scenario; the sharded
+#: scenario records its ratio but does not gate — on a 1-cpu runner
+#: the shard pool's flush workers starve a concurrent reader of the
+#: GIL, which measures the box, not the tier (the JSON row carries
+#: ``cpus`` so those readings are identifiable).
+TARGET_RATIO = 20.0
+TOP_K = 10
+EVENTS = 256 if FULL_SCALE else 8
+
+JSON_PATH = os.path.join(OUT_DIR, "BENCH_sketch.json")
+
+
+def _record_json(scenario: str, rows: list[dict]) -> None:
+    """Read-merge-write, one entry set per scenario (the same idiom as
+    ``BENCH_shard_scaling.json``); every row is stamped with the box's
+    available cpus so cross-machine rows stay comparable."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    existing = []
+    if os.path.exists(JSON_PATH):
+        with open(JSON_PATH, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    existing = [row for row in existing if row.get("scenario") != scenario]
+    existing.extend({"scenario": scenario, "cpus": available_cpus(), **row}
+                    for row in rows)
+    with open(JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2)
+        handle.write("\n")
+
+
+def _event_source(relation, *, seed, insert_heavy):
+    """One evolving shadow per scenario: both bursts are drawn from
+    the same stream so the second never references tuples the first
+    already deleted from the served session."""
+    shadow = relation.copy()
+    config = StreamConfig(seed=seed, batch_size=4,
+                          weight_insert_annotated=6.0,
+                          weight_insert_unannotated=2.0,
+                          weight_add_annotations=1.0,
+                          weight_remove_annotations=0.5,
+                          weight_remove_tuples=0.25) if insert_heavy \
+        else StreamConfig(seed=seed, batch_size=4)
+    stream = EventStream(shadow, config)
+
+    def burst(count):
+        return list(stream.take(
+            count, apply=lambda event: apply_to_relation(shadow, event)))
+    return burst
+
+
+def _estimate_accuracy(service, name):
+    """Compare the (post-flush) estimate against the exact catalog:
+    per-metric absolute errors and the fraction inside the bound."""
+    catalog = service.catalog(name)
+    estimated = service.estimate(name)
+    by_key = {er.rule.key: er for er in estimated}
+    errors = {"support": [], "confidence": []}
+    covered = checked = 0
+    for rule in catalog.rules:
+        er = by_key[rule.key]
+        for metric, exact in (("support", rule.support),
+                              ("confidence", rule.confidence)):
+            error = abs(er.metric(metric) - exact)
+            errors[metric].append(error)
+            checked += 1
+            if error <= er.bound(metric):
+                covered += 1
+    return {
+        "rules": len(catalog.rules),
+        "bound_coverage": covered / checked if checked else 1.0,
+        "mean_abs_err_support": (sum(errors["support"])
+                                 / len(errors["support"])
+                                 if errors["support"] else 0.0),
+        "max_abs_err_confidence": max(errors["confidence"], default=0.0),
+    }
+
+
+def _scenario(benchmark, backend_name, *, scenario, shards,
+              insert_heavy, headline):
+    workload = workloads.paper_scale(n_tuples=N_TUPLES, seed=13)
+    config = EngineConfig(min_support=workload.min_support,
+                          min_confidence=workload.min_confidence,
+                          backend=backend_name, shards=shards)
+    service = CorrelationService(config=config)
+    try:
+        service.create("bench", workload.relation.copy())
+        service.estimate("bench")   # warm the sketch registries
+        burst = _event_source(workload.relation, seed=29,
+                              insert_heavy=insert_heavy)
+
+        # Exact leg: queue a burst, then pay for the flush before the
+        # first fresh answer is readable.
+        for event in burst(EVENTS):
+            service.submit("bench", event)
+        exact_seconds, _ = time_once(lambda: (
+            service.flush("bench"),
+            service.top_rules("bench", TOP_K, by="confidence")))
+
+        # Estimate leg: queue an equal burst, kick the exact refresh
+        # into the background, answer immediately.
+        for event in burst(EVENTS):
+            service.submit("bench", event)
+        future = service.flush_async("bench")
+        estimate_seconds, snap = time_once(
+            lambda: service.estimate("bench", n=TOP_K))
+        assert len(snap) <= TOP_K and snap.estimated
+        future.result(timeout=600)
+
+        accuracy = _estimate_accuracy(service, "bench")
+        if headline:
+            benchmark.pedantic(
+                lambda: service.estimate("bench", n=TOP_K),
+                rounds=5, iterations=1)
+
+        ratio = (exact_seconds / estimate_seconds
+                 if estimate_seconds else float("inf"))
+        binding = FULL_SCALE and headline
+        record(f"E12_sketch_estimate:{scenario}", [
+            f"tuples={N_TUPLES} backend={backend_name} shards={shards} "
+            f"events={EVENTS} top_k={TOP_K}",
+            f"exact (flush+read) : {fmt_ms(exact_seconds)}",
+            f"estimate (no wait) : {fmt_ms(estimate_seconds)}",
+            f"speedup            : {ratio:9.2f}x  "
+            f"(target >= {TARGET_RATIO}x, binding: {binding})",
+            f"bound coverage     : {accuracy['bound_coverage']:.3f} "
+            f"over {accuracy['rules']} rules",
+            f"mean |err| support : {accuracy['mean_abs_err_support']:.5f}",
+        ])
+        _record_json(f"{scenario}:{backend_name}", [{
+            "backend": backend_name, "tuples": N_TUPLES,
+            "shards": shards, "events": EVENTS, "top_k": TOP_K,
+            "exact_seconds": exact_seconds,
+            "estimate_seconds": estimate_seconds,
+            "speedup": ratio, "binding": binding, **accuracy,
+        }])
+        # Post-flush, the estimates must sit inside their bounds — the
+        # correctness half of the trade, asserted at every scale.
+        assert accuracy["bound_coverage"] == 1.0, (
+            f"estimates escaped their bounds after the exact refresh "
+            f"landed: coverage {accuracy['bound_coverage']:.3f}")
+        if binding:
+            assert ratio >= TARGET_RATIO, (
+                f"estimate read only {ratio:.2f}x faster than the exact "
+                f"flush+read leg (target {TARGET_RATIO}x at "
+                f"{N_TUPLES} tuples)")
+    finally:
+        service.close()
+
+
+def test_sketch_estimate_vs_exact(benchmark, backend_name):
+    """Monolithic fig7 workload: the headline estimate-read latency."""
+    _scenario(benchmark, backend_name, scenario="fig7_monolithic",
+              shards=1, insert_heavy=False, headline=True)
+
+
+def test_sketch_estimate_sharded_skewed_stream(backend_name):
+    """4-shard engine under an insert-heavy stream — the exact leg pays
+    a routed flush plus the global SON re-merge per batch."""
+    _scenario(None, backend_name, scenario="sharded_skewed",
+              shards=4, insert_heavy=True, headline=False)

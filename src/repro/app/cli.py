@@ -45,6 +45,8 @@ Please select an operation:
 16. Flush queued updates (coalesced batch)
 17. Show top rules by a metric (paged)
 18. Show rules predicting an annotation
+19. Show estimated top rules (sketch tier, error bounds)
+20. Show significant rules (chi-square / p-value tier)
  0. Exit
 """.rstrip()
 
@@ -170,6 +172,10 @@ class CommandLoop:
             self._top_rules()
         elif choice == "18":
             self._rules_for_annotation()
+        elif choice == "19":
+            self._estimate_rules()
+        elif choice == "20":
+            self._significant_rules()
         elif choice == "15":
             from repro.exploitation.removal import (
                 UnexplainedAnnotationFinder,
@@ -202,20 +208,21 @@ class CommandLoop:
     def _top_rules(self) -> None:
         """Menu option 17: metric-ordered rule listing with paging,
         served from the catalog's presorted orderings."""
-        from repro.core.catalog import METRICS
+        from repro.core.catalog import ALL_METRICS
 
         manager = self.session.manager
         if manager is None:
             self._write("Error: no rules mined yet")
             return
-        metric = self._ask(f"Metric ({'/'.join(METRICS)}) "
+        metric = self._ask(f"Metric ({'/'.join(ALL_METRICS)}) "
                            f"[confidence]: ") or "confidence"
         # Validate here, not just in the query: the per-rule metric
-        # display below reads the attribute, and "canonical" (a valid
-        # ordering, not a rule statistic) must be rejected too.
-        if metric not in METRICS:
+        # display below asks the catalog for the value, and
+        # "canonical" (a valid ordering, not a rule statistic) must be
+        # rejected too.
+        if metric not in ALL_METRICS:
             self._write(f"Error: unknown ordering metric {metric!r}; "
-                        f"choose from {', '.join(METRICS)}")
+                        f"choose from {', '.join(ALL_METRICS)}")
             return
         raw = self._ask("Rules per page [10]: ")
         try:
@@ -235,11 +242,75 @@ class CommandLoop:
         if not rules:
             self._write(f"No rules on page {page} (total {total}).")
             return
+        catalog = self.session.catalog()
         self._write(f"Rules {offset + 1}..{offset + len(rules)} of "
                     f"{total}, best {metric} first:")
         for rule in rules:
             self._write(f"  {rule.render(manager.vocabulary)}"
-                        f"  [{metric} {getattr(rule, metric):.4f}]")
+                        f"  [{metric} "
+                        f"{catalog.metric_value(rule, metric):.4f}]")
+
+    def _estimate_rules(self) -> None:
+        """Menu option 19: approximate top rules from the sketch tier,
+        each metric shown with its error bound; queued updates are
+        folded in without waiting for a flush."""
+        from repro.app.estimate import ESTIMATE_METRICS
+
+        manager = self.session.manager
+        if manager is None:
+            self._write("Error: no rules mined yet")
+            return
+        metric = self._ask(f"Metric ({'/'.join(ESTIMATE_METRICS)}) "
+                           f"[confidence]: ") or "confidence"
+        if metric not in ESTIMATE_METRICS:
+            self._write(f"Error: unknown estimate metric {metric!r}; "
+                        f"choose from {', '.join(ESTIMATE_METRICS)}")
+            return
+        raw = self._ask("Number of rules [10]: ")
+        try:
+            count = int(raw) if raw else 10
+        except ValueError:
+            self._write(f"Error: not a number: {raw!r}")
+            return
+        snapshot = self.session.estimate_rules(count, by=metric)
+        if not snapshot.rules:
+            self._write("No rules to estimate.")
+            return
+        pending = (f"; {snapshot.pending_events} pending update(s) "
+                   f"folded in" if snapshot.pending_events else "")
+        self._write(f"Top {len(snapshot.rules)} estimated rule(s) by "
+                    f"{metric} (value±bound at z={snapshot.z:g}"
+                    f"{pending}):")
+        for estimated in snapshot.rules:
+            self._write(f"  {estimated.render(manager.vocabulary)}")
+
+    def _significant_rules(self) -> None:
+        """Menu option 20: the significance tier — rules whose 2x2
+        contingency table survives a p-value ceiling, strongest
+        evidence first."""
+        manager = self.session.manager
+        if manager is None:
+            self._write("Error: no rules mined yet")
+            return
+        raw = self._ask("Maximum p-value [0.05]: ")
+        try:
+            ceiling = float(raw) if raw else 0.05
+        except ValueError:
+            self._write(f"Error: not a number: {raw!r}")
+            return
+        rules = self.session.significant_rules(max_p_value=ceiling,
+                                               limit=20)
+        if not rules:
+            self._write(f"No rules significant at p <= {ceiling:g}.")
+            return
+        catalog = self.session.catalog()
+        self._write(f"{len(rules)} rule(s) significant at "
+                    f"p <= {ceiling:g}, strongest first:")
+        for rule in rules:
+            self._write(
+                f"  {rule.render(manager.vocabulary)}"
+                f"  [chi2 {catalog.chi_square_of(rule):.2f}, "
+                f"p {catalog.p_value_of(rule):.4g}]")
 
     def _rules_for_annotation(self) -> None:
         """Menu option 18: the catalog's by-RHS index as a command."""

@@ -38,10 +38,12 @@ import threading
 import time
 from collections import deque
 from collections.abc import Iterator
+from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
+from repro.app.estimate import EstimateSnapshot, estimate_snapshot
 from repro.core.catalog import CatalogQuery, RuleCatalog
 from repro.core.config import EngineConfig
 from repro.core.engine import (
@@ -234,6 +236,9 @@ class CorrelationService:
         self._instrumentation = instrumentation
         self._registry_lock = threading.Lock()
         self._hosted: dict[str, _Hosted] = {}
+        #: Lazily created worker for :meth:`flush_async` — the exact
+        #: refresh runs here while estimate reads keep serving.
+        self._flush_executor: ThreadPoolExecutor | None = None
 
     # -- session registry ------------------------------------------------------
 
@@ -307,6 +312,11 @@ class CorrelationService:
         with self._registry_lock:
             hosted_engines = [hosted.engine
                               for hosted in self._hosted.values()]
+            executor, self._flush_executor = self._flush_executor, None
+        if executor is not None:
+            # Let in-flight async flushes land before releasing engine
+            # pools; a later flush_async simply starts a fresh worker.
+            executor.shutdown(wait=True)
         for engine in hosted_engines:
             engine.close()
 
@@ -454,6 +464,26 @@ class CorrelationService:
             requeue=requeue,
             describe=f"flush of session {name!r}")
 
+    def flush_async(self, name: str) -> "Future[BatchReport]":
+        """Start :meth:`flush` on a background worker and return its
+        :class:`~concurrent.futures.Future`.
+
+        This is the "exact refresh behind the estimate" write path:
+        the caller queues events, kicks the flush here, and serves
+        :meth:`estimate` reads immediately — the pending overlay covers
+        the queue until the batch reaches the substrate, the sketch
+        observers cover it from then on, and the Future resolves when
+        the exact rules (and the next exact snapshot) are published.
+        """
+        hosted = self._session(name)  # fail fast on unknown sessions
+        del hosted
+        with self._registry_lock:
+            if self._flush_executor is None:
+                self._flush_executor = ThreadPoolExecutor(
+                    max_workers=2, thread_name_prefix="repro-flush")
+            executor = self._flush_executor
+        return executor.submit(self.flush, name)
+
     def mine(self, name: str) -> MaintenanceReport:
         """(Re-)run the initial from-scratch pass for ``name``."""
         hosted = self._session(name)
@@ -506,6 +536,64 @@ class CorrelationService:
         if kind is not None:
             query = query.of_kind(kind)
         return query.top(n, by=by)
+
+    def estimate(self, name: str, *, n: int | None = None,
+                 by: str = "confidence",
+                 kind: RuleKind | None = None,
+                 z: float | None = None,
+                 confidence_level: float | None = None) -> EstimateSnapshot:
+        """An approximate snapshot that never waits for a flush.
+
+        ``mode=estimate`` in one call: candidates come from the last
+        *published* catalog (immutable — read without the session
+        lock), counts come from the engine's maintenance-fresh sketch
+        registries plus an exact overlay of still-queued insert events,
+        and every metric carries its error bound.  The only lock taken
+        on the hot path is the queue mutex (one list copy); the session
+        read lock is touched once ever, to build the sketches without
+        racing a writer.  Contrast :meth:`snapshot`, which serves exact
+        numbers but queues behind an in-flight flush.
+        """
+        hosted = self._session(name)
+        engine = hosted.engine
+        snap = hosted.snapshot_cache
+        if snap is None or snap.catalog is None \
+                or snap.revision != hosted.revision:
+            # Cold path: no published snapshot yet, or a completed
+            # flush already bumped the revision past the cache — build
+            # the fresh one the exact way.  The revision compare is
+            # lock-free, and a flush bumps it only *after* applying,
+            # so an in-flight flush never drags an estimate onto this
+            # path: stale-by-revision means the new catalog is already
+            # published and the read lock is (briefly) contended at
+            # worst.
+            snap = self._snapshot_locked(hosted)
+        if snap.catalog is None:
+            raise SessionError(
+                f"session {name!r} has no mined rules to estimate — "
+                f"call mine() first")
+        if not engine.sketches_ready:
+            with hosted.lock.read():
+                engine.warm_sketches()
+        with hosted.queue_lock:
+            pending = list(hosted.queue)
+        started = time.perf_counter()
+        result = estimate_snapshot(
+            engine, snap.catalog.rules, pending,
+            session=name, revision=snap.revision,
+            n=n, by=by, kind=kind, z=z,
+            confidence_level=confidence_level)
+        instrumentation = self._instrumentation
+        if instrumentation is not None:
+            # Duck-typed like observe_phases: minimal sinks may lack
+            # the estimate-tier instruments.
+            reads = getattr(instrumentation, "estimate_reads", None)
+            if reads is not None:
+                reads.inc()
+            seconds = getattr(instrumentation, "estimate_seconds", None)
+            if seconds is not None:
+                seconds.observe(time.perf_counter() - started)
+        return result
 
     def pending(self, name: str) -> int:
         """Events submitted but not yet flushed."""

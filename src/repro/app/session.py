@@ -22,6 +22,7 @@ from repro.core.events import (
     UpdateEvent,
 )
 from repro.core.maintenance import BatchReport, MaintenanceReport
+from repro.app.estimate import EstimateSnapshot, estimate_snapshot
 from repro.app.service import isolate_poison_event
 from repro.core.rules import AssociationRule, RuleKind
 from repro.core.stats import DEFAULT_MARGIN
@@ -167,6 +168,45 @@ class Session:
         if kind is not None:
             query = query.of_kind(kind)
         return list(query.page(offset, limit).all())
+
+    def estimate_rules(self, n: int | None = None, *,
+                       by: str = "confidence",
+                       kind: RuleKind | None = None,
+                       z: float | None = None,
+                       confidence_level: float | None = None
+                       ) -> EstimateSnapshot:
+        """Approximate rule ranking with error bounds (menu option 19).
+
+        Re-scores the current catalog through the engine's bottom-k
+        sketches and folds queued-but-unflushed insert updates in
+        exactly — the standalone twin of the serving facade's
+        ``mode=estimate`` read.
+        """
+        manager = self._require_manager()
+        return estimate_snapshot(
+            manager, manager.catalog().rules, list(self.pending_updates),
+            session=self.dataset_path or "(unnamed)",
+            revision=manager.revision,
+            n=n, by=by, kind=kind, z=z,
+            confidence_level=confidence_level)
+
+    def significant_rules(self, *, max_p_value: float = 0.05,
+                          min_chi_square: float | None = None,
+                          kind: RuleKind | None = None,
+                          limit: int | None = None
+                          ) -> list[AssociationRule]:
+        """Rules surviving the significance tier, most significant
+        first (menu option 20): chi-square floor and p-value ceiling
+        over the catalog's exact counts."""
+        query = self.catalog().query().max_p_value(max_p_value)
+        if min_chi_square is not None:
+            query = query.min_chi_square(min_chi_square)
+        if kind is not None:
+            query = query.of_kind(kind)
+        query = query.order_by("p_value")
+        if limit is not None:
+            query = query.page(0, limit)
+        return list(query.all())
 
     def rules_for_annotation(self, annotation_token: str, *,
                              limit: int | None = None

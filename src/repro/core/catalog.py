@@ -31,9 +31,34 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.rules import AssociationRule, RuleKey, RuleKind
 from repro.errors import CatalogError
+from repro.mining.interest import (
+    RuleCounts,
+    chi_square as _chi_square_measure,
+    p_value as _p_value_measure,
+)
 
 #: Metrics with a precomputed descending ordering in every catalog.
 METRICS = ("support", "confidence", "lift")
+
+#: Significance metrics (Chanda et al.): computed from the 2x2
+#: contingency table, so they need the RHS marginal the catalog is
+#: enriched with (:meth:`RuleCatalog.with_revision`), falling back to
+#: the rule's own lower-bound estimate otherwise.  ``chi_square``
+#: orders descending (stronger association first), ``p_value``
+#: ascending (stronger evidence first).
+SIGNIFICANCE_METRICS = ("chi_square", "p_value")
+
+#: Every metric a query may filter or order by.
+ALL_METRICS = METRICS + SIGNIFICANCE_METRICS
+
+
+def ensure_metric(metric: str) -> str:
+    """Validate an ordering/floor metric name (any of ``ALL_METRICS``)."""
+    if metric not in ALL_METRICS:
+        raise CatalogError(
+            f"unknown ordering metric {metric!r}; "
+            f"choose from {', '.join(ALL_METRICS)}")
+    return metric
 
 #: The canonical (paper Figure 7 listing) order — the ordering every
 #: catalog stores its rules in, and the tie-break within each metric.
@@ -124,10 +149,12 @@ class RuleCatalog:
     """An immutable, fully indexed snapshot of one rule set revision."""
 
     __slots__ = ("_revision", "_rules", "_by_key", "_by_item", "_by_rhs",
-                 "_by_kind", "_orderings", "_stats")
+                 "_by_kind", "_orderings", "_sig_orderings", "_stats",
+                 "_rhs_counts", "_significance")
 
     def __init__(self, rules: Iterable[AssociationRule] = (), *,
-                 revision: int = 0) -> None:
+                 revision: int = 0,
+                 rhs_counts: dict[int, int] | None = None) -> None:
         ordered = tuple(sorted(rules, key=_canonical_key))
         self._revision = revision
         self._rules = ordered
@@ -153,8 +180,19 @@ class RuleCatalog:
                          for kind, bucket in by_kind.items()}
         # Metric orderings fill lazily on first use (memoized per
         # metric, shared with re-stamped clones): index-only consumers
-        # never pay for sorts they don't ask for.
+        # never pay for sorts they don't ask for.  Base-metric
+        # orderings live apart from the significance ones because the
+        # former never depend on the RHS marginals — a marginal-
+        # enriched clone keeps sharing the base dict (even for sorts
+        # built *after* cloning) and resets only the significance side.
         self._orderings: dict[str, tuple[AssociationRule, ...]] = {}
+        self._sig_orderings: dict[str, tuple[AssociationRule, ...]] = {}
+        #: Exact RHS marginals (item -> frequency) the engine enriches
+        #: the catalog with at memo time; ``None`` means significance
+        #: falls back to each rule's lower-bound RHS estimate.
+        self._rhs_counts = dict(rhs_counts) if rhs_counts else None
+        #: Lazily memoized (chi_square, p_value) per rule key.
+        self._significance: dict[RuleKey, tuple[float, float]] = {}
         self._stats = CatalogStats(
             revision=revision,
             rule_count=len(ordered),
@@ -172,15 +210,23 @@ class RuleCatalog:
         """The engine revision this catalog was built from."""
         return self._revision
 
-    def with_revision(self, revision: int) -> "RuleCatalog":
+    def with_revision(self, revision: int, *,
+                      rhs_counts: dict[int, int] | None = None
+                      ) -> "RuleCatalog":
         """This catalog re-keyed to ``revision``, sharing every index.
 
         The engine uses this to stamp its revision onto the catalog
         the rule set lazily built (keyed by its own mutation counter),
         so the two memo layers share one set of indexes instead of
         building duplicates.  All shared structures are immutable.
+
+        ``rhs_counts`` optionally enriches the clone with exact RHS
+        marginals for the significance metrics; a clone with *new*
+        counts gets fresh significance memos (and drops any
+        significance orderings computed under the old counts) while
+        still sharing the base-metric orderings built so far.
         """
-        if revision == self._revision:
+        if revision == self._revision and rhs_counts is None:
             return self
         clone = object.__new__(RuleCatalog)
         clone._revision = revision
@@ -190,6 +236,14 @@ class RuleCatalog:
         clone._by_rhs = self._by_rhs
         clone._by_kind = self._by_kind
         clone._orderings = self._orderings
+        if rhs_counts is None:
+            clone._sig_orderings = self._sig_orderings
+            clone._rhs_counts = self._rhs_counts
+            clone._significance = self._significance
+        else:
+            clone._sig_orderings = {}
+            clone._rhs_counts = dict(rhs_counts)
+            clone._significance = {}
         clone._stats = replace(self._stats, revision=revision)
         return clone
 
@@ -235,15 +289,72 @@ class RuleCatalog:
         """Every annotation item some rule predicts, ascending."""
         return tuple(sorted(self._by_rhs))
 
+    # -- significance --------------------------------------------------------
+
+    def rhs_count(self, rule: AssociationRule) -> int:
+        """The RHS marginal used for ``rule``'s contingency table:
+        the enriched exact frequency when available, else the rule's
+        own lower-bound estimate — clamped into the feasible
+        ``[union_count, db_size]`` range either way."""
+        count = None
+        if self._rhs_counts is not None:
+            count = self._rhs_counts.get(rule.rhs)
+        if count is None:
+            count = rule.rhs_count_estimate
+        return min(max(count, rule.union_count), rule.db_size)
+
+    def significance(self, rule: AssociationRule) -> tuple[float, float]:
+        """``(chi_square, p_value)`` for one rule, memoized per key."""
+        cached = self._significance.get(rule.key)
+        if cached is None:
+            counts = RuleCounts.from_rule(rule, self.rhs_count(rule))
+            cached = (_chi_square_measure(counts), _p_value_measure(counts))
+            self._significance[rule.key] = cached
+        return cached
+
+    def chi_square_of(self, rule: AssociationRule) -> float:
+        return self.significance(rule)[0]
+
+    def p_value_of(self, rule: AssociationRule) -> float:
+        return self.significance(rule)[1]
+
+    def metric_value(self, rule: AssociationRule, metric: str) -> float:
+        """The value ``metric`` orders ``rule`` by (serving payloads)."""
+        ensure_metric(metric)
+        if metric == "chi_square":
+            return self.chi_square_of(rule)
+        if metric == "p_value":
+            return self.p_value_of(rule)
+        return getattr(rule, metric)
+
+    def _key_for(self, metric: str) -> Callable[[AssociationRule], tuple]:
+        """Catalog-aware sort key: the pure per-rule keys for the base
+        metrics (identical to :func:`metric_key`), contingency-backed
+        keys for the significance tier.  Chi-square sorts descending,
+        p-value ascending; both tie-break on confidence then the
+        canonical listing order, so equal-scored rules page
+        deterministically."""
+        base = _METRIC_KEYS.get(metric)
+        if base is not None:
+            return base
+        ensure_metric(metric)
+        if metric == "chi_square":
+            return lambda rule: (-self.chi_square_of(rule), -rule.confidence,
+                                 rule.kind.value, rule.lhs, rule.rhs)
+        return lambda rule: (self.p_value_of(rule), -rule.confidence,
+                             rule.kind.value, rule.lhs, rule.rhs)
+
     def ordered_by(self, metric: str) -> tuple[AssociationRule, ...]:
-        """All rules, descending by ``metric`` — sorted once on first
+        """All rules, best-first by ``metric`` — sorted once on first
         use, served as the memoized tuple afterwards (a concurrent
         first use is a benign race: equal tuples, one wins the slot)."""
-        key = metric_key(metric)  # validates the name
-        cached = self._orderings.get(metric)
+        ensure_metric(metric)
+        memo = (self._orderings if metric in _METRIC_KEYS
+                else self._sig_orderings)
+        cached = memo.get(metric)
         if cached is None:
-            cached = tuple(sorted(self._rules, key=key))
-            self._orderings[metric] = cached
+            cached = tuple(sorted(self._rules, key=self._key_for(metric)))
+            memo[metric] = cached
         return cached
 
     def top(self, n: int, *, by: str = "confidence"
@@ -279,6 +390,8 @@ class CatalogQuery:
     _min_support: float | None = None
     _min_confidence: float | None = None
     _min_lift: float | None = None
+    _min_chi_square: float | None = None
+    _max_p_value: float | None = None
     _predicates: tuple[tuple[str, Callable[[AssociationRule], bool]], ...] = ()
     _ordering: str = _CANONICAL
     _offset: int = 0
@@ -318,6 +431,16 @@ class CatalogQuery:
     def min_lift(self, value: float) -> "CatalogQuery":
         return replace(self, _min_lift=value, _last_explain=[])
 
+    def min_chi_square(self, value: float) -> "CatalogQuery":
+        """Significance floor: keep rules whose chi-square statistic is
+        at least ``value`` (3.841 is the classic 5% critical value)."""
+        return replace(self, _min_chi_square=value, _last_explain=[])
+
+    def max_p_value(self, value: float) -> "CatalogQuery":
+        """Significance ceiling: keep rules whose independence p-value
+        is at most ``value``."""
+        return replace(self, _max_p_value=value, _last_explain=[])
+
     def where(self, predicate: Callable[[AssociationRule], bool], *,
               label: str = "where") -> "CatalogQuery":
         """An arbitrary residual filter (never index-served)."""
@@ -326,9 +449,9 @@ class CatalogQuery:
                        _last_explain=[])
 
     def order_by(self, metric: str) -> "CatalogQuery":
-        """Order results descending by a metric (or ``"canonical"``)."""
+        """Order results best-first by a metric (or ``"canonical"``)."""
         if metric != _CANONICAL:
-            metric_key(metric)  # validate the name
+            ensure_metric(metric)
         return replace(self, _ordering=metric, _last_explain=[])
 
     def page(self, offset: int, limit: int | None) -> "CatalogQuery":
@@ -429,6 +552,15 @@ class CatalogQuery:
             floor = self._min_lift
             residual.append(lambda rule: rule.lift >= floor)
             filters.append(f"lift>={floor}")
+        if self._min_chi_square is not None:
+            floor = self._min_chi_square
+            residual.append(
+                lambda rule: catalog.chi_square_of(rule) >= floor)
+            filters.append(f"chi_square>={floor}")
+        if self._max_p_value is not None:
+            ceiling = self._max_p_value
+            residual.append(lambda rule: catalog.p_value_of(rule) <= ceiling)
+            filters.append(f"p_value<={ceiling}")
         for label, predicate in self._predicates:
             residual.append(predicate)
             filters.append(label)
@@ -444,7 +576,8 @@ class CatalogQuery:
         # set — unless the presorted ordering itself was the base, in
         # which case filtering preserved its order.
         if self._ordering != _CANONICAL and not presorted:
-            matched = tuple(sorted(matched, key=metric_key(self._ordering)))
+            matched = tuple(sorted(matched,
+                                   key=catalog._key_for(self._ordering)))
 
         stop = (None if self._limit is None else self._offset + self._limit)
         results = matched[self._offset:stop]

@@ -73,6 +73,12 @@ class EngineConfig:
     #: or a worker pool cannot be started; answers are identical
     #: either way.  Only consulted when ``shards >= 2``.
     shard_executor: str = "thread"
+    #: Bottom-k sample size of the approximate read tier
+    #: (:mod:`repro.mining.sketch`): each item keeps the ``sketch_k``
+    #: smallest tid hashes, giving estimate relative error around
+    #: ``1/sqrt(sketch_k)``.  Sketches are built lazily on the first
+    #: estimate read, so exact-only workloads pay nothing.
+    sketch_k: int = 256
 
     def __post_init__(self) -> None:
         # Thresholds shares its validation; a bad fraction raises here.
@@ -95,6 +101,9 @@ class EngineConfig:
             raise InvalidThresholdError(
                 f"shard_executor must be one of "
                 f"{', '.join(SHARD_EXECUTORS)}, got {self.shard_executor!r}")
+        if not isinstance(self.sketch_k, int) or self.sketch_k < 8:
+            raise InvalidThresholdError(
+                f"sketch_k must be an int >= 8, got {self.sketch_k!r}")
         if self.counter not in COUNTER_STRATEGIES:
             raise MiningError(
                 f"unknown counter strategy {self.counter!r}; choose from "
@@ -173,6 +182,10 @@ class EngineConfigBuilder:
 
     def shard_executor(self, executor: str) -> "EngineConfigBuilder":
         self._values["shard_executor"] = executor
+        return self
+
+    def sketch_k(self, k: int) -> "EngineConfigBuilder":
+        self._values["sketch_k"] = k
         return self
 
     # -- terminal --------------------------------------------------------------

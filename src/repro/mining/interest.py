@@ -85,6 +85,39 @@ def conviction(counts: RuleCounts) -> float:
         if (1.0 - violations) else math.inf
 
 
+def chi_square(counts: RuleCounts) -> float:
+    """Pearson chi-square of the 2x2 LHS/RHS contingency table.
+
+    Per Chanda et al., the significance layer ranks rules by
+    statistical strength rather than raw counts: with cells
+    ``a = n_both``, ``b = n_lhs - a``, ``c = n_rhs - a`` and
+    ``d = n - n_lhs - n_rhs + a``, the statistic is
+    ``n(ad - bc)^2 / (n_lhs · n_rhs · (n - n_lhs) · (n - n_rhs))``.
+    Degenerate tables (an empty margin) score 0.0 — no evidence of
+    dependence either way.
+    """
+    n = counts.n
+    a = counts.n_both
+    b = counts.n_lhs - a
+    c = counts.n_rhs - a
+    d = n - counts.n_lhs - counts.n_rhs + a
+    denominator = (counts.n_lhs * counts.n_rhs
+                   * (n - counts.n_lhs) * (n - counts.n_rhs))
+    if denominator == 0:
+        return 0.0
+    return n * (a * d - b * c) ** 2 / denominator
+
+
+def p_value(counts: RuleCounts) -> float:
+    """Upper-tail probability of :func:`chi_square` under independence.
+
+    One degree of freedom, so the chi-square survival function reduces
+    to ``erfc(sqrt(x/2))`` — smaller means stronger evidence that LHS
+    and RHS are associated.
+    """
+    return math.erfc(math.sqrt(chi_square(counts) / 2.0))
+
+
 def jaccard(counts: RuleCounts) -> float:
     """|LHS ∧ RHS| / |LHS ∨ RHS| — co-occurrence overlap."""
     union = counts.n_lhs + counts.n_rhs - counts.n_both
@@ -111,6 +144,8 @@ MEASURES = {
     "lift": lift,
     "leverage": leverage,
     "conviction": conviction,
+    "chi_square": chi_square,
+    "p_value": p_value,
     "jaccard": jaccard,
     "kulczynski": kulczynski,
     "imbalance": imbalance_ratio,

@@ -41,7 +41,9 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
+from repro.app.estimate import ESTIMATE_METRICS
 from repro.app.service import CorrelationService
+from repro.core.catalog import SIGNIFICANCE_METRICS
 from repro.core.rules import RuleKind
 from repro.errors import ReproError, ServerError, SessionError
 from repro.server.admission import AdmissionController, retry_after_header
@@ -50,6 +52,7 @@ from repro.server.metrics import MetricsRegistry, ServiceInstrumentation
 from repro.server.tenants import (
     TenantRegistry,
     TenantState,
+    estimated_rule_to_json,
     event_from_json,
     parse_metric,
     parse_rule_kind,
@@ -436,17 +439,22 @@ class CorrelationServer:
         self.tenants.refresh(name)
         return report
 
-    def _maybe_schedule_flush(self, state: TenantState) -> bool:
+    def _maybe_schedule_flush(self, state: TenantState, *,
+                              force: bool = False) -> bool:
         """Schedule one coalescing background flush once the tenant's
         queue crosses the watermark.  Loop-thread only; the
         ``flush_scheduled`` flag coalesces triggers and the admission
-        bound caps global concurrency."""
+        bound caps global concurrency.  ``force=True`` (the estimate
+        read path's exact-behind refresh) skips the watermark — any
+        non-empty queue schedules — but still respects draining,
+        coalescing and admission."""
         trigger = self.config.flush_trigger_depth
-        if trigger is None or self._draining:
+        if self._draining or (trigger is None and not force):
             return False
         if state.flush_scheduled:
             return True
-        if self.service.pending(state.name) < trigger:
+        pending = self.service.pending(state.name)
+        if pending == 0 or (not force and pending < trigger):
             return False
         if not self.admission.admit_flush(state.name):
             # The flush lanes are saturated; the queue keeps filling
@@ -529,6 +537,63 @@ class CorrelationServer:
             return parse_metric(raw)
         except ServerError as error:
             raise HttpError(400, str(error)) from None
+
+    @staticmethod
+    def _estimate_metric_param(request: Request,
+                               name: str = "by") -> str:
+        metric = request.param(name, "confidence")
+        if metric not in ESTIMATE_METRICS:
+            raise HttpError(
+                400, f"estimate mode ranks by one of "
+                     f"{', '.join(ESTIMATE_METRICS)}, got {metric!r}; "
+                     f"significance metrics need exact mode")
+        return metric
+
+    @staticmethod
+    def _confidence_level_param(request: Request) -> float | None:
+        level = request.float_param("confidence_level")
+        if level is not None and not 0.0 < level < 1.0:
+            raise HttpError(400, f"confidence_level must be strictly "
+                                 f"between 0 and 1, got {level}")
+        return level
+
+    async def _take_estimate(self, request: Request, tenant: str, *,
+                             n: int | None, metric: str,
+                             kind: RuleKind | None):
+        """Run the approximate read on the executor (the first call per
+        engine builds the sketches) and kick the exact-behind refresh
+        when anything is pending.  Returns ``(estimate, scheduled)``."""
+        state, _snapshot = self._snapshot_view(tenant)
+        level = self._confidence_level_param(request)
+        estimate = await self._run_blocking(
+            lambda: self.service.estimate(
+                tenant, n=n, by=metric, kind=kind,
+                confidence_level=level))
+        scheduled = False
+        if estimate.pending_events and not self._draining:
+            try:
+                scheduled = self._maybe_schedule_flush(state, force=True)
+            except ServerError:
+                pass  # tenant dropped mid-flight
+        return estimate, scheduled
+
+    @staticmethod
+    def _estimate_payload(tenant: str, estimate,
+                          vocabulary) -> dict[str, Any]:
+        return {
+            "tenant": tenant,
+            "revision": estimate.revision,
+            "estimated": True,
+            "db_size": estimate.db_size,
+            "pending_events": estimate.pending_events,
+            "overlay_rows": estimate.overlay_rows,
+            "deferred_events": estimate.deferred_events,
+            "z": estimate.z,
+            "confidence_level": estimate.confidence_level,
+            "count": len(estimate.rules),
+            "rules": [estimated_rule_to_json(estimated, vocabulary)
+                      for estimated in estimate.rules],
+        }
 
     # -- operational endpoints -------------------------------------------------
 
@@ -663,19 +728,32 @@ class CorrelationServer:
                                 tenant: str) -> tuple[int, dict]:
         state, snapshot = self._snapshot_view(tenant)
         n = request.int_param("n", 10, minimum=1, maximum=MAX_PAGE)
-        metric = self._metric_param(request)
         kind = self._kind_param(request)
+        if request.flag_param("estimate"):
+            metric = self._estimate_metric_param(request)
+            estimate, scheduled = await self._take_estimate(
+                request, tenant, n=n, metric=metric, kind=kind)
+            payload = self._estimate_payload(tenant, estimate,
+                                             state.vocabulary)
+            payload["metric"] = metric
+            payload["flush_scheduled"] = scheduled
+            return 200, payload
+        metric = self._metric_param(request)
         query = snapshot.catalog.query()
         if kind is not None:
             query = query.of_kind(kind)
         rules = query.top(n, by=metric)
+        # A significance-ordered listing shows the numbers it sorted
+        # by; base-metric listings stay byte-identical to before.
+        significance = (snapshot.catalog
+                        if metric in SIGNIFICANCE_METRICS else None)
         return 200, {
             "tenant": tenant,
             "revision": snapshot.revision,
             "db_size": snapshot.db_size,
             "metric": metric,
             "count": len(rules),
-            "rules": [rule_to_json(rule, state.vocabulary)
+            "rules": [rule_to_json(rule, state.vocabulary, significance)
                       for rule in rules],
         }
 
@@ -719,8 +797,11 @@ class CorrelationServer:
     async def _handle_query(self, request: Request, *,
                             tenant: str) -> tuple[int, dict]:
         state, snapshot = self._snapshot_view(tenant)
-        query = snapshot.catalog.query()
         kind = self._kind_param(request)
+        if request.flag_param("estimate"):
+            return await self._handle_query_estimate(request, tenant,
+                                                     kind=kind)
+        query = snapshot.catalog.query()
         if kind is not None:
             query = query.of_kind(kind)
         for floor_name, setter in (("min_support", query.min_support),
@@ -730,6 +811,15 @@ class CorrelationServer:
             value = request.float_param(floor_name)
             if value is not None:
                 query = setter(value)
+        significance_touched = False
+        chi_floor = request.float_param("min_chi_square")
+        if chi_floor is not None:
+            query = query.min_chi_square(chi_floor)
+            significance_touched = True
+        p_ceiling = request.float_param("max_p_value")
+        if p_ceiling is not None:
+            query = query.max_p_value(p_ceiling)
+            significance_touched = True
         for token_param, role in (("mentioning", "any"), ("rhs", "rhs")):
             token = request.param(token_param)
             if token is None:
@@ -749,6 +839,9 @@ class CorrelationServer:
         total = query.count()
         paged = query.page(offset, limit)
         rules = paged.all()
+        significance = (snapshot.catalog
+                        if significance_touched
+                        or metric in SIGNIFICANCE_METRICS else None)
         payload = {
             "tenant": tenant,
             "revision": snapshot.revision,
@@ -757,11 +850,58 @@ class CorrelationServer:
             "total": total,
             "offset": offset,
             "count": len(rules),
-            "rules": [rule_to_json(rule, state.vocabulary)
+            "rules": [rule_to_json(rule, state.vocabulary, significance)
                       for rule in rules],
         }
         if request.flag_param("explain"):
             payload["explain"] = paged.explain().describe()
+        return 200, payload
+
+    async def _handle_query_estimate(self, request: Request, tenant: str,
+                                     *, kind: RuleKind | None
+                                     ) -> tuple[int, dict]:
+        """The ``estimate=true`` leg of ``/query``: floors filter the
+        *estimated* metrics, ordering is an estimate metric, and every
+        returned value carries its bound.  Significance floors are an
+        exact-tier feature — combining them with estimate mode is a
+        client error, not a silent downgrade."""
+        if (request.float_param("min_chi_square") is not None
+                or request.float_param("max_p_value") is not None):
+            raise HttpError(
+                400, "min_chi_square / max_p_value need exact mode — "
+                     "significance is computed from exact contingency "
+                     "tables, not sketch estimates")
+        for unsupported in ("mentioning", "rhs"):
+            if request.param(unsupported) is not None:
+                raise HttpError(
+                    400, f"query parameter {unsupported!r} is not "
+                         f"supported with estimate=true")
+        metric = self._estimate_metric_param(request, "order_by")
+        offset, limit = self._page_params(request)
+        floors = [(name, request.float_param(name))
+                  for name in ("min_support", "min_confidence",
+                               "min_lift")]
+        estimate, scheduled = await self._take_estimate(
+            request, tenant, n=None, metric=metric, kind=kind)
+        matched = [
+            estimated for estimated in estimate.rules
+            if all(value is None
+                   or estimated.metric(name.removeprefix("min_")) >= value
+                   for name, value in floors)
+        ]
+        state = self._tenant(tenant)
+        payload = self._estimate_payload(
+            tenant, estimate, state.vocabulary)
+        payload["rules"] = [
+            estimated_rule_to_json(estimated, state.vocabulary)
+            for estimated in matched[offset:offset + limit]]
+        payload.update({
+            "order_by": metric,
+            "total": len(matched),
+            "offset": offset,
+            "count": len(payload["rules"]),
+            "flush_scheduled": scheduled,
+        })
         return 200, payload
 
     @_route("GET", r"^/v1/(?P<tenant>[A-Za-z0-9._-]+)/verify$", "verify")

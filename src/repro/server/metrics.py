@@ -157,6 +157,12 @@ class Histogram:
         with self._lock:
             if not self._count:
                 return 0.0
+            if self._count == 1 or self._min == self._max:
+                # Interpolating inside a bucket would smear a single
+                # (or constant) observation across the bucket's span,
+                # making p50 and p99 disagree about a distribution with
+                # exactly one point in it.  Report that point.
+                return self._max
             rank = q * self._count
             seen = 0.0
             for index, bucket_count in enumerate(self._counts):
@@ -272,7 +278,8 @@ class ServiceInstrumentation:
 
     __slots__ = ("registry", "flush_seconds", "flush_batches",
                  "flushed_events", "flush_failures", "submitted_events",
-                 "snapshot_hits", "snapshot_misses", "_prefix")
+                 "snapshot_hits", "snapshot_misses", "estimate_reads",
+                 "estimate_seconds", "_prefix")
 
     def __init__(self, registry: MetricsRegistry | None = None,
                  *, prefix: str = "service") -> None:
@@ -289,6 +296,11 @@ class ServiceInstrumentation:
         #: (zero rules copied) vs. rebuilds.
         self.snapshot_hits = reg.counter(f"{prefix}_snapshot_hits")
         self.snapshot_misses = reg.counter(f"{prefix}_snapshot_misses")
+        #: Approximate-tier reads (mode=estimate) and their latency —
+        #: the number the exact/estimate trade is judged by.
+        self.estimate_reads = reg.counter(f"{prefix}_estimate_reads")
+        self.estimate_seconds = reg.histogram(
+            f"{prefix}_estimate_seconds")
 
     def observe_phases(self, phases) -> None:
         """Record a report's phase-level wall timings as one labelled

@@ -24,8 +24,9 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.app.estimate import EstimatedRule
 from repro.app.service import CorrelationService, RuleSnapshot
-from repro.core.catalog import METRICS
+from repro.core.catalog import ALL_METRICS, RuleCatalog
 from repro.core.config import EngineConfig
 from repro.core.events import (
     AddAnnotatedTuples,
@@ -55,7 +56,7 @@ RESERVED_TENANT_NAMES = frozenset({"tenants"})
 ENGINE_CONFIG_FIELDS = frozenset({
     "min_support", "min_confidence", "margin", "backend", "counter",
     "max_length", "max_log_events", "shards", "shard_workers",
-    "shard_executor", "track_candidates", "validate",
+    "shard_executor", "sketch_k", "track_candidates", "validate",
 })
 
 
@@ -98,6 +99,7 @@ def engine_config_to_json(config: EngineConfig) -> dict[str, Any]:
         "shards": config.shards,
         "shard_workers": config.shard_workers,
         "shard_executor": config.shard_executor,
+        "sketch_k": config.sketch_k,
     }
 
 
@@ -197,8 +199,12 @@ def event_from_json(obj: Any) -> UpdateEvent:
 # -- rule codec ----------------------------------------------------------------
 
 def rule_to_json(rule: AssociationRule,
-                 vocabulary: ItemVocabulary) -> dict[str, Any]:
-    return {
+                 vocabulary: ItemVocabulary,
+                 catalog: RuleCatalog | None = None) -> dict[str, Any]:
+    """One exact rule on the wire.  With ``catalog`` the significance
+    tier (chi-square / p-value from the enriched contingency table) is
+    included too — passed by endpoints whose query touched it."""
+    payload = {
         "kind": rule.kind.value,
         "lhs": [vocabulary.item(item_id).token for item_id in rule.lhs],
         "rhs": vocabulary.item(rule.rhs).token,
@@ -208,6 +214,34 @@ def rule_to_json(rule: AssociationRule,
         "union_count": rule.union_count,
         "lhs_count": rule.lhs_count,
         "rendered": rule.render(vocabulary),
+    }
+    if catalog is not None:
+        chi_square, p_value = catalog.significance(rule)
+        payload["chi_square"] = chi_square
+        payload["p_value"] = p_value
+    return payload
+
+
+def estimated_rule_to_json(estimated: EstimatedRule,
+                           vocabulary: ItemVocabulary) -> dict[str, Any]:
+    """One approximate rule on the wire: every metric paired with its
+    error bound, plus the ``estimated`` discriminator."""
+    rule = estimated.rule
+    est = estimated.estimate
+    return {
+        "kind": rule.kind.value,
+        "lhs": [vocabulary.item(item_id).token for item_id in rule.lhs],
+        "rhs": vocabulary.item(rule.rhs).token,
+        "support": est.support,
+        "support_bound": est.support_bound,
+        "confidence": est.confidence,
+        "confidence_bound": est.confidence_bound,
+        "lift": est.lift,
+        "lift_bound": est.lift_bound,
+        "count": est.count,
+        "exact": est.exact,
+        "estimated": True,
+        "rendered": estimated.render(vocabulary),
     }
 
 
@@ -221,9 +255,9 @@ def parse_rule_kind(raw: str) -> RuleKind:
 
 
 def parse_metric(raw: str) -> str:
-    if raw not in METRICS:
+    if raw not in ALL_METRICS:
         raise ServerError(f"unknown metric {raw!r}; expected one of "
-                          f"{', '.join(METRICS)}")
+                          f"{', '.join(ALL_METRICS)}")
     return raw
 
 
@@ -384,6 +418,7 @@ __all__ = [
     "TenantState",
     "engine_config_from_json",
     "engine_config_to_json",
+    "estimated_rule_to_json",
     "event_from_json",
     "parse_metric",
     "parse_rule_kind",

@@ -79,6 +79,13 @@ from repro.mining.constraints import FrozenRelevanceConstraint
 from repro.mining.eclat import mine_frequent_itemsets_vertical
 from repro.mining.itemsets import TransactionDatabase
 from repro.mining.pages import BitmapPageSegment
+from repro.mining.sketch import (
+    Estimate,
+    RuleEstimate,
+    SketchIndex,
+    combine_rule_estimate,
+    sum_estimates,
+)
 from repro.mining.son import candidate_union, merge_counts
 from repro.relation.relation import AnnotatedRelation
 from repro.shard.partition import (
@@ -111,11 +118,15 @@ def _build_and_mine_shard(task):
     parent), writes the packed pages straight into the pre-allocated
     shared segment (the parent re-hydrates its shard index from them),
     then runs the identical phase-1 vertical search the thread path's
-    substrate mine would run.  Returns ``(counts, build_seconds,
-    mine_seconds)`` — the count table plus the worker-side phase
-    timings for the report's per-shard breakdown.
+    substrate mine would run.  Returns ``(counts, sketch_payload,
+    build_seconds, mine_seconds)`` — the count table, the shard's
+    bottom-k sketch registry as plain data (built here, in one sweep
+    next to the substrate, so the parent's approximate read tier never
+    re-walks the tidsets), plus the worker-side phase timings for the
+    report's per-shard breakdown.
     """
-    name, shard, transactions, min_count, annotation_like, max_length = task
+    (name, shard, transactions, min_count, annotation_like, max_length,
+     sketch_k) = task
     segment = BitmapPageSegment.attach(name)
     try:
         build_started = time.perf_counter()
@@ -123,6 +134,8 @@ def _build_and_mine_shard(task):
         mapping = index.as_mapping()
         segment.write_pages(shard, {item: mapping[item].bits
                                     for item in mapping})
+        sketch_payload = SketchIndex.from_mapping(
+            mapping, k=sketch_k).to_payload()
         build_seconds = time.perf_counter() - build_started
         mine_started = time.perf_counter()
         counts = mine_frequent_itemsets_vertical(
@@ -132,7 +145,8 @@ def _build_and_mine_shard(task):
             max_length=max_length,
             index=mapping,
         )
-        return counts, build_seconds, time.perf_counter() - mine_started
+        return (counts, sketch_payload, build_seconds,
+                time.perf_counter() - mine_started)
     finally:
         segment.close()
 
@@ -375,7 +389,8 @@ class ShardedEngine(CorrelationEngine):
         tasks = [
             (self._segment.name, shard, transactions_per_shard[shard],
              shard_engine.thresholds.keep_count(shard_engine.db_size),
-             annotation_like, shard_engine.max_length)
+             annotation_like, shard_engine.max_length,
+             self.config.sketch_k)
             for shard, shard_engine in enumerate(self._shards)
         ]
         with phases.timed("mine"):
@@ -388,7 +403,7 @@ class ShardedEngine(CorrelationEngine):
             return False
         with phases.timed("build"):
             for shard, shard_engine in enumerate(self._shards):
-                counts, _build_seconds, _mine_seconds = results[shard]
+                counts, sketch_payload, _build, _mine = results[shard]
                 mapping = self._segment.shard_mapping(shard)
                 index = VerticalIndex.from_bits(
                     self.vocabulary,
@@ -399,8 +414,13 @@ class ShardedEngine(CorrelationEngine):
                     substrate=EncodedSubstrate(database=database,
                                                index=index),
                     counts=counts)
-        phases.record_shards("build", [result[1] for result in results])
-        phases.record_shards("mine", [result[2] for result in results])
+                # Adopt the worker-built sketches after the substrate
+                # they describe is installed; the observer then keeps
+                # them fresh through every routed flush.
+                shard_engine.adopt_sketches(SketchIndex.from_payload(
+                    sketch_payload, k=self.config.sketch_k))
+        phases.record_shards("build", [result[2] for result in results])
+        phases.record_shards("mine", [result[3] for result in results])
         return True
 
     def _release_segment(self) -> None:
@@ -409,6 +429,50 @@ class ShardedEngine(CorrelationEngine):
         segment, self._segment = self._segment, None
         if segment is not None:
             self._segments.release(segment.name)
+
+    # -- the approximate read tier ----------------------------------------------
+
+    def sketches(self) -> SketchIndex:
+        raise MaintenanceError(
+            "a sharded engine has no single sketch registry — estimates "
+            "compose per-shard; use estimate_itemset / estimate_rule")
+
+    @property
+    def sketches_ready(self) -> bool:
+        return all(shard.sketches_ready for shard in self._shards)
+
+    def warm_sketches(self) -> None:
+        for shard in self._shards:
+            shard.warm_sketches()
+
+    def sketch_cardinality(self, item: int) -> int:
+        self._require_mined()
+        return sum(shard.sketch_cardinality(item)
+                   for shard in self._shards)
+
+    def estimate_itemset(self, items, *, z: float = 2.0) -> Estimate:
+        """Approximate global count: shard-local KMV estimates summed
+        (tid spaces are disjoint, so values and bounds both add)."""
+        self._require_mined()
+        itemset = tuple(items)
+        return sum_estimates(
+            shard.estimate_itemset(itemset, z=z) for shard in self._shards)
+
+    def estimate_rule(self, lhs, rhs: int, *, z: float = 2.0) -> RuleEstimate:
+        """Approximate support/confidence/lift of ``lhs -> rhs`` from
+        the per-shard registries (shared vocabulary: item ids need no
+        translation; only tids are shard-local, and counts compose)."""
+        self._require_mined()
+        lhs_items = tuple(lhs)
+        both = sum_estimates(
+            shard.estimate_itemset(lhs_items + (rhs,), z=z)
+            for shard in self._shards)
+        lhs_estimate = sum_estimates(
+            shard.estimate_itemset(lhs_items, z=z) for shard in self._shards)
+        rhs_count = sum(shard.sketches().cardinality(rhs)
+                        for shard in self._shards)
+        return combine_rule_estimate(both, lhs_estimate, rhs_count,
+                                     self.db_size)
 
     # -- the SON merge ----------------------------------------------------------
 

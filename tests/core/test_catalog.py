@@ -287,3 +287,104 @@ class TestCatalogConsistencyUnderFailure:
         assert len(query._last_explain) == 1
         assert query.explain().index == "ordering:lift"
         assert len(query._last_explain) == 1
+
+
+class TestSignificanceTier:
+    """Chi-square / p-value metrics over the catalog's exact counts."""
+
+    def test_hand_computed_contingency(self):
+        # n=10, lhs=6, rhs=5, both=4 → a=4 b=2 c=1 d=3,
+        # chi2 = n(ad−bc)² / (r₁r₂c₁c₂) = 10·100 / 600.
+        catalog = RuleCatalog([rule(union=4, lhs_count=6)],
+                              rhs_counts={2: 5})
+        only = catalog.rules[0]
+        assert catalog.chi_square_of(only) == pytest.approx(10 * 100 / 600)
+        assert 0.0 < catalog.p_value_of(only) < 1.0
+
+    def test_matches_the_interest_measures(self, catalog, rules):
+        from repro.mining.interest import RuleCounts, chi_square, p_value
+
+        for entry in rules:
+            counts = RuleCounts.from_rule(entry, catalog.rhs_count(entry))
+            assert catalog.chi_square_of(entry) == \
+                pytest.approx(chi_square(counts))
+            assert catalog.p_value_of(entry) == \
+                pytest.approx(p_value(counts))
+
+    def test_significance_is_memoized_per_key(self, catalog, rules):
+        first = catalog.significance(rules[0])
+        assert catalog.significance(rules[0]) is first
+
+    def test_rhs_marginal_falls_back_then_enriches(self, rules):
+        bare = RuleCatalog(rules)
+        entry = rules[0]
+        # No enrichment: the rule's own lower bound (clamped feasible).
+        assert bare.rhs_count(entry) == entry.rhs_count_estimate
+        enriched = RuleCatalog(rules, rhs_counts={entry.rhs: 7})
+        assert enriched.rhs_count(entry) == 7
+        assert enriched.chi_square_of(entry) != bare.chi_square_of(entry)
+
+    def test_rhs_marginal_clamped_into_feasible_range(self, rules):
+        entry = rules[0]   # union=4, db=10
+        assert RuleCatalog(rules, rhs_counts={entry.rhs: 2}
+                           ).rhs_count(entry) == 4    # >= union_count
+        assert RuleCatalog(rules, rhs_counts={entry.rhs: 99}
+                           ).rhs_count(entry) == 10   # <= db_size
+
+    def test_metric_value_covers_the_significance_tier(self, catalog, rules):
+        entry = rules[0]
+        assert catalog.metric_value(entry, "chi_square") == \
+            catalog.chi_square_of(entry)
+        assert catalog.metric_value(entry, "p_value") == \
+            catalog.p_value_of(entry)
+        assert catalog.metric_value(entry, "support") == entry.support
+
+    def test_orderings_sort_the_right_way(self, catalog):
+        by_chi = catalog.ordered_by("chi_square")
+        scores = [catalog.chi_square_of(r) for r in by_chi]
+        assert scores == sorted(scores, reverse=True)
+        by_p = catalog.ordered_by("p_value")
+        p_values = [catalog.p_value_of(r) for r in by_p]
+        assert p_values == sorted(p_values)
+        assert catalog.top(2, by="chi_square") == by_chi[:2]
+
+    def test_equal_scores_tie_break_deterministically(self):
+        # Identical contingency tables → identical chi-square; order
+        # must then fall back to confidence, then the canonical key.
+        twins = [rule(lhs=(0,), union=4, lhs_count=6),
+                 rule(lhs=(1,), union=4, lhs_count=6)]
+        catalog = RuleCatalog(twins, rhs_counts={2: 5})
+        ordered = catalog.ordered_by("chi_square")
+        assert [r.lhs for r in ordered] == [(0,), (1,)]
+        assert ordered == catalog.ordered_by("chi_square")
+
+    def test_query_floors_filter_and_explain(self, catalog):
+        floor = sorted(catalog.chi_square_of(r) for r in catalog)[1]
+        query = catalog.query().min_chi_square(floor)
+        result = query.all()
+        assert result and all(
+            catalog.chi_square_of(r) >= floor for r in result)
+        assert f"chi_square>={floor}" in query.explain().filters
+
+        ceiling = 0.9
+        query = catalog.query().max_p_value(ceiling).order_by("p_value")
+        assert all(catalog.p_value_of(r) <= ceiling for r in query.all())
+        assert f"p_value<={ceiling}" in query.explain().filters
+
+    def test_pvalue_paging_partitions_the_ordering(self, catalog):
+        ordered = catalog.query().order_by("p_value")
+        head = ordered.page(0, 2).all()
+        tail = ordered.page(2, None).all()
+        assert head + tail == catalog.ordered_by("p_value")
+
+    def test_with_revision_new_marginals_reset_significance(self, rules):
+        base = RuleCatalog(rules, revision=1, rhs_counts={2: 5, 3: 6})
+        support_ordering = base.ordered_by("support")
+        base.ordered_by("chi_square")
+        before = base.chi_square_of(rules[0])
+        clone = base.with_revision(2, rhs_counts={2: 9, 3: 6})
+        # Base-metric orderings are shared; significance recomputes
+        # under the new marginals.
+        assert clone.ordered_by("support") is support_ordering
+        assert clone.chi_square_of(rules[0]) != before
+        assert base.chi_square_of(rules[0]) == before

@@ -1,0 +1,186 @@
+"""Approximate-tier property suite.
+
+Two contracts back the ``mode=estimate`` read path:
+
+* **Exact mode is untouched.**  An engine whose sketch tier is
+  exercised between flushes (warm build + estimate reads on every
+  boundary) produces byte-identical ``signature()`` to a twin engine
+  that never touches a sketch — across backends, counting substrates
+  and randomized streams, including the shard-skewed layout.  Estimates
+  are pure reads; the maintenance observer must never perturb mining
+  state.
+* **Bounds cover empirically.**  Every non-exact estimate carries a
+  symmetric bound; re-scoring mined rules (whose ``union_count`` /
+  ``lhs_count`` are exact ground truth) through deliberately tiny
+  sketches must land inside the bound at no less than the configured
+  confidence level.  Hashes are deterministic, so the observed coverage
+  is a fixed regression point per seed, not a flaky sample.
+"""
+
+import pytest
+
+from repro.core.engine import engine
+from repro.mining.backend import available_backends
+from repro.mining.sketch import z_score
+from repro.shard import ShardedEngine
+from tests.conftest import make_relation
+from tests.property.test_prop_shard import drawn_events
+
+COUNTERS = ("auto", "vertical")
+SEEDS = (5, 31)
+
+#: Small enough to force genuine sampling at the scales below, large
+#: enough (>= 8, the module floor) to keep estimates meaningful.
+TINY_K = 16
+
+#: The coverage check runs at a slightly larger sample: the bound's
+#: normal approximation is only nominal once k clears ~32; below that
+#: the 1/sqrt(k) correction term under-covers by a few percent.
+COVERAGE_K = 32
+
+
+def synthetic_relation(rng, rows=360):
+    """A relation with heavy token overlap so itemsets co-occur often
+    enough for sampled (non-exhaustive) sketches to matter."""
+    annotations = ("A", "B", "C")
+    data = []
+    for _ in range(rows):
+        values = (str(rng.randrange(3)), str(rng.randrange(4)))
+        labels = tuple(a for a in annotations if rng.random() < 0.45)
+        data.append((values, labels))
+    return make_relation(data)
+
+
+def probe_estimates(manager):
+    """Exercise the whole estimate surface; return nothing.  Exact-mode
+    equivalence asserts this call sequence has no observable effect."""
+    manager.warm_sketches()
+    assert manager.sketches_ready
+    for rule in manager.catalog().rules:
+        union = tuple(sorted(rule.lhs + (rule.rhs,)))
+        manager.estimate_itemset(union)
+        manager.estimate_rule(rule.lhs, rule.rhs)
+        manager.sketch_cardinality(rule.rhs)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("counter", COUNTERS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_estimate_reads_never_change_exact_signatures(backend, counter,
+                                                      seed, seeds):
+    """mode=exact byte-identity: a probed engine (sketches warmed, every
+    rule estimated at every flush boundary) and an untouched twin agree
+    on ``signature()`` throughout a randomized stream."""
+    relation = make_relation()
+    events = drawn_events(relation, count=12, seed=seeds.seed(seed))
+    untouched = engine(relation.copy(), min_support=0.25,
+                       min_confidence=0.6, backend=backend,
+                       counter=counter, validate=True)
+    probed = engine(relation.copy(), min_support=0.25,
+                    min_confidence=0.6, backend=backend,
+                    counter=counter, validate=True, sketch_k=TINY_K)
+    untouched.mine()
+    probed.mine()
+    probe_estimates(probed)
+    assert probed.signature() == untouched.signature()
+
+    rng = seeds.rng(seed * 977)
+    cuts = sorted(rng.sample(range(1, len(events)), 3))
+    for start, stop in zip([0, *cuts], [*cuts, len(events)]):
+        batch = events[start:stop]
+        untouched.apply_batch(batch)
+        probed.apply_batch(batch)
+        probe_estimates(probed)
+        assert probed.signature() == untouched.signature(), (
+            f"estimate reads perturbed exact results at boundary "
+            f"{start}:{stop} (backend={backend}, counter={counter}, "
+            f"seed={seed})")
+        assert probed.db_size == untouched.db_size
+
+
+@pytest.mark.parametrize("counter", COUNTERS)
+@pytest.mark.parametrize("confidence_level", (0.9, 0.95))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bounds_cover_exact_counts(counter, confidence_level, seed, seeds):
+    """Union/LHS counts re-estimated through TINY_K sketches stay
+    inside their bound at >= the configured confidence level."""
+    rng = seeds.rng(seed * 131 + 7)
+    manager = engine(synthetic_relation(rng), min_support=0.05,
+                     min_confidence=0.3, counter=counter,
+                     sketch_k=COVERAGE_K)
+    manager.mine()
+    z = z_score(confidence_level)
+
+    checked = sampled = covered = 0
+    for rule in manager.catalog().rules:
+        union = tuple(sorted(rule.lhs + (rule.rhs,)))
+        for items, exact in ((union, rule.union_count),
+                             (rule.lhs, rule.lhs_count)):
+            estimate = manager.estimate_itemset(items, z=z)
+            checked += 1
+            if estimate.exact:
+                assert estimate.value == exact and estimate.bound == 0.0
+                continue
+            sampled += 1
+            if abs(estimate.value - exact) <= estimate.bound:
+                covered += 1
+    assert checked > 20, "scenario too small to say anything"
+    assert sampled > 10, (
+        "no sketch ever sampled — raise the row count or lower TINY_K")
+    assert covered / sampled >= confidence_level, (
+        f"bound coverage {covered}/{sampled} below "
+        f"{confidence_level} (counter={counter}, seed={seed})")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rhs_marginals_are_exact_under_churn(seed, seeds):
+    """Sketch cardinalities (the lift denominator) track the vertical
+    index exactly through a randomized update stream."""
+    relation = make_relation()
+    events = drawn_events(relation, count=14, seed=seeds.seed(seed + 50))
+    manager = engine(relation.copy(), min_support=0.25,
+                     min_confidence=0.6, sketch_k=TINY_K)
+    manager.mine()
+    manager.warm_sketches()
+    manager.apply_batch(events)
+    for rule in manager.catalog().rules:
+        assert manager.sketch_cardinality(rule.rhs) == \
+            manager.index.frequency(rule.rhs)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_sharded_estimates_compose_and_stay_exact_mode_clean(backend, seeds):
+    """A shard-skewed sharded engine: estimate reads between flushes
+    never break byte-identity with the monolith, per-shard estimates
+    sum to feasible totals, and exact ground truth stays covered."""
+    relation = make_relation()
+    base = relation.tid_range
+
+    def skewed(tid: int) -> int:
+        return tid % 3 if tid < base else 0
+
+    events = drawn_events(relation, count=12, seed=seeds.seed(83))
+    mono = engine(relation.copy(), min_support=0.25, min_confidence=0.6,
+                  backend=backend, validate=True)
+    sharded = ShardedEngine(relation.copy(), min_support=0.25,
+                            min_confidence=0.6, backend=backend,
+                            validate=True, shards=3, partitioner=skewed,
+                            sketch_k=TINY_K)
+    mono.mine()
+    sharded.mine()
+    for half in (events[:6], events[6:]):
+        mono.apply_batch(half)
+        sharded.apply_batch(half)
+        probe_estimates(sharded)
+        assert sharded.signature() == mono.signature()
+
+    for rule in sharded.catalog().rules:
+        union = tuple(sorted(rule.lhs + (rule.rhs,)))
+        estimate = sharded.estimate_itemset(union)
+        assert abs(estimate.value - rule.union_count) <= estimate.bound
+        assert sharded.sketch_cardinality(rule.rhs) == \
+            mono.index.frequency(rule.rhs)
+        combined = sharded.estimate_rule(rule.lhs, rule.rhs)
+        assert abs(combined.support - rule.support) <= combined.support_bound
+        assert abs(combined.confidence - rule.confidence) <= \
+            combined.confidence_bound

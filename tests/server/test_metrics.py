@@ -171,3 +171,49 @@ class TestServiceInstrumentation:
         registry = MetricsRegistry()
         ServiceInstrumentation(registry).observe_phases(PhaseTimings())
         assert "service_phase_seconds" not in registry.render()
+
+
+class TestHistogramDegenerateCases:
+    """Zero- and one-observation quantiles must be deterministic: a
+    single point is its own p50 *and* p99 — interpolating inside the
+    winning bucket would make the two disagree about a distribution
+    with one point in it."""
+
+    def test_single_observation_all_quantiles_agree(self):
+        histogram = Histogram(buckets=(0.01, 0.1, 1.0))
+        histogram.observe(0.04)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 0.04
+
+    def test_constant_observations_all_quantiles_agree(self):
+        histogram = Histogram(buckets=(0.01, 0.1, 1.0))
+        for _ in range(25):
+            histogram.observe(0.04)
+        assert histogram.quantile(0.5) == histogram.quantile(0.99) == 0.04
+
+    def test_single_observation_render_has_no_p50_p99_drift(self):
+        histogram = Histogram()
+        histogram.observe(0.003)
+        rendered = histogram.render()
+        assert rendered["p50"] == rendered["p99"] == 0.003
+        assert rendered["min"] == rendered["max"] == 0.003
+
+    def test_two_distinct_observations_still_interpolate(self):
+        histogram = Histogram(buckets=(0.01, 1.0))
+        histogram.observe(0.005)
+        histogram.observe(0.5)
+        assert histogram.quantile(0.5) <= 0.01
+        assert histogram.quantile(0.99) > 0.01
+
+    def test_empty_histogram_unchanged(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+
+class TestEstimateInstruments:
+    def test_bundle_exposes_the_estimate_tier(self):
+        bundle = ServiceInstrumentation()
+        bundle.estimate_reads.inc()
+        bundle.estimate_seconds.observe(0.002)
+        rendered = bundle.registry.render()
+        assert rendered["service_estimate_reads"]["value"] == 1
+        assert rendered["service_estimate_seconds"]["count"] == 1

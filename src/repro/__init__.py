@@ -40,7 +40,20 @@ from repro.core.engine import (
     VerificationResult,
     engine,
 )
-from repro.shard import ShardedEngine, modulo_partitioner
+from repro.core.journal import (
+    EventJournal,
+    JournalStore,
+    RecoveryResult,
+    ReplayStats,
+)
+from repro.shard import (
+    RebalancePlan,
+    ShardSkew,
+    ShardedEngine,
+    modulo_partitioner,
+    plan_rebalance,
+    shard_skew,
+)
 from repro.core.maintenance import BatchReport, MaintenanceReport
 from repro.errors import DeltaPlanError
 from repro.core.manager import AnnotationRuleManager
@@ -52,7 +65,11 @@ from repro.mining.backend import (
     available_backends,
     register_backend,
 )
-from repro.app.service import CorrelationService, RuleSnapshot
+from repro.app.service import (
+    CorrelationService,
+    RebalanceReport,
+    RuleSnapshot,
+)
 from repro.core.audit import AuditReport, audit
 from repro.core.explain import RuleEvidence, explain_rule, render_evidence
 from repro.core.multilevel import LeveledRule, MultiLevelMiner
@@ -120,11 +137,18 @@ __all__ = [
     "EclatBackend",
     "EngineConfig",
     "EngineConfigBuilder",
+    "EventJournal",
     "FPGrowthBackend",
+    "JournalStore",
     "MiningBackend",
     "QueryExplain",
+    "RebalancePlan",
+    "RebalanceReport",
+    "RecoveryResult",
+    "ReplayStats",
     "RuleCatalog",
     "RuleSnapshot",
+    "ShardSkew",
     "VerificationResult",
     "ConceptHierarchy",
     "CurationSession",
@@ -172,10 +196,12 @@ __all__ = [
     "maximal_itemsets",
     "modulo_partitioner",
     "persistence",
+    "plan_rebalance",
     "query",
     "register_backend",
     "remine",
     "render_evidence",
     "rule_yield",
     "score_recommendations",
+    "shard_skew",
 ]

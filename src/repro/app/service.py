@@ -34,6 +34,7 @@ Concurrency model, per session:
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -44,6 +45,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 from repro.app.estimate import EstimateSnapshot, estimate_snapshot
+from repro.core import persistence
 from repro.core.catalog import CatalogQuery, RuleCatalog
 from repro.core.config import EngineConfig
 from repro.core.engine import (
@@ -53,11 +55,23 @@ from repro.core.engine import (
     engine as build_engine,
 )
 from repro.core.events import UpdateEvent
+from repro.core.journal import (
+    JournalStore,
+    RecoveryResult,
+    WAL_NAME,
+    replay_into,
+)
 from repro.core.maintenance import BatchReport, MaintenanceReport
 from repro.core.rules import AssociationRule, RuleKind
 from repro.errors import SessionError
 from repro.mining.itemsets import ItemVocabulary
 from repro.relation.relation import AnnotatedRelation
+from repro.shard.rebalance import (
+    RebalancePlan,
+    plan_rebalance,
+    rebuild_with_plan,
+    shard_skew,
+)
 
 if TYPE_CHECKING:  # the app layer never imports the server at runtime
     from repro.server.metrics import ServiceInstrumentation
@@ -212,6 +226,37 @@ class _Hosted:
     #: The last snapshot built, reused verbatim while the revision (and
     #: queue depth) hold still — unchanged-revision reads are O(1).
     snapshot_cache: RuleSnapshot | None = None
+    #: Durability store (``None`` for non-journaled sessions).
+    journal: JournalStore | None = None
+    #: Journal sequence of the last record this engine consumed: every
+    #: flush appends *before* applying and advances this under the
+    #: write lock, so ``journal.last_seq - applied_seq`` is the
+    #: recovery lag an observer would replay.
+    applied_seq: int = 0
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """Outcome of :meth:`CorrelationService.rebalance`."""
+
+    session: str
+    plan: RebalancePlan
+    #: False for a dry run (plan only, nothing changed).
+    applied: bool
+    #: Journal records replayed into the new engine while catching up
+    #: with live traffic (0 for non-journaled or dry runs).
+    caught_up_records: int = 0
+    #: Session revision after the cutover (the single bump readers see).
+    revision: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "session": self.session,
+            "plan": self.plan.as_dict(),
+            "applied": self.applied,
+            "caught_up_records": self.caught_up_records,
+            "revision": self.revision,
+        }
 
 
 class CorrelationService:
@@ -220,14 +265,27 @@ class CorrelationService:
     def __init__(self, *,
                  config: EngineConfig | None = None,
                  auto_flush_every: int | None = None,
-                 instrumentation: "ServiceInstrumentation | None" = None
+                 instrumentation: "ServiceInstrumentation | None" = None,
+                 journal_dir: str | os.PathLike | None = None,
+                 journal_fsync: bool = True,
+                 journal_snapshot_every: int | None = 64,
                  ) -> None:
         if auto_flush_every is not None and auto_flush_every < 1:
             raise SessionError(
                 f"auto_flush_every must be >= 1 or None, "
                 f"got {auto_flush_every}")
+        if journal_snapshot_every is not None and journal_snapshot_every < 1:
+            raise SessionError(
+                f"journal_snapshot_every must be >= 1 or None, "
+                f"got {journal_snapshot_every}")
         self._default_config = config
         self._auto_flush_every = auto_flush_every
+        #: Base directory of per-session durability stores (``None``
+        #: serves everything in memory, the historical behavior).
+        self._journal_dir = (os.fspath(journal_dir)
+                             if journal_dir is not None else None)
+        self._journal_fsync = journal_fsync
+        self._journal_snapshot_every = journal_snapshot_every
         #: Optional metric sink (the serving tier threads in a
         #: :class:`repro.server.metrics.ServiceInstrumentation`); the
         #: service only ever calls ``inc``/``observe`` on it, so any
@@ -267,6 +325,8 @@ class CorrelationService:
         if mine:
             hosted.engine.mine()
             hosted.revision += 1
+        if self._journal_dir is not None:
+            self._attach_journal(hosted)
         with self._registry_lock:
             if name in self._hosted:
                 raise SessionError(f"session {name!r} already exists")
@@ -302,6 +362,10 @@ class CorrelationService:
         # Outside the registry lock: shutting a shard pool down waits
         # for its workers, and nobody can reach the session anymore.
         hosted.engine.close()
+        if hosted.journal is not None:
+            # The store's files stay on disk — a drop is not an erase;
+            # restore_session() can resurrect the tenant later.
+            hosted.journal.close()
 
     def close(self) -> None:
         """Release every hosted engine's pooled resources (worker
@@ -310,15 +374,16 @@ class CorrelationService:
         call at any quiesce point; the server's graceful drain calls it
         after the final flushes."""
         with self._registry_lock:
-            hosted_engines = [hosted.engine
-                              for hosted in self._hosted.values()]
+            hosted_sessions = list(self._hosted.values())
             executor, self._flush_executor = self._flush_executor, None
         if executor is not None:
             # Let in-flight async flushes land before releasing engine
             # pools; a later flush_async simply starts a fresh worker.
             executor.shutdown(wait=True)
-        for engine in hosted_engines:
-            engine.close()
+        for hosted in hosted_sessions:
+            hosted.engine.close()
+            if hosted.journal is not None:
+                hosted.journal.sync()
 
     def _session(self, name: str) -> _Hosted:
         with self._registry_lock:
@@ -328,6 +393,253 @@ class CorrelationService:
                 known = ", ".join(sorted(self._hosted)) or "(none)"
                 raise SessionError(
                     f"unknown session {name!r}; known: {known}") from None
+
+    # -- durability ------------------------------------------------------------
+
+    def _session_journal_path(self, name: str) -> str:
+        assert self._journal_dir is not None
+        if os.sep in name or name.startswith("."):
+            raise SessionError(
+                f"journaled session names must be plain directory "
+                f"names, got {name!r}")
+        return os.path.join(self._journal_dir, name)
+
+    def _attach_journal(self, hosted: _Hosted) -> None:
+        """Open (and base-snapshot) the session's durability store.
+
+        Creating a session on top of an existing journal would fork
+        its history, so a non-empty store directory is refused —
+        recover it with :meth:`restore_session` instead.
+        """
+        path = self._session_journal_path(hosted.name)
+        if os.path.exists(os.path.join(path, WAL_NAME)):
+            raise SessionError(
+                f"journal directory {path!r} already holds a write-"
+                f"ahead log — restore_session({hosted.name!r}) to "
+                f"resume it, or remove the directory to start fresh")
+        store = JournalStore(
+            path, fsync=self._journal_fsync,
+            snapshot_every=self._journal_snapshot_every)
+        hosted.journal = store
+        hosted.applied_seq = store.last_seq
+        if hosted.engine.is_mined:
+            store.ensure_base_snapshot(hosted.engine)
+        # Bounded in-memory logs must not evict anything the journal
+        # has not fsynced yet (only matters with journal_fsync=False).
+        hosted.engine.log.ensure_durable = store.sync
+
+    def _journal_append(self, hosted: _Hosted,
+                        batch: list[UpdateEvent]) -> int:
+        started = time.perf_counter()
+        seq = hosted.journal.append_batch(batch)
+        instrumentation = self._instrumentation
+        if instrumentation is not None:
+            # Duck-typed like observe_phases: minimal sinks may lack
+            # the journal instruments.
+            appends = getattr(instrumentation, "journal_appends", None)
+            if appends is not None:
+                appends.inc()
+            seconds = getattr(instrumentation,
+                              "journal_append_seconds", None)
+            if seconds is not None:
+                seconds.observe(time.perf_counter() - started)
+        return seq
+
+    def restore_session(self, name: str, *, upto: int | None = None,
+                        generalizer=None) -> RecoveryResult:
+        """Recover session ``name`` from its journal store and host it.
+
+        The engine is the newest usable snapshot plus a replay of the
+        journal suffix (point-in-time when ``upto`` is given — note the
+        store then keeps appending *after* that seq, so a later full
+        recovery still sees the complete history).  The hosted config
+        is the engine's restored config.
+        """
+        if self._journal_dir is None:
+            raise SessionError(
+                "restore_session needs a service constructed with "
+                "journal_dir")
+        with self._registry_lock:
+            if name in self._hosted:
+                raise SessionError(f"session {name!r} already exists")
+        path = self._session_journal_path(name)
+        if not os.path.exists(os.path.join(path, WAL_NAME)):
+            raise SessionError(
+                f"no journal store at {path!r} to restore "
+                f"session {name!r} from")
+        store = JournalStore(
+            path, fsync=self._journal_fsync,
+            snapshot_every=self._journal_snapshot_every)
+        try:
+            result = store.recover(upto=upto, generalizer=generalizer)
+        except Exception:
+            store.close()
+            raise
+        hosted = _Hosted(name=name, engine=result.engine,
+                         config=result.engine.config,
+                         journal=store, applied_seq=result.last_seq)
+        hosted.revision += 1
+        hosted.engine.log.ensure_durable = store.sync
+        with self._registry_lock:
+            if name in self._hosted:
+                store.close()
+                raise SessionError(f"session {name!r} already exists")
+            self._hosted[name] = hosted
+        return result
+
+    def restore_sessions(self) -> dict[str, RecoveryResult]:
+        """Recover every journal store under ``journal_dir`` that is
+        not already hosted (server startup).  Returns per-session
+        recovery results keyed by name."""
+        if self._journal_dir is None or not os.path.isdir(self._journal_dir):
+            return {}
+        recovered: dict[str, RecoveryResult] = {}
+        for name in sorted(os.listdir(self._journal_dir)):
+            path = os.path.join(self._journal_dir, name)
+            if not os.path.exists(os.path.join(path, WAL_NAME)):
+                continue
+            with self._registry_lock:
+                if name in self._hosted:
+                    continue
+            recovered[name] = self.restore_session(name)
+        return recovered
+
+    def journal_status(self, name: str) -> dict[str, object] | None:
+        """Durability status for status surfaces and gauges (``None``
+        for a non-journaled session)."""
+        hosted = self._session(name)
+        store = hosted.journal
+        if store is None:
+            return None
+        status = store.status()
+        status["applied_seq"] = hosted.applied_seq
+        status["lag"] = status["last_seq"] - hosted.applied_seq
+        return status
+
+    def checkpoint(self, name: str) -> dict[str, object]:
+        """Force a compacted snapshot at the current applied seq (the
+        operational "fsync my restart time down" button)."""
+        hosted = self._session(name)
+        store = hosted.journal
+        if store is None:
+            raise SessionError(f"session {name!r} has no journal to "
+                               f"checkpoint")
+        with hosted.lock.write():
+            store.write_snapshot(hosted.engine, hosted.applied_seq)
+        return self.journal_status(name)
+
+    # -- rebalancing -----------------------------------------------------------
+
+    def rebalance(self, name: str, *, shards: int | None = None,
+                  dry_run: bool = False) -> RebalanceReport:
+        """Re-layout the session's shards with no torn revision.
+
+        ``dry_run`` returns the plan (balanced round-robin over live
+        tuples, optionally to a new shard count) without acting.
+        Applying builds the replacement engine *outside* the session
+        locks from a consistent snapshot, catches it up by streaming
+        the journal slice written since, then takes the write lock for
+        the final slice and the cutover: signature equality is checked
+        before the swap, the session revision bumps exactly once, and
+        readers observe either the old engine or the fully caught-up
+        new one.  Non-journaled sessions have no stream to catch up
+        from, so they rebuild while holding the write lock (offline
+        but still atomic).
+        """
+        hosted = self._session(name)
+        with hosted.lock.read():
+            plan = plan_rebalance(hosted.engine, target_shards=shards)
+        if dry_run:
+            return RebalanceReport(session=name, plan=plan,
+                                   applied=False,
+                                   revision=hosted.revision)
+        config = hosted.config
+        workers = config.shard_workers if config is not None else None
+        executor = (config.shard_executor if config is not None
+                    else "thread")
+        store = hosted.journal
+        if store is None:
+            with hosted.lock.write():
+                return self._cutover(hosted, plan, workers, executor,
+                                     base_seq=0, caught_up=0)
+        with hosted.lock.read():
+            document = persistence.snapshot(
+                hosted.engine, journal_seq=hosted.applied_seq)
+            base_seq = hosted.applied_seq
+        new_engine = rebuild_with_plan(document, plan, workers=workers,
+                                       executor=executor)
+        # Catch up on traffic that flushed while we rebuilt — without
+        # any session lock, racing the live appender, until the lag is
+        # gone (bounded: give up the lock-free chase after a few laps
+        # and let the write-lock pass below absorb the rest).
+        caught = base_seq
+        caught_up = 0
+        for _lap in range(8):
+            records = list(store.records(after=caught,
+                                         tolerate_torn_tail=True))
+            if not records:
+                break
+            replay_into(new_engine, records)
+            caught_up += len(records)
+            caught = records[-1].seq
+        with hosted.lock.write():
+            records = list(store.records(after=caught,
+                                         tolerate_torn_tail=True))
+            if records:
+                replay_into(new_engine, records)
+                caught_up += len(records)
+            return self._cutover(hosted, plan, workers, executor,
+                                 base_seq=base_seq, caught_up=caught_up,
+                                 new_engine=new_engine)
+
+    def _cutover(self, hosted: _Hosted, plan: RebalancePlan,
+                 workers: int | None, executor: str, *,
+                 base_seq: int, caught_up: int,
+                 new_engine: CorrelationEngine | None = None
+                 ) -> RebalanceReport:
+        """Swap in the rebuilt engine (write lock held by the caller).
+
+        The old engine stays untouched until the replacement proves
+        signature equality — an aborted rebalance leaves the session
+        exactly as it was.
+        """
+        old = hosted.engine
+        if new_engine is None:
+            document = persistence.snapshot(
+                old, journal_seq=hosted.applied_seq)
+            new_engine = rebuild_with_plan(document, plan,
+                                           workers=workers,
+                                           executor=executor)
+        if new_engine.signature() != old.signature():
+            new_engine.close()
+            raise SessionError(
+                f"rebalance of session {hosted.name!r} aborted before "
+                f"cutover: rebuilt engine's rule signature diverged "
+                f"from the live one")
+        new_engine.adopt_revision(old.revision)
+        if hosted.journal is not None:
+            new_engine.log.ensure_durable = hosted.journal.sync
+        hosted.engine = new_engine
+        if hosted.config is not None:
+            hosted.config = hosted.config.replace(
+                shards=plan.target_shards)
+        hosted.revision += 1
+        hosted.snapshot_cache = None
+        old.close()
+        if hosted.journal is not None:
+            # The new layout must be the one recovery rebuilds: anchor
+            # it with a snapshot at the caught-up seq.
+            hosted.journal.write_snapshot(hosted.engine,
+                                          hosted.applied_seq)
+        return RebalanceReport(
+            session=hosted.name, plan=plan, applied=True,
+            caught_up_records=caught_up, revision=hosted.revision)
+
+    def skew(self, name: str):
+        """Live-tuple shard balance of the session (read lock)."""
+        hosted = self._session(name)
+        with hosted.lock.read():
+            return shard_skew(hosted.engine)
 
     # -- writes ---------------------------------------------------------------
 
@@ -415,6 +727,22 @@ class CorrelationService:
                 if not batch:
                     return BatchReport(db_size=hosted.engine.db_size,
                                        event="apply-batch[0]")
+                if hosted.journal is not None:
+                    # Write-ahead: the batch is durable *before* any
+                    # mutation.  If the append itself fails (disk full,
+                    # injected crash) nothing was applied — put the
+                    # batch back in order and surface the error.
+                    try:
+                        seq = self._journal_append(hosted, batch)
+                    except Exception:
+                        with hosted.queue_lock:
+                            hosted.queue.extendleft(reversed(batch))
+                        raise
+                    # From here on the record replays on recovery with
+                    # the same poison semantics the live path has, so
+                    # the engine's outcome below — success, fallback,
+                    # or mid-batch failure — is what replay reproduces.
+                    hosted.applied_seq = seq
                 version_before = hosted.engine.relation.version
                 try:
                     report = hosted.engine.apply_batch(batch)
@@ -430,6 +758,11 @@ class CorrelationService:
                         raise
                     self._flush_per_event(name, hosted, batch)
                 hosted.revision += 1
+                if hosted.journal is not None:
+                    # Periodic compacted snapshot, inside the write
+                    # lock so the state it captures is the flushed one.
+                    hosted.journal.maybe_snapshot(hosted.engine,
+                                                  hosted.applied_seq)
         except Exception:
             if instrumentation is not None:
                 instrumentation.flush_failures.inc()
@@ -488,8 +821,19 @@ class CorrelationService:
         """(Re-)run the initial from-scratch pass for ``name``."""
         hosted = self._session(name)
         with hosted.lock.write():
+            if hosted.journal is not None and hosted.journal.has_snapshot:
+                # A re-mine is a state transition recovery must repeat
+                # (it un-stales an engine after a failed batch), so it
+                # is journaled like any write — before it runs.
+                hosted.applied_seq = hosted.journal.append_mine()
             report = hosted.engine.mine()
             hosted.revision += 1
+            if hosted.journal is not None \
+                    and not hosted.journal.has_snapshot:
+                # A session created with ``mine=False`` could not take
+                # its base snapshot at attach time; the first mine is
+                # the first snapshot-able state.
+                hosted.journal.ensure_base_snapshot(hosted.engine)
         if self._instrumentation is not None:
             self._observe_phases(report)
         return report

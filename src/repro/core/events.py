@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import warnings
 from collections import deque
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import MaintenanceError
@@ -153,6 +153,13 @@ class EventLog:
     log's lifetime also emits a :class:`RuntimeWarning`; after that the
     counter (surfaced through engine/service/tenant status) is the
     record.
+
+    When a write-ahead journal is attached to the session,
+    :attr:`ensure_durable` points at its ``sync`` — rotation then
+    blocks on the journal fsync *before* evicting, so an event can
+    only ever leave memory after it is safely on disk.  The
+    :attr:`dropped` counter still counts every eviction: durability
+    does not make the in-memory window any less windowed.
     """
 
     #: Stored as a list when unbounded, a ``deque(maxlen=...)`` when
@@ -163,6 +170,10 @@ class EventLog:
     max_events: int | None = None
     #: Events rotated out of a bounded log since its creation.
     dropped: int = 0
+    #: Called (if set) before a rotation evicts an event — the durable
+    #: journal's ``sync``.  A raised exception aborts the record, so a
+    #: failed fsync never silently discards history.
+    ensure_durable: Callable[[], None] | None = None
 
     def __post_init__(self) -> None:
         if self.max_events is not None and self.max_events < 1:
@@ -175,11 +186,17 @@ class EventLog:
             # pre-seeded list rotates here too — count what fell out.
             overflow = max(0, len(self.events) - self.max_events)
             if overflow:
+                if self.ensure_durable is not None:
+                    self.ensure_durable()
                 self._count_drops(overflow)
             self.events = deque(self.events, maxlen=self.max_events)
 
     def record(self, event: UpdateEvent) -> None:
         if self.max_events is not None and len(self.events) == self.max_events:
+            # Rotation eviction: with a journal attached, block on its
+            # fsync first — nothing leaves memory before it is on disk.
+            if self.ensure_durable is not None:
+                self.ensure_durable()
             self._count_drops(1)  # the deque evicts the oldest on append
         self.events.append(event)
 

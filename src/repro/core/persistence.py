@@ -27,6 +27,12 @@ with the identical layout, so the partition a session was running with
 survives a restart bit for bit (future inserts on a restored custom
 layout fall back to the default modulo scheme).  Monolithic snapshots
 simply omit the key; version-1 and -2 documents still load.
+
+Format version 4 adds the write-ahead journal anchor
+(``"journal": {"seq": N}``): the journal sequence the snapshot was
+taken at, so :class:`~repro.core.journal.JournalStore` recovery knows
+exactly which journal suffix to replay on top.  Snapshots saved
+outside a journal store omit the key.  Versions 1-3 still load.
 """
 
 from __future__ import annotations
@@ -42,13 +48,14 @@ from repro.relation.annotation import Annotation
 from repro.relation.relation import AnnotatedRelation
 from repro.relation.schema import Schema
 
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 #: Versions :func:`restore` accepts; 1 lacks the revision/catalog keys,
-#: 2 lacks the shard layout.
-SUPPORTED_VERSIONS = (1, 2, 3)
+#: 2 lacks the shard layout, 3 lacks the journal anchor.
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 
-def snapshot(manager: CorrelationEngine) -> dict:
+def snapshot(manager: CorrelationEngine, *,
+             journal_seq: int | None = None) -> dict:
     """The manager's full maintained state as a JSON-able dict."""
     if not manager.is_mined:
         raise MaintenanceError("cannot snapshot an unmined manager")
@@ -110,6 +117,12 @@ def snapshot(manager: CorrelationEngine) -> dict:
             "executor": manager.config.shard_executor,
             "assignment": manager.assignment(),
         }
+    if journal_seq is not None:
+        if not isinstance(journal_seq, int) or journal_seq < 0:
+            raise MaintenanceError(
+                f"journal_seq must be a non-negative int, "
+                f"got {journal_seq!r}")
+        document["journal"] = {"seq": journal_seq}
     return document
 
 
@@ -187,6 +200,13 @@ def restore(document: dict, *, generalizer=None) -> CorrelationEngine:
     if revision is not None:
         manager.adopt_revision(revision)
     _verify_catalog(manager, document)
+    journal = document.get("journal")
+    if journal is not None and (
+            not isinstance(journal, dict)
+            or not isinstance(journal.get("seq"), int)
+            or journal["seq"] < 0):
+        raise FormatError(
+            f"snapshot journal key is malformed: {journal!r}")
     return manager
 
 

@@ -55,6 +55,21 @@ def build_parser() -> argparse.ArgumentParser:
     admission.add_argument("--max-inflight-flushes", type=int, default=2)
     admission.add_argument("--executor-workers", type=int, default=4)
     admission.add_argument("--drain-timeout", type=float, default=30.0)
+    durability = parser.add_argument_group("durability")
+    durability.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="write-ahead journal root: every flush is journaled "
+             "before it mutates the engine, and journaled tenants "
+             "found under DIR are recovered before the socket opens")
+    durability.add_argument(
+        "--journal-no-fsync", action="store_true",
+        help="skip the per-append fsync (faster; survives process "
+             "crashes but not machine crashes)")
+    durability.add_argument(
+        "--journal-snapshot-every", type=int, default=64,
+        metavar="N",
+        help="write a compacted snapshot every N journaled records "
+             "(0 disables periodic snapshots; default 64)")
     parser.add_argument("--preload", action="append", default=[],
                         metavar="NAME=DATASET",
                         help="create tenant NAME from a Figure 4 dataset "
@@ -83,7 +98,10 @@ def build_server(args: argparse.Namespace) -> CorrelationServer:
         flush_watermark=args.flush_watermark or None,
         max_inflight_flushes=args.max_inflight_flushes,
         executor_workers=args.executor_workers,
-        drain_timeout=args.drain_timeout)
+        drain_timeout=args.drain_timeout,
+        journal_dir=args.journal_dir,
+        journal_fsync=not args.journal_no_fsync,
+        journal_snapshot_every=args.journal_snapshot_every or None)
     server = CorrelationServer(config)
     for spec in args.preload:
         name, sep, path = spec.partition("=")
@@ -102,6 +120,10 @@ def build_server(args: argparse.Namespace) -> CorrelationServer:
 
 async def _serve(server: CorrelationServer) -> None:
     await server.start()
+    if server.config.journal_dir is not None and len(server.tenants):
+        print(f"journal recovery: serving {len(server.tenants)} "
+              f"tenant(s): {', '.join(server.tenants.names())}",
+              file=sys.stderr)
     print(f"repro serve listening on "
           f"http://{server.config.host}:{server.port}", file=sys.stderr)
     loop = asyncio.get_running_loop()

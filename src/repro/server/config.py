@@ -55,6 +55,18 @@ class ServerConfig:
     max_request_bytes: int = 8 * 1024 * 1024
     #: Idle keep-alive connections are closed after this many seconds.
     keep_alive_timeout: float = 60.0
+    #: Root directory for per-tenant write-ahead journals.  ``None``
+    #: (the default) serves purely in memory; set, every flush is
+    #: journaled before it mutates the engine and ``start()`` recovers
+    #: any journaled tenants found on disk before the socket opens.
+    journal_dir: str | None = None
+    #: fsync each journal append (durable through power loss).  Off,
+    #: appends only reach the OS page cache — faster, and still safe
+    #: across process crashes, but not across machine crashes.
+    journal_fsync: bool = True
+    #: Write a compacted snapshot every N journaled records (bounds
+    #: recovery replay time); ``None`` disables periodic snapshots.
+    journal_snapshot_every: int | None = 64
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -98,6 +110,14 @@ class ServerConfig:
             raise ServerError(
                 f"keep_alive_timeout must be > 0, "
                 f"got {self.keep_alive_timeout}")
+        if self.journal_dir is not None and not self.journal_dir:
+            raise ServerError("journal_dir must be a non-empty path "
+                              "or None")
+        if (self.journal_snapshot_every is not None
+                and self.journal_snapshot_every < 1):
+            raise ServerError(
+                f"journal_snapshot_every must be >= 1 or None, "
+                f"got {self.journal_snapshot_every}")
 
     @property
     def flush_trigger_depth(self) -> int | None:

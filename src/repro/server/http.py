@@ -161,7 +161,10 @@ class CorrelationServer:
         if service is None:
             service = CorrelationService(
                 config=self.config.default_engine,
-                instrumentation=self.instrumentation)
+                instrumentation=self.instrumentation,
+                journal_dir=self.config.journal_dir,
+                journal_fsync=self.config.journal_fsync,
+                journal_snapshot_every=self.config.journal_snapshot_every)
         self.service = service
         self.tenants = TenantRegistry(
             service, default_engine=self.config.default_engine)
@@ -195,9 +198,40 @@ class CorrelationServer:
         if self._server is not None:
             raise ServerError("server already started")
         self._loop = asyncio.get_running_loop()
+        # Recover journaled tenants before the socket opens: a client
+        # that can connect must see the recovered catalogs, never a
+        # window where a durable tenant 404s.
+        await self._recover_journaled_tenants()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port)
         self._started_at = time.monotonic()
+
+    async def _recover_journaled_tenants(self) -> None:
+        if self.config.journal_dir is None:
+            return
+        results = await self._run_blocking(self.service.restore_sessions)
+        for name, result in results.items():
+            self.tenants.adopt(name)
+            self.metrics.counter("journal_recovered_tenants").inc()
+            self.metrics.gauge("journal_replayed_records",
+                               tenant=name).set(result.replay.records)
+            self.metrics.gauge("journal_truncated_bytes",
+                               tenant=name).set(result.truncated_bytes)
+            self._publish_journal_gauges(name)
+
+    def _publish_journal_gauges(self, name: str) -> None:
+        """Mirror the tenant's durability position into gauges (any
+        thread; the status read takes only the session registry lock)."""
+        try:
+            status = self.service.journal_status(name)
+        except SessionError:
+            return  # dropped mid-flight
+        if status is None:
+            return
+        self.metrics.gauge("journal_last_seq", tenant=name).set(
+            status["last_seq"])
+        self.metrics.gauge("journal_lag", tenant=name).set(
+            status["lag"])
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -432,6 +466,7 @@ class CorrelationServer:
         self.tenants.refresh(name)
         self.metrics.gauge("queue_depth", tenant=name).set(
             self.service.pending(name))
+        self._publish_journal_gauges(name)
         return report
 
     def _mine_blocking(self, name: str) -> Any:
@@ -616,6 +651,7 @@ class CorrelationServer:
                     self.service.pending(name))
             except SessionError:
                 continue  # dropped between names() and pending()
+            self._publish_journal_gauges(name)
         self.metrics.gauge("tenants").set(len(self.tenants))
         return 200, {
             "metrics": self.metrics.render(),
@@ -1018,6 +1054,62 @@ class CorrelationServer:
             "revision": snapshot.revision,
             "rules": len(snapshot),
         }
+
+    # -- durability / layout endpoints -----------------------------------------
+
+    @_route("POST", r"^/v1/(?P<tenant>[A-Za-z0-9._-]+)/rebalance$",
+            "rebalance")
+    async def _handle_rebalance(self, request: Request, *,
+                                tenant: str) -> tuple[int, dict]:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "rebalance body must be a JSON object")
+        unknown = sorted(set(body) - {"shards", "dry_run"})
+        if unknown:
+            raise HttpError(400, f"unknown rebalance field(s): "
+                                 f"{', '.join(unknown)}")
+        shards = body.get("shards")
+        if shards is not None and (not isinstance(shards, int)
+                                   or isinstance(shards, bool)
+                                   or shards < 1):
+            raise HttpError(400, "'shards' must be an integer >= 1")
+        dry_run = body.get("dry_run", False)
+        if not isinstance(dry_run, bool):
+            raise HttpError(400, "'dry_run' must be a boolean")
+        self._tenant(tenant)
+        if dry_run:
+            report = await self._run_blocking(
+                lambda: self.service.rebalance(tenant, shards=shards,
+                                               dry_run=True))
+            return 200, report.as_dict()
+        # Applying rebuilds the engine — blocking work on a flush lane,
+        # and a write as far as draining is concerned.
+        self._reject_writes_while_draining()
+        self._admit_flush_slot(tenant)
+        try:
+            report = await self._run_blocking(
+                lambda: self.service.rebalance(tenant, shards=shards))
+        finally:
+            self.admission.release_flush()
+        # resync, not refresh: the engine (and its vocabulary) was
+        # replaced — snapshot and vocabulary must swap together.
+        self.tenants.resync(tenant)
+        self._publish_journal_gauges(tenant)
+        return 200, report.as_dict()
+
+    @_route("POST", r"^/v1/(?P<tenant>[A-Za-z0-9._-]+)/checkpoint$",
+            "checkpoint")
+    async def _handle_checkpoint(self, request: Request, *,
+                                 tenant: str) -> tuple[int, dict]:
+        self._tenant(tenant)
+        status = self.service.journal_status(tenant)
+        if status is None:
+            raise HttpError(409, f"tenant {tenant!r} has no journal — "
+                                 f"the server was started without "
+                                 f"--journal-dir")
+        result = await self._run_blocking(self.service.checkpoint, tenant)
+        self._publish_journal_gauges(tenant)
+        return 200, {"tenant": tenant, "journal": result}
 
 
 def _session_error_response(error: SessionError) -> tuple[int, dict]:

@@ -279,7 +279,8 @@ class ServiceInstrumentation:
     __slots__ = ("registry", "flush_seconds", "flush_batches",
                  "flushed_events", "flush_failures", "submitted_events",
                  "snapshot_hits", "snapshot_misses", "estimate_reads",
-                 "estimate_seconds", "_prefix")
+                 "estimate_seconds", "journal_appends",
+                 "journal_append_seconds", "_prefix")
 
     def __init__(self, registry: MetricsRegistry | None = None,
                  *, prefix: str = "service") -> None:
@@ -301,6 +302,11 @@ class ServiceInstrumentation:
         self.estimate_reads = reg.counter(f"{prefix}_estimate_reads")
         self.estimate_seconds = reg.histogram(
             f"{prefix}_estimate_seconds")
+        #: Write-ahead journal appends and their fsync-inclusive
+        #: latency — the durability tax every flush pays up front.
+        self.journal_appends = reg.counter(f"{prefix}_journal_appends")
+        self.journal_append_seconds = reg.histogram(
+            f"{prefix}_journal_append_seconds")
 
     def observe_phases(self, phases) -> None:
         """Record a report's phase-level wall timings as one labelled

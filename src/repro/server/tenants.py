@@ -380,6 +380,30 @@ class TenantRegistry:
                 state.snapshot = snapshot
         return snapshot
 
+    def resync(self, name: str) -> TenantState:
+        """Re-capture snapshot, config *and* vocabulary together.
+
+        :meth:`refresh` assumes the engine object survived the
+        mutation, which makes its cached vocabulary still valid (it is
+        append-only for the engine's lifetime).  A rebalance replaces
+        the engine — new vocabulary, new item-id assignment — so the
+        snapshot and the vocabulary it renders through must be swapped
+        atomically, or a racing read would map the new snapshot's item
+        ids through the old vocabulary and render the wrong tokens.
+        """
+        snapshot = self._service.snapshot(name)
+        config = self._service.config_of(name)
+        vocabulary = self._service.vocabulary(name)
+        with self._lock:
+            state = self._tenants.get(name)
+            if state is None:
+                raise ServerError(f"unknown tenant {name!r}")
+            if snapshot.revision >= state.snapshot.revision:
+                state.snapshot = snapshot
+                state.config = config
+                state.vocabulary = vocabulary
+        return state
+
     # -- tenant status ---------------------------------------------------------
 
     def status(self, name: str) -> dict[str, Any]:
@@ -397,6 +421,9 @@ class TenantRegistry:
             "config": engine_config_to_json(state.config),
         }
         status.update(self._service.log_status(name))
+        journal = self._service.journal_status(name)
+        if journal is not None:
+            status["journal"] = journal
         return status
 
     def resolve_item(self, name: str, token: str) -> int | None:

@@ -31,10 +31,20 @@ from repro.shard.partition import (
     substrates_for,
 )
 from repro.shard.pool import SegmentManager, ShardPool, available_cpus
+from repro.shard.rebalance import (
+    RebalancePlan,
+    ShardSkew,
+    plan_rebalance,
+    shard_skew,
+)
 from repro.shard.views import ShardDatabaseView, ShardIndexView
 
 __all__ = [
     "Partitioner",
+    "RebalancePlan",
+    "ShardSkew",
+    "plan_rebalance",
+    "shard_skew",
     "SegmentManager",
     "ShardDatabaseView",
     "ShardIndexView",

@@ -1,0 +1,296 @@
+"""Journaled service behavior: WAL-before-mutate, restore, rotation
+guard, checkpoint, and online rebalancing under live writes."""
+
+import threading
+
+import pytest
+
+from repro.app.service import CorrelationService
+from repro.core.config import EngineConfig
+from repro.core.events import AddAnnotations, EventLog, RemoveAnnotations
+from repro.errors import SessionError
+from tests.conftest import make_relation
+from tests.property.test_prop_shard import drawn_events
+
+ENGINE = EngineConfig(min_support=0.25, min_confidence=0.6)
+
+
+def journaled_service(tmp_path, **overrides):
+    options = {"config": ENGINE, "journal_dir": tmp_path / "journal"}
+    options.update(overrides)
+    return CorrelationService(**options)
+
+
+class TestWriteAhead:
+    def test_flush_journals_the_batch_it_applied(self, tmp_path):
+        service = journaled_service(tmp_path)
+        service.create("s", make_relation())
+        batch = [AddAnnotations.build([(3, "A")]),
+                 RemoveAnnotations.build([(1, "B")])]
+        for event in batch:
+            service.submit("s", event)
+        service.flush("s")
+        store = service._session("s").journal
+        records = list(store.records())
+        assert [r.kind for r in records] == ["batch"]
+        assert list(records[0].events) == batch
+        status = service.journal_status("s")
+        assert status["applied_seq"] == status["last_seq"] == 1
+        assert status["lag"] == 0
+        service.close()
+
+    def test_failed_append_requeues_and_never_mutates(self, tmp_path):
+        """The WAL write comes first: when it fails, the engine state
+        and the queue are exactly as before the flush."""
+        service = journaled_service(tmp_path)
+        service.create("s", make_relation())
+        hosted = service._session("s")
+        before = hosted.engine.signature()
+
+        def refuse(batch):
+            raise OSError("disk full")
+
+        hosted.journal.append_batch = refuse
+        service.submit("s", AddAnnotations.build([(3, "A")]))
+        with pytest.raises(OSError, match="disk full"):
+            service.flush("s")
+        assert service.pending("s") == 1   # batch back in the queue
+        assert hosted.engine.signature() == before
+        assert hosted.applied_seq == 0
+        service.close()
+
+    def test_empty_flush_journals_nothing(self, tmp_path):
+        service = journaled_service(tmp_path)
+        service.create("s", make_relation())
+        service.flush("s")
+        assert service.journal_status("s")["last_seq"] == 0
+        service.close()
+
+    def test_mine_is_journaled(self, tmp_path):
+        service = journaled_service(tmp_path)
+        service.create("s", make_relation())
+        service.mine("s")
+        store = service._session("s").journal
+        assert [r.kind for r in store.records()] == ["mine"]
+        service.close()
+
+
+class TestRestore:
+    def test_restart_restores_the_exact_rule_set(self, tmp_path):
+        service = journaled_service(tmp_path)
+        service.create("s", make_relation())
+        for tid in (3, 5, 7):
+            service.submit("s", AddAnnotations.build([(tid, "A")]))
+            service.flush("s")
+        live = service.snapshot("s")
+        service.close()
+
+        reborn = journaled_service(tmp_path)
+        recovered = reborn.restore_sessions()
+        assert set(recovered) == {"s"}
+        assert recovered["s"].replay.records == 3
+        assert reborn.snapshot("s").signature == live.signature
+        # The restored session keeps journaling where it left off.
+        reborn.submit("s", AddAnnotations.build([(6, "B")]))
+        reborn.flush("s")
+        assert reborn.journal_status("s")["last_seq"] == 4
+        assert reborn.verify("s").equivalent
+        reborn.close()
+
+    def test_create_refuses_an_existing_journal(self, tmp_path):
+        service = journaled_service(tmp_path)
+        service.create("s", make_relation())
+        service.close()
+        reborn = journaled_service(tmp_path)
+        with pytest.raises(SessionError, match="restore_session"):
+            reborn.create("s", make_relation())
+        reborn.close()
+
+    def test_drop_keeps_the_store_for_resurrection(self, tmp_path):
+        service = journaled_service(tmp_path)
+        service.create("s", make_relation())
+        service.submit("s", AddAnnotations.build([(3, "A")]))
+        service.flush("s")
+        signature = service.snapshot("s").signature
+        service.drop("s")
+        service.restore_session("s")
+        assert service.snapshot("s").signature == signature
+        service.close()
+
+    def test_poison_flush_replays_equivalently(self, tmp_path):
+        """The journal records the batch as submitted; replay mirrors
+        the live poison semantics (prefix applied, poison dropped), so
+        a restart lands on the same rules the live engine served."""
+        service = journaled_service(tmp_path)
+        service.create("s", make_relation())
+        service.submit("s", AddAnnotations.build([(3, "A")]))
+        service.submit("s", AddAnnotations.build([(999, "A")]))  # poison
+        service.submit("s", AddAnnotations.build([(5, "A")]))
+        with pytest.raises(SessionError, match="event 2 of 3"):
+            service.flush("s")
+        service.flush("s")  # drain the re-queued tail
+        live = service.snapshot("s")
+        service.close()
+
+        reborn = journaled_service(tmp_path)
+        reborn.restore_sessions()
+        assert reborn.snapshot("s").signature == live.signature
+        assert reborn.verify("s").equivalent
+        reborn.close()
+
+    def test_journal_status_none_without_a_journal(self):
+        service = CorrelationService(config=ENGINE)
+        service.create("s", make_relation())
+        assert service.journal_status("s") is None
+        with pytest.raises(SessionError, match="no journal"):
+            service.checkpoint("s")
+        service.close()
+
+
+class TestCheckpoint:
+    def test_checkpoint_anchors_the_applied_seq(self, tmp_path):
+        service = journaled_service(tmp_path,
+                                    journal_snapshot_every=None)
+        service.create("s", make_relation())
+        for tid in (3, 5):
+            service.submit("s", AddAnnotations.build([(tid, "A")]))
+            service.flush("s")
+        status = service.checkpoint("s")
+        assert status["snapshots"] == [0, 2]
+        # A restart now loads the checkpoint and replays nothing.
+        service.close()
+        reborn = journaled_service(tmp_path)
+        result = reborn.restore_session("s")
+        assert result.snapshot_seq == 2
+        assert result.replay.records == 0
+        reborn.close()
+
+
+class TestRotationGuard:
+    """Bounded EventLog rotation must never evict an event the journal
+    has not fsynced yet (regression: the dropped counter stays
+    truthful and durability gates the eviction)."""
+
+    def test_rotation_syncs_the_journal_first(self, tmp_path):
+        calls = []
+        log = EventLog(max_events=2,
+                       ensure_durable=lambda: calls.append(len(calls)))
+        events = [AddAnnotations.build([(tid, "A")]) for tid in range(4)]
+        with pytest.warns(RuntimeWarning, match="rotating"):
+            for event in events:
+                log.record(event)
+        # One durable gate per eviction, and the counter matches.
+        assert len(calls) == 2
+        assert log.dropped == 2
+        assert list(log) == events[2:]
+
+    def test_failed_sync_aborts_the_eviction(self):
+        log = EventLog(max_events=1)
+        log.record(AddAnnotations.build([(0, "A")]))
+
+        def refuse():
+            raise OSError("fsync failed")
+
+        log.ensure_durable = refuse
+        with pytest.raises(OSError, match="fsync failed"):
+            log.record(AddAnnotations.build([(1, "A")]))
+        # Nothing left memory, nothing was counted as dropped.
+        assert log.dropped == 0
+        assert len(log) == 1
+
+    def test_service_flush_rotation_flushes_a_lazy_journal(self,
+                                                           tmp_path):
+        """With journal_fsync=False the WAL is only flushed on demand;
+        a flush whose event recording rotates the log must leave the
+        journal clean (synced) even though nothing else forces it."""
+        service = journaled_service(tmp_path, journal_fsync=False,
+                                    config=ENGINE.replace(
+                                        max_log_events=2))
+        service.create("s", make_relation())
+        store = service._session("s").journal
+        service.submit("s", AddAnnotations.build([(3, "A")]))
+        service.flush("s")
+        assert store.journal._dirty          # appended, not yet synced
+        with pytest.warns(RuntimeWarning, match="rotating"):
+            for tid in (5, 6):
+                service.submit("s", AddAnnotations.build([(tid, "A")]))
+            service.flush("s")
+        engine_log = service._session("s").engine.log
+        assert engine_log.dropped > 0
+        assert not store.journal._dirty      # rotation forced the sync
+        service.close()
+
+
+class TestOnlineRebalance:
+    def test_dry_run_changes_nothing(self, tmp_path):
+        service = journaled_service(tmp_path)
+        service.create("s", make_relation())
+        before = service.snapshot("s")
+        report = service.rebalance("s", shards=4, dry_run=True)
+        assert not report.applied
+        assert report.plan.target_shards == 4
+        assert service.snapshot("s") is before   # not even a new view
+        service.close()
+
+    def test_rebalance_under_concurrent_writes(self, tmp_path):
+        """Writers keep flushing while the rebalance builds, catches up
+        from the journal and cuts over: no torn revision (exactly one
+        bump for the cutover), no lost write, exact rules throughout."""
+        service = journaled_service(tmp_path)
+        relation = make_relation()
+        service.create("s", relation)
+        events = drawn_events(relation, count=12, seed=23)
+        errors = []
+
+        def writer():
+            try:
+                for event in events:
+                    service.submit("s", event)
+                    service.flush("s")
+            except Exception as error:  # pragma: no cover — fail below
+                errors.append(error)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        report = service.rebalance("s", shards=4)
+        thread.join()
+        assert not errors
+        assert report.applied
+        assert report.plan.target_shards == 4
+        skew = service.skew("s")
+        assert skew.shard_count == 4
+        # Every write survived the cutover and the rules stay exact.
+        assert service.journal_status("s")["last_seq"] >= len(events)
+        assert service.verify("s").equivalent
+        # The anchored layout is what a restart comes back with.
+        live = service.snapshot("s")
+        service.close()
+        reborn = journaled_service(tmp_path)
+        reborn.restore_sessions()
+        assert reborn.snapshot("s").signature == live.signature
+        assert reborn.skew("s").shard_count == 4
+        reborn.close()
+
+    def test_aborted_rebalance_leaves_the_session_untouched(
+            self, tmp_path, monkeypatch):
+        service = journaled_service(tmp_path)
+        service.create("s", make_relation())
+        before = service.snapshot("s")
+
+        from repro.app import service as service_module
+
+        class Diverged:
+            def signature(self):
+                return frozenset()
+
+            def close(self):
+                pass
+
+        monkeypatch.setattr(service_module, "rebuild_with_plan",
+                            lambda *args, **kwargs: Diverged())
+        with pytest.raises(SessionError, match="diverged"):
+            service.rebalance("s", shards=2)
+        after = service.snapshot("s")
+        assert after.revision == before.revision
+        assert after.signature == before.signature
+        service.close()

@@ -110,7 +110,7 @@ class TestRevisionRoundTrip:
         manager = mined_manager()
         manager.add_annotations([(3, "A")])
         document = snapshot(manager)
-        assert document["format_version"] == 3
+        assert document["format_version"] == 4
         assert document["engine_revision"] == manager.revision == 2
         stats = document["catalog"]
         assert stats == manager.catalog().stats.as_dict()

@@ -1,0 +1,203 @@
+"""Crash injection: every durability fault point, plus a real SIGKILL.
+
+The deterministic half drives the store with a fault hook that fires
+at one :data:`~repro.core.journal.FAULT_POINTS` member per test and
+asserts the reopened directory recovers to the last durable boundary —
+torn tails truncated, never a torn snapshot, never lost acknowledged
+history.  The subprocess half SIGKILLs a live journaled service mid-
+traffic and recovers whatever hit the disk.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+import repro
+from repro.core.engine import engine
+from repro.core.journal import FAULT_POINTS, CrashInjected, JournalStore
+from tests.conftest import make_relation
+from tests.durability.test_journal_store import BATCHES, drive
+
+
+class CrashAt:
+    """Fault hook raising (or tearing) at one named point."""
+
+    def __init__(self, point, budget=None):
+        self.point = point
+        self.budget = budget
+        self.fired = False
+
+    def __call__(self, point):
+        if point != self.point:
+            return None
+        self.fired = True
+        if self.budget is not None:
+            return self.budget  # journal.append: torn partial write
+        raise CrashInjected(point)
+
+
+def mined_engine():
+    manager = engine(make_relation(), min_support=0.25,
+                     min_confidence=0.6, validate=True)
+    manager.mine()
+    return manager
+
+
+def recover_fresh(directory):
+    """What a restart does: open the directory cold and recover.
+
+    Torn tails are truncated by the *open* (the recover's own reopen
+    then sees a clean file), so the open-time count is returned too.
+    """
+    store = JournalStore(directory)
+    torn = store.journal.truncated_bytes
+    try:
+        return store.recover(), store.status(), torn
+    finally:
+        store.close()
+
+
+class TestFaultPoints:
+    @pytest.mark.parametrize("budget", [1, 7, 23])
+    def test_crash_mid_append_loses_only_the_torn_record(
+            self, tmp_path, budget):
+        store = JournalStore(tmp_path / "s")
+        manager = mined_engine()
+        store.ensure_base_snapshot(manager)
+        drive(store, manager, BATCHES[:2])
+        durable = manager.signature()
+        hook = CrashAt("journal.append", budget=budget)
+        store.fault_hook = store.journal.fault_hook = hook
+        with pytest.raises(CrashInjected):
+            store.append_batch(BATCHES[2])
+        assert hook.fired
+        store.close()
+        result, status, torn = recover_fresh(tmp_path / "s")
+        assert torn == budget
+        assert result.last_seq == 2
+        assert result.engine.signature() == durable
+        assert status["last_seq"] == 2  # sequence resumes, not resets
+        result.engine.close()
+        manager.close()
+
+    @pytest.mark.parametrize("point",
+                             ["snapshot.written", "snapshot.renamed"])
+    def test_crash_around_snapshot_rename_never_tears(self, tmp_path,
+                                                      point):
+        store = JournalStore(tmp_path / "s",
+                             fault_hook=CrashAt(point))
+        manager = mined_engine()
+        with pytest.raises(CrashInjected):
+            store.ensure_base_snapshot(manager)
+        # Before the rename: no snapshot at all.  After: the complete
+        # one.  Never a half-written file posing as a snapshot.
+        snapshots = store.snapshots()
+        if point == "snapshot.written":
+            assert snapshots == []
+            assert os.path.exists(store.snapshot_path(0) + ".tmp")
+        else:
+            assert [seq for seq, _ in snapshots] == [0]
+        store.close()
+        # The restart ignores stale .tmp files and serves whatever
+        # durable state exists.
+        store = JournalStore(tmp_path / "s")
+        store.ensure_base_snapshot(manager)
+        drive(store, manager, BATCHES[:1])
+        store.close()
+        result, _status, _torn = recover_fresh(tmp_path / "s")
+        assert result.engine.signature() == manager.signature()
+        result.engine.close()
+        manager.close()
+
+    def test_crash_mid_compaction_keeps_the_full_journal(self, tmp_path):
+        store = JournalStore(tmp_path / "s")
+        manager = mined_engine()
+        store.ensure_base_snapshot(manager)
+        drive(store, manager)
+        hook = CrashAt("compact.trim")
+        store.fault_hook = hook
+        with pytest.raises(CrashInjected):
+            store.compact(manager, store.last_seq, keep_snapshots=1)
+        assert hook.fired
+        store.close()
+        # The trim never landed: the whole history is still replayable
+        # and recovery picks the freshly-written compaction snapshot.
+        result, status, _torn = recover_fresh(tmp_path / "s")
+        assert status["last_seq"] == len(BATCHES)
+        assert result.snapshot_seq == len(BATCHES)
+        assert result.engine.signature() == manager.signature()
+        result.engine.close()
+        manager.close()
+
+    def test_every_fault_point_is_exercised(self):
+        covered = {"journal.append", "snapshot.written",
+                   "snapshot.renamed", "compact.trim"}
+        assert covered == set(FAULT_POINTS)
+
+
+CHILD = textwrap.dedent("""\
+    import sys
+
+    from repro.app.service import CorrelationService
+    from repro.core.config import EngineConfig
+    from repro.core.events import AddAnnotations, RemoveAnnotations
+    from tests.conftest import make_relation
+
+    service = CorrelationService(
+        config=EngineConfig(min_support=0.25, min_confidence=0.6),
+        journal_dir=sys.argv[1])
+    service.create("victim", make_relation())
+    for round in range(1000):
+        tid = round % 8
+        service.submit("victim", AddAnnotations.build([(tid, "B")]))
+        service.submit("victim", RemoveAnnotations.build([(tid, "B")]))
+        service.flush("victim")
+        # Acknowledge only after flush returns: everything printed is
+        # fsync-durable and must survive the kill.
+        print(f"ACK {round + 1}", flush=True)
+""")
+
+
+class TestSigkill:
+    def test_sigkill_mid_traffic_recovers_every_acked_flush(
+            self, tmp_path):
+        src = os.path.dirname(os.path.dirname(
+            os.path.dirname(repro.__file__)))
+        script = tmp_path / "victim.py"
+        script.write_text(CHILD)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(src, "src"), src]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        child = subprocess.Popen(
+            [sys.executable, str(script), str(tmp_path / "journal")],
+            stdout=subprocess.PIPE, text=True, env=env, cwd=src)
+        acked = 0
+        try:
+            for line in child.stdout:
+                if line.startswith("ACK "):
+                    acked = int(line.split()[1])
+                if acked >= 5:
+                    break
+            child.send_signal(signal.SIGKILL)
+        finally:
+            child.wait(timeout=30)
+            child.stdout.close()
+        assert acked >= 5
+
+        result, _, _ = recover_fresh(tmp_path / "journal" / "victim")
+        try:
+            # Two events per acked flush, all of them replayed (the
+            # kill may have left one extra durable-but-unacked record).
+            assert result.last_seq >= acked
+            assert result.engine.verify_against_remine().equivalent
+            # Recovery is deterministic: a second restart agrees.
+            again, _, _ = recover_fresh(tmp_path / "journal" / "victim")
+            assert again.engine.signature() == result.engine.signature()
+            again.engine.close()
+        finally:
+            result.engine.close()

@@ -1,0 +1,172 @@
+"""Unit tests for rebalance planning: skew, layouts, rebuilds."""
+
+import pytest
+
+from repro.core.engine import engine
+from repro.errors import MaintenanceError
+from repro.shard import ShardedEngine
+from repro.shard.rebalance import (
+    current_layout,
+    layout_document,
+    plan_rebalance,
+    rebuild_with_plan,
+    shard_skew,
+)
+from repro.core import persistence
+from tests.conftest import make_relation
+
+
+def mono_engine(relation=None):
+    manager = engine(relation if relation is not None else make_relation(),
+                     min_support=0.25, min_confidence=0.6, validate=True)
+    manager.mine()
+    return manager
+
+
+def sharded_engine(shards, partitioner=None):
+    manager = ShardedEngine(make_relation(), min_support=0.25,
+                            min_confidence=0.6, validate=True,
+                            shards=shards, partitioner=partitioner)
+    manager.mine()
+    return manager
+
+
+class TestCurrentLayout:
+    def test_monolithic_is_one_shard_of_everything(self):
+        manager = mono_engine()
+        manager.remove_tuples([2])
+        count, assignment = current_layout(manager)
+        assert count == 1
+        assert assignment[2] is None          # dead tids carry no shard
+        assert all(shard == 0 for tid, shard in enumerate(assignment)
+                   if tid != 2)
+        manager.close()
+
+    def test_sharded_reports_its_real_assignment(self):
+        manager = sharded_engine(3)
+        count, assignment = current_layout(manager)
+        assert count == 3
+        assert assignment == [tid % 3 for tid in range(8)]
+        manager.close()
+
+
+class TestShardSkew:
+    def test_balanced_layout_has_ratio_one(self):
+        manager = sharded_engine(2)
+        skew = shard_skew(manager)
+        assert skew.counts == (4, 4)
+        assert skew.max_ratio == 1.0
+        assert not skew.skewed()
+        manager.close()
+
+    def test_hot_shard_is_detected(self):
+        manager = sharded_engine(2, partitioner=lambda tid: 0)
+        skew = shard_skew(manager)
+        assert skew.counts == (8, 0)
+        assert skew.max_ratio == 2.0
+        assert skew.skewed()
+        assert not skew.skewed(threshold=2.5)
+        manager.close()
+
+    def test_as_dict_is_json_shaped(self):
+        manager = mono_engine()
+        payload = shard_skew(manager).as_dict()
+        assert payload == {"counts": [8], "total": 8, "max_ratio": 1.0}
+        manager.close()
+
+
+class TestPlan:
+    def test_plan_is_deterministic(self):
+        manager = sharded_engine(2, partitioner=lambda tid: 0)
+        first = plan_rebalance(manager, target_shards=3)
+        second = plan_rebalance(manager, target_shards=3)
+        assert first == second
+        manager.close()
+
+    def test_target_counts_differ_by_at_most_one(self):
+        for shards in (2, 3, 5):
+            manager = mono_engine()
+            plan = plan_rebalance(manager, target_shards=shards)
+            assert sum(plan.target_counts) == plan.total == 8
+            assert max(plan.target_counts) - min(plan.target_counts) <= 1
+            manager.close()
+
+    def test_moves_are_counted_against_the_current_layout(self):
+        manager = sharded_engine(2, partitioner=lambda tid: 0)
+        plan = plan_rebalance(manager)   # keep 2 shards, just even out
+        assert plan.current_counts == (8, 0)
+        assert plan.target_counts == (4, 4)
+        assert plan.moved == 4           # every odd position leaves 0
+        assert not plan.noop
+        manager.close()
+
+    def test_balanced_round_robin_is_a_noop(self):
+        manager = sharded_engine(2)      # default tid % 2 layout
+        plan = plan_rebalance(manager)
+        assert plan.noop and plan.moved == 0
+        manager.close()
+
+    def test_dead_tids_are_never_assigned(self):
+        manager = mono_engine()
+        manager.remove_tuples([0, 4])
+        plan = plan_rebalance(manager, target_shards=2)
+        assert plan.assignment[0] is None
+        assert plan.assignment[4] is None
+        assert plan.total == 6
+        manager.close()
+
+    def test_target_below_one_rejected(self):
+        manager = mono_engine()
+        with pytest.raises(MaintenanceError, match="target_shards"):
+            plan_rebalance(manager, target_shards=0)
+        manager.close()
+
+    def test_as_dict_omits_the_assignment(self):
+        manager = mono_engine()
+        payload = plan_rebalance(manager, target_shards=2).as_dict()
+        assert "assignment" not in payload
+        assert payload["target_shards"] == 2
+        assert payload["noop"] is False
+        manager.close()
+
+
+class TestRebuild:
+    def test_layout_document_sets_or_strips_the_shards_key(self):
+        manager = sharded_engine(2)
+        document = persistence.snapshot(manager)
+        wider = layout_document(document,
+                                plan_rebalance(manager, target_shards=3))
+        assert wider["shards"]["count"] == 3
+        assert len(wider["shards"]["assignment"]) \
+            == manager.relation.tid_range
+        collapsed = layout_document(
+            document, plan_rebalance(manager, target_shards=1))
+        assert "shards" not in collapsed
+        assert "shards" in document      # the input is never mutated
+        manager.close()
+
+    @pytest.mark.parametrize("target", [1, 2, 5])
+    def test_rebuild_preserves_the_signature(self, target):
+        manager = sharded_engine(2, partitioner=lambda tid: 0)
+        plan = plan_rebalance(manager, target_shards=target)
+        rebuilt = rebuild_with_plan(persistence.snapshot(manager), plan)
+        assert rebuilt.signature() == manager.signature()
+        if target > 1:
+            assert isinstance(rebuilt, ShardedEngine)
+            counts = shard_skew(rebuilt).counts
+            assert max(counts) - min(counts) <= 1
+        else:
+            assert not isinstance(rebuilt, ShardedEngine)
+        rebuilt.close()
+        manager.close()
+
+    def test_rebuilt_engine_keeps_maintaining_incrementally(self):
+        from repro.core.events import AddAnnotations
+
+        manager = mono_engine()
+        plan = plan_rebalance(manager, target_shards=2)
+        rebuilt = rebuild_with_plan(persistence.snapshot(manager), plan)
+        rebuilt.apply(AddAnnotations.build([(3, "A")]))
+        assert rebuilt.verify_against_remine().equivalent
+        rebuilt.close()
+        manager.close()
